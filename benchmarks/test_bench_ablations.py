@@ -1,0 +1,161 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Beyond the paper's figures:
+
+* watermark resets on/off — without resets, Colloid cannot follow a
+  moving equilibrium (Figure 4c's failure mode);
+* delta/epsilon sensitivity — the stability/steady-state trade-offs the
+  paper describes qualitatively (§3.2);
+* latency balancing vs rate balancing (Carrefour) vs bandwidth-ratio
+  placement (BATMAN) — §6's argument quantified.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.shift import ShiftComputer
+from repro.experiments.common import make_system, scaled_machine
+from repro.experiments.fig4 import ToyTieredMemory
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.batman import BatmanSystem
+from repro.tiering.carrefour import CarrefourSystem
+from repro.workloads.gups import GupsWorkload
+
+
+def _drive(shift, toy, p, quanta):
+    for __ in range(quanta):
+        l_d, l_a = toy.latencies(p)
+        dp = shift.compute(p, l_d, l_a)
+        if dp > 0:
+            direction = 1.0 if l_d < l_a else -1.0
+            p = float(np.clip(p + direction * dp, 0.0, 1.0))
+    return p
+
+
+def test_bench_ablation_watermark_resets(benchmark):
+    """Disable the reset branch: p* changes outside the bracket are
+    missed (Figure 4c's failure mode)."""
+    def run():
+        results = {}
+        for label, resets in (("resets-on", True), ("resets-off", False)):
+            shift = ShiftComputer(delta=0.02, epsilon=0.01,
+                                  enable_resets=resets)
+            toy = ToyTieredMemory(p_star=0.3)
+            p = _drive(shift, toy, 0.9, 60)
+            toy.p_star = 0.8  # equilibrium jumps outside the bracket
+            p = _drive(shift, toy, p, 200)
+            results[label] = p
+        return results
+
+    results = run_once(benchmark, run)
+    print("\nAblation — watermark resets (final p, target 0.8)")
+    for label, p in results.items():
+        print(f"  {label:12s} p = {p:.3f}")
+    assert abs(results["resets-on"] - 0.8) < 0.1
+    assert abs(results["resets-off"] - 0.8) > 0.2
+
+
+def test_bench_ablation_delta_epsilon(benchmark):
+    """delta trades steady-state accuracy for stability (§3.2)."""
+    def run():
+        results = {}
+        for delta in (0.02, 0.05, 0.20):
+            shift = ShiftComputer(delta=delta, epsilon=0.01)
+            toy = ToyTieredMemory(p_star=0.55)
+            p = _drive(shift, toy, 0.95, 120)
+            results[delta] = abs(p - 0.55)
+        return results
+
+    errors = run_once(benchmark, run)
+    print("\nAblation — delta sensitivity (|p - p*| at steady state)")
+    for delta, err in errors.items():
+        print(f"  delta={delta:<5} error = {err:.3f}")
+    # Larger dead bands settle further from the optimum.
+    assert errors[0.02] <= errors[0.20] + 1e-9
+
+
+def test_bench_ablation_tpp_granularity(benchmark, config):
+    """TPP with and without THP-style huge pages.
+
+    The paper evaluates TPP both ways (presenting THP-on). Smaller
+    bookkeeping granularity means the scanner covers the address space
+    slower per byte and each hint fault carries less placement value, so
+    convergence stretches — but Colloid's steady-state gains survive.
+    """
+    from repro.experiments.common import scaled_machine
+    from repro.units import kib, mib
+
+    machine = scaled_machine(config.scale)
+
+    def run_pair(page_bytes, scan_fraction):
+        results = {}
+        for name in ("tpp", "tpp+colloid"):
+            workload = GupsWorkload(scale=config.scale, seed=config.seed,
+                                    page_bytes=page_bytes)
+            system = make_system(name,
+                                 scan_fraction_per_quantum=scan_fraction)
+            loop = SimulationLoop(
+                machine=machine, workload=workload, system=system,
+                contention=3,
+                migration_limit_bytes=config.resolved_migration_limit(),
+                seed=config.seed,
+            )
+            metrics = loop.run(duration_s=30.0)
+            results[name] = float(metrics.throughput[-200:].mean())
+        return results
+
+    def run():
+        return {
+            "thp-on (2 MiB)": run_pair(mib(2), 0.002),
+            "thp-off (256 KiB)": run_pair(kib(256), 0.002 / 8),
+        }
+
+    results = run_once(benchmark, run)
+    print("\nAblation — TPP bookkeeping granularity at 3x contention")
+    for label, pair in results.items():
+        gain = pair["tpp+colloid"] / pair["tpp"]
+        print(f"  {label:18s} tpp {pair['tpp']:6.1f} GB/s  "
+              f"+colloid {pair['tpp+colloid']:6.1f} GB/s  gain {gain:.2f}x")
+    for pair in results.values():
+        assert pair["tpp+colloid"] > pair["tpp"] * 1.2
+
+
+def test_bench_ablation_placement_signals(benchmark, config):
+    """Latency balancing beats rate balancing and bandwidth ratios."""
+    machine = scaled_machine(config.scale)
+
+    def run_system(system):
+        workload = GupsWorkload(scale=config.scale, seed=config.seed)
+        loop = SimulationLoop(
+            machine=machine, workload=workload, system=system,
+            contention=3,
+            migration_limit_bytes=config.resolved_migration_limit(),
+            seed=config.seed,
+        )
+        metrics = loop.run(duration_s=15.0)
+        return float(metrics.throughput[-100:].mean())
+
+    def run():
+        from repro.tiering.memorymode import MemoryModeSystem
+
+        default_bw = machine.tiers[0].theoretical_bandwidth
+        alt_bw = machine.tiers[1].theoretical_bandwidth
+        return {
+            "colloid (latency)": run_system(make_system("hemem+colloid")),
+            "carrefour (rate)": run_system(CarrefourSystem()),
+            "batman (bandwidth)": run_system(
+                BatmanSystem.from_bandwidths(default_bw, alt_bw)
+            ),
+            "hemem (hotness)": run_system(make_system("hemem")),
+            "memory-mode (hw cache)": run_system(MemoryModeSystem()),
+        }
+
+    results = run_once(benchmark, run)
+    print("\nAblation — placement signal comparison at 3x contention "
+          "(GB/s)")
+    for label, throughput in results.items():
+        print(f"  {label:20s} {throughput:6.1f}")
+    best = results["colloid (latency)"]
+    assert best > results["hemem (hotness)"] * 1.4
+    assert best >= results["carrefour (rate)"] * 0.99
+    assert best >= results["batman (bandwidth)"] * 0.99

@@ -1,0 +1,32 @@
+"""Benchmark: extended-version sensitivity sweeps (cores, R/W ratio).
+
+The paper defers these to its extended version (§5.1); the expectations
+below encode its qualitative statements.
+"""
+
+from benchmarks.conftest import full_grids, run_once
+from repro.experiments import appendix
+
+
+def test_bench_appendix(benchmark, config):
+    if full_grids():
+        cores = appendix.DEFAULT_CORE_COUNTS
+        rfs = appendix.DEFAULT_READ_FRACTIONS
+    else:
+        cores = (5, 25)
+        rfs = (1.0, 0.5)
+    result = run_once(
+        benchmark,
+        lambda: appendix.run(config, core_counts=cores,
+                             read_fractions=rfs),
+    )
+    print("\nAppendix — core-count and read/write sensitivity")
+    print(appendix.format_rows(result))
+    few, many = min(cores), max(cores)
+    # More cores -> more pressure -> larger Colloid gains at contention.
+    assert result.by_cores[(many, 3)] >= result.by_cores[(few, 3)] * 0.95
+    assert result.by_cores[(many, 3)] > 1.3
+    # Colloid never hurts at 0x across the R/W sweep.
+    for rf in rfs:
+        assert result.by_read_fraction[(rf, 0)] > 0.9
+        assert result.by_read_fraction[(rf, 3)] > 1.2

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 1 (baselines vs best-case).
+
+Paper shape: all three baselines within ~10% of best-case at 0x, falling
+to 2.3-2.46x behind at 3x.
+"""
+
+from benchmarks.conftest import full_grids, run_once
+from repro.experiments import fig1
+
+
+def test_bench_fig1(benchmark, config):
+    intensities = (0, 1, 2, 3) if full_grids() else (0, 2, 3)
+    result = run_once(
+        benchmark,
+        lambda: fig1.run(config, intensities=intensities),
+    )
+    print("\nFigure 1 — GUPS throughput (GB/s), baselines vs best-case")
+    print(fig1.format_rows(result))
+    # Shape assertions: near-parity at 0x, large gaps at 3x.
+    for system in result.systems:
+        assert result.gap(system, 0) < 1.35
+        assert result.gap(system, 3) > 1.5

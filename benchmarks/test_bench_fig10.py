@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 10 (migration-rate traces).
+
+Paper shape: after a change both variants spike; HeMem+Colloid tapers
+more gradually (dynamic migration limit), never exceeds HeMem's peak,
+and its steady-state migration traffic is a negligible fraction of
+application throughput.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark, config):
+    def run_grid():
+        traces = {}
+        for system in ("hemem", "hemem+colloid"):
+            for scenario in ("hotshift-0x", "contention"):
+                traces[(system, scenario)] = fig10.run_one(
+                    system, scenario, config, shift_s=9.0,
+                    duration_s=24.0,
+                )
+        return fig10.Fig10Result(
+            scenarios=("hotshift-0x", "contention"),
+            systems=("hemem", "hemem+colloid"),
+            traces=traces,
+        )
+
+    result = run_once(benchmark, run_grid)
+    print("\nFigure 10 — migration rate over time")
+    print(fig10.format_rows(result))
+    base = result.traces[("hemem", "hotshift-0x")]
+    colloid = result.traces[("hemem+colloid", "hotshift-0x")]
+    assert colloid.peak_rate <= base.peak_rate * 1.1
+    assert colloid.steady_fraction() < 0.02
+    # Contention change: only Colloid migrates in response.
+    base_c = result.traces[("hemem", "contention")]
+    colloid_c = result.traces[("hemem+colloid", "contention")]
+    after = lambda t: t.migration_rate[t.times_s >= 9.0].sum()
+    assert after(colloid_c) > 3 * max(after(base_c), 1.0)

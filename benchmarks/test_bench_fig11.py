@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 11 (real applications).
+
+Paper shape: Colloid matches the baselines at low contention and
+improves GAPBS PageRank, Silo/YCSB-C, and CacheLib/HeMemKV at elevated
+contention (1.05-2.12x depending on application and system).
+"""
+
+from benchmarks.conftest import full_grids, run_once
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark, config):
+    if full_grids():
+        intensities = (0, 1, 2, 3)
+        systems = ("hemem", "tpp", "memtis")
+    else:
+        intensities = (0, 3)
+        systems = ("hemem",)
+    result = run_once(
+        benchmark,
+        lambda: fig11.run(config, intensities=intensities,
+                          systems=systems),
+    )
+    print("\nFigure 11 — real-application performance")
+    print(fig11.format_rows(result))
+    for app in result.applications:
+        for base in result.base_systems:
+            # Parity (or mild gain) at 0x, clear gains at 3x.
+            assert result.improvement(app, base, 0) > 0.9
+            assert result.improvement(app, base, 3) > 1.1

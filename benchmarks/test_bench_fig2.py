@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 2 (latency inflation and bandwidth split).
+
+Paper shape: (a) default-tier latency exceeds the alternate tier's from
+1x contention upward while the systems keep serving from the default
+tier; (b) the best case shifts bandwidth to the alternate tier with
+contention but the baselines never do.
+"""
+
+from benchmarks.conftest import full_grids, run_once
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark, config):
+    intensities = (0, 1, 2, 3) if full_grids() else (0, 2, 3)
+    result = run_once(
+        benchmark,
+        lambda: fig2.run(config, intensities=intensities),
+    )
+    print("\nFigure 2 — root cause of the baseline gap")
+    print(fig2.format_rows(result))
+    for system in result.systems:
+        l_d3, l_a3 = result.latencies[(system, 3)]
+        assert l_d3 > 1.5 * l_a3          # (a) inverted latency ordering
+        assert result.inflation(system, 3) > 3.0
+        assert result.default_share[(system, 3)] > 0.75  # (b) stuck
+    assert result.best_default_share[3] < 0.3            # (b) best moves

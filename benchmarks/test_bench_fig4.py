@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 4 (ComputeShift convergence traces)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark):
+    traces = run_once(benchmark, lambda: fig4.run(quanta=80))
+    print("\nFigure 4 — Algorithm 2 convergence scenarios")
+    print(fig4.format_rows(traces))
+    for trace in traces:
+        assert trace.final_error() < 0.05, trace.scenario

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 5 (Colloid vs baselines vs best-case).
+
+Paper shape: Colloid matches the baselines at 0x and restores
+near-best-case throughput at every contention level (1.2-2.35x gains).
+"""
+
+from benchmarks.conftest import full_grids, run_once
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark, config):
+    intensities = (0, 1, 2, 3) if full_grids() else (0, 2, 3)
+    result = run_once(
+        benchmark,
+        lambda: fig5.run(config, intensities=intensities),
+    )
+    print("\nFigure 5 — GUPS throughput with and without Colloid")
+    print(fig5.format_rows(result))
+    for base in result.base_systems:
+        assert 0.9 < result.colloid_gain(base, 0) < 1.15  # parity at 0x
+        assert result.colloid_gain(base, 3) > 1.5         # big gain at 3x
+        # Near-best-case with Colloid at 3x (paper: within 3-13%).
+        assert result.gap_to_best(f"{base}+colloid", 3) < 0.25

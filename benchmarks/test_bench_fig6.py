@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 6 (why Colloid wins).
+
+Paper shape: (a) Colloid's bandwidth split tracks the best case —
+default-heavy at 0x, alternate-heavy at 3x; (b) the tier-latency gap
+narrows toward balance.
+"""
+
+from benchmarks.conftest import full_grids, run_once
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark, config):
+    intensities = (0, 1, 2, 3) if full_grids() else (0, 1, 3)
+    result = run_once(
+        benchmark,
+        lambda: fig6.run(config, intensities=intensities),
+    )
+    print("\nFigure 6 — Colloid placement and latency balance")
+    print(fig6.format_rows(result))
+    for base in result.base_systems:
+        assert result.default_share[(base, 0)] > 0.6   # packed at 0x
+        assert result.default_share[(base, 3)] < 0.3   # offloaded at 3x
+        # (b) With an interior equilibrium (1x) latencies are near-equal.
+        assert 0.7 < result.latency_ratio(base, 1) < 1.4

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 7 (alternate-latency sensitivity).
+
+Paper shape: Colloid's improvement grows with contention intensity and
+shrinks (but persists) as the alternate tier's unloaded latency rises
+from 1.9x to 2.7x the default tier's.
+"""
+
+from benchmarks.conftest import full_grids, run_once
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark, config):
+    if full_grids():
+        ratios = (1.9, 2.2, 2.45, 2.7)
+        intensities = (0, 1, 2, 3)
+        systems = ("hemem", "tpp", "memtis")
+    else:
+        ratios = (1.9, 2.7)
+        intensities = (0, 3)
+        systems = ("hemem",)
+    result = run_once(
+        benchmark,
+        lambda: fig7.run(config, latency_ratios=ratios,
+                         intensities=intensities, systems=systems),
+    )
+    print("\nFigure 7 — Colloid improvement vs alternate unloaded latency")
+    print(fig7.format_rows(result))
+    for base in result.base_systems:
+        lo_ratio, hi_ratio = min(ratios), max(ratios)
+        hi_int = max(intensities)
+        # Gains grow with contention...
+        assert result.improvement[(base, lo_ratio, hi_int)] > (
+            result.improvement[(base, lo_ratio, 0)]
+        )
+        # ...and persist even at the largest alternate latency.
+        assert result.improvement[(base, hi_ratio, hi_int)] > 1.2
+        # ...but shrink as the alternate tier gets slower.
+        assert result.improvement[(base, hi_ratio, hi_int)] < (
+            result.improvement[(base, lo_ratio, hi_int)] * 1.05
+        )

@@ -1,0 +1,50 @@
+"""Benchmark: regenerate Figure 9 (convergence under dynamism).
+
+Paper shape: Colloid does not change the underlying system's convergence
+timescale after a hot-set change; after a contention change the baseline
+never reacts while Colloid converges to a higher operating point at its
+usual timescale.
+"""
+
+from benchmarks.conftest import full_grids, run_once
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark, config):
+    scenarios = fig9.SCENARIOS if full_grids() else (
+        "hotshift-0x", "contention",
+    )
+    base_systems = ("hemem", "tpp", "memtis") if full_grids() else (
+        "hemem",
+    )
+    # Timelines matched to the benchmark migration limit.
+    timeline = (8.0, 22.0)
+
+    def run_grid():
+        traces = {}
+        systems = []
+        for base in base_systems:
+            for name in (base, f"{base}+colloid"):
+                systems.append(name)
+                for scenario in scenarios:
+                    traces[(name, scenario)] = fig9.run_one(
+                        name, scenario, config, timeline=timeline
+                    )
+        return fig9.Fig9Result(
+            scenarios=tuple(scenarios), systems=tuple(systems),
+            traces=traces,
+        )
+
+    result = run_once(benchmark, run_grid)
+    print("\nFigure 9 — convergence after workload/contention changes")
+    print(fig9.format_rows(result))
+    for base in base_systems:
+        base_trace = result.traces[(base, "contention")]
+        colloid_trace = result.traces[(f"{base}+colloid", "contention")]
+        tail = lambda t: t.throughput[-3:].mean()
+        # Baseline stays degraded; Colloid recovers to a higher point.
+        assert tail(colloid_trace) > 1.4 * tail(base_trace)
+        # Hot-set convergence: both settle back to the same level.
+        a = tail(result.traces[(base, "hotshift-0x")])
+        b = tail(result.traces[(f"{base}+colloid", "hotshift-0x")])
+        assert abs(a - b) / a < 0.15

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the §5.1 CPU-overhead numbers.
+
+Paper shape: Colloid adds <2% CPU for HeMem/MEMTIS and 4-6.5% for TPP
+(the dedicated CHA-sampling core dominates).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import overheads
+
+
+def test_bench_overheads(benchmark, config):
+    result = run_once(benchmark, lambda: overheads.run(config))
+    print("\n§5.1 — CPU overheads")
+    print(overheads.format_rows(result))
+    assert result.colloid_extra("hemem") < 0.02
+    assert result.colloid_extra("memtis") < 0.02
+    assert 0.03 < result.colloid_extra("tpp") < 0.10

@@ -1,0 +1,31 @@
+"""Benchmark: epsilon/delta sensitivity (extended-version content).
+
+Paper trade-offs (§3.2): larger delta is more stable but settles further
+from optimal; larger epsilon reacts to equilibrium shifts faster.
+"""
+
+from benchmarks.conftest import full_grids, run_once
+from repro.experiments import sensitivity
+
+
+def test_bench_sensitivity(benchmark, config):
+    if full_grids():
+        deltas = sensitivity.DEFAULT_DELTAS
+        epsilons = sensitivity.DEFAULT_EPSILONS
+    else:
+        deltas = (0.02, 0.15)
+        epsilons = (0.01,)
+    result = run_once(
+        benchmark,
+        lambda: sensitivity.run(config, deltas=deltas,
+                                epsilons=epsilons),
+    )
+    print("\nSensitivity — delta/epsilon trade-offs")
+    print(sensitivity.format_rows(result))
+    eps = epsilons[0]
+    small, large = min(deltas), max(deltas)
+    # Larger dead band cannot get closer to the optimum than the small
+    # one (allow a little simulation noise).
+    assert result.throughput[(large, eps)] <= (
+        result.throughput[(small, eps)] * 1.03
+    )

@@ -1,0 +1,43 @@
+"""Contention sweep: reproduce the Figure 1/5 story end to end.
+
+For each memory-interconnect contention intensity (0x-3x antagonist),
+runs all three baseline tiering systems with and without Colloid, plus
+the manual best-case placement sweep (§2.1's mbind methodology), and
+prints the resulting table — the reproduction's version of Figures 1
+and 5 side by side.
+
+Run:
+    python examples/contention_sweep.py          # reduced grid, ~2 min
+    python examples/contention_sweep.py --full   # all four intensities
+"""
+
+import sys
+
+from repro.experiments import fig5
+from repro.experiments.common import ExperimentConfig
+
+
+def main():
+    full = "--full" in sys.argv
+    config = ExperimentConfig(
+        scale=0.0625,
+        seed=42,
+        migration_limit_bytes=8 * 1024 * 1024,
+        duration_caps={"hemem": 12.0, "memtis": 20.0, "tpp": 45.0},
+    )
+    intensities = (0, 1, 2, 3) if full else (0, 3)
+    print("Running the contention sweep "
+          f"(intensities {intensities}, scale {config.scale}) ...\n")
+    result = fig5.run(config, intensities=intensities)
+    print(fig5.format_rows(result))
+    print()
+    for base in result.base_systems:
+        worst = max(result.intensities,
+                    key=lambda i: result.colloid_gain(base, i))
+        print(f"{base}: largest Colloid gain {result.colloid_gain(base, worst):.2f}x "
+              f"at {worst}x contention; gap to best-case with Colloid "
+              f"{result.gap_to_best(f'{base}+colloid', worst):.1%}")
+
+
+if __name__ == "__main__":
+    main()

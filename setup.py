@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that environments without the ``wheel`` package (where PEP 517
+editable installs fail with ``invalid command 'bdist_wheel'``) can still do
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

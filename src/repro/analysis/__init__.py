@@ -1,0 +1,16 @@
+"""Analysis utilities: EWMA, Little's Law, summary statistics, and
+convergence-time detection used by the experiments and tests."""
+
+from repro.analysis.ewma import Ewma
+from repro.analysis.littles import littles_law_latency, littles_law_occupancy
+from repro.analysis.stats import summarize, relative_gap
+from repro.analysis.convergence import convergence_time_s
+
+__all__ = [
+    "Ewma",
+    "littles_law_latency",
+    "littles_law_occupancy",
+    "summarize",
+    "relative_gap",
+    "convergence_time_s",
+]

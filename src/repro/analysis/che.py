@@ -1,0 +1,84 @@
+"""Che's approximation for LRU cache hit rates.
+
+Used by the hardware-managed memory-mode baseline
+(:mod:`repro.tiering.memorymode`): when the default tier acts as a
+transparent cache for the alternate tier, the fraction of accesses it
+absorbs is the cache hit rate of the access distribution — which Che's
+approximation estimates accurately for LRU-like caches.
+
+Che's approximation: for a cache of ``C`` objects and per-object access
+probabilities ``p_i``, there is a characteristic time ``T_C`` such that
+
+    ``sum_i (1 - exp(-p_i * T_C)) = C``
+
+and the hit rate of object ``i`` is ``1 - exp(-p_i * T_C)``; the overall
+hit rate is the access-weighted average. ``T_C`` is found by bisection
+(the left side is monotone in ``T_C``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+
+
+def characteristic_time(probabilities: np.ndarray,
+                        cache_objects: float) -> float:
+    """Solve for Che's characteristic time ``T_C``.
+
+    Args:
+        probabilities: Per-object access probabilities (sum to ~1).
+        cache_objects: Cache capacity in objects; must be positive and
+            less than the number of objects (otherwise everything fits).
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim != 1 or probs.size == 0:
+        raise ConfigurationError("need a non-empty probability vector")
+    if (probs < 0).any() or probs.sum() <= 0:
+        raise ConfigurationError("probabilities must be non-negative")
+    if cache_objects <= 0:
+        raise ConfigurationError("cache size must be positive")
+    if cache_objects >= probs.size:
+        return float("inf")
+
+    def occupancy(t: float) -> float:
+        return float((1.0 - np.exp(-probs * t)).sum())
+
+    lo, hi = 0.0, 1.0
+    for __ in range(200):
+        if occupancy(hi) >= cache_objects:
+            break
+        hi *= 4.0
+    else:
+        raise ConvergenceError("characteristic time bracket failed")
+    for __ in range(100):
+        mid = (lo + hi) / 2.0
+        if occupancy(mid) < cache_objects:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def lru_hit_rate(probabilities: np.ndarray,
+                 cache_objects: float) -> Tuple[float, np.ndarray]:
+    """Overall and per-object LRU hit rates via Che's approximation.
+
+    Returns:
+        (overall hit rate, per-object hit rates).
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    total = probs.sum()
+    if total <= 0:
+        raise ConfigurationError("probabilities must sum to > 0")
+    normalized = probs / total
+    t_c = characteristic_time(normalized, cache_objects)
+    if np.isinf(t_c):
+        per_object = np.ones_like(normalized)
+    else:
+        per_object = 1.0 - np.exp(-normalized * t_c)
+    overall = float((normalized * per_object).sum())
+    return overall, per_object

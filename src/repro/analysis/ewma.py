@@ -1,0 +1,49 @@
+"""Exponentially weighted moving average.
+
+A tiny, reusable EWMA with the semantics Colloid needs: the first sample
+initializes the state (no bias toward zero), subsequent samples blend with
+weight ``alpha``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Ewma:
+    """Scalar or vector EWMA filter."""
+
+    def __init__(self, alpha: float) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self._value: Optional[np.ndarray] = None
+
+    def update(self, sample: Union[float, np.ndarray]) -> np.ndarray:
+        """Fold in a sample and return the new smoothed value."""
+        arr = np.asarray(sample, dtype=float)
+        if self._value is None:
+            self._value = arr.copy()
+        else:
+            if arr.shape != self._value.shape:
+                raise ConfigurationError("sample shape changed mid-stream")
+            self._value = (1 - self.alpha) * self._value + self.alpha * arr
+        return self._value.copy()
+
+    @property
+    def value(self) -> Optional[np.ndarray]:
+        """Current smoothed value, or None before the first sample."""
+        return None if self._value is None else self._value.copy()
+
+    @property
+    def initialized(self) -> bool:
+        """Whether at least one sample has been folded in."""
+        return self._value is not None
+
+    def reset(self) -> None:
+        """Forget all state."""
+        self._value = None

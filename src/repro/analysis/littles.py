@@ -1,0 +1,41 @@
+"""Little's Law helpers.
+
+``L = O / R`` — the average latency of a stable queueing system equals its
+average occupancy divided by its average arrival rate, with no assumptions
+about arrival or service distributions (§3.1). These helpers keep the
+division safeguarded in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def littles_law_latency(occupancy: Union[float, np.ndarray],
+                        rate: Union[float, np.ndarray],
+                        fallback: Union[float, np.ndarray] = 0.0,
+                        min_rate: float = 1e-12) -> np.ndarray:
+    """Latency from occupancy and arrival rate; ``fallback`` where idle."""
+    occ = np.asarray(occupancy, dtype=float)
+    r = np.asarray(rate, dtype=float)
+    fb = np.broadcast_to(np.asarray(fallback, dtype=float), occ.shape)
+    if (r < 0).any() or (occ < 0).any():
+        raise ConfigurationError("occupancy and rate must be non-negative")
+    result = fb.copy()
+    active = r > min_rate
+    result[active] = occ[active] / r[active]
+    return result
+
+
+def littles_law_occupancy(latency: Union[float, np.ndarray],
+                          rate: Union[float, np.ndarray]) -> np.ndarray:
+    """Occupancy from latency and rate (the reverse application)."""
+    lat = np.asarray(latency, dtype=float)
+    r = np.asarray(rate, dtype=float)
+    if (lat < 0).any() or (r < 0).any():
+        raise ConfigurationError("latency and rate must be non-negative")
+    return lat * r

@@ -1,0 +1,53 @@
+"""Summary statistics for experiment time series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Basic descriptive statistics of a series."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+    n: int
+
+
+def summarize(series: Sequence[float],
+              tail_fraction: float = 1.0) -> Summary:
+    """Summarize (the tail of) a series.
+
+    Args:
+        series: The samples.
+        tail_fraction: Use only the last fraction of samples (steady-state
+            reporting uses e.g. 0.25).
+    """
+    if not 0 < tail_fraction <= 1:
+        raise ConfigurationError("tail_fraction must be in (0, 1]")
+    arr = np.asarray(series, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("empty series")
+    start = int(len(arr) * (1 - tail_fraction))
+    tail = arr[start:]
+    return Summary(
+        mean=float(tail.mean()),
+        minimum=float(tail.min()),
+        maximum=float(tail.max()),
+        std=float(tail.std()),
+        n=int(tail.size),
+    )
+
+
+def relative_gap(value: float, reference: float) -> float:
+    """``(reference - value) / reference`` — how far below reference."""
+    if reference == 0:
+        raise ConfigurationError("reference must be nonzero")
+    return (reference - value) / reference

@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+``python -m repro run`` drives a single simulation and prints (or
+exports) the results; ``python -m repro figure`` regenerates one of the
+paper's figures. Examples::
+
+    python -m repro run --system hemem+colloid --workload gups \\
+        --contention 3 --duration 10 --scale 0.125
+    python -m repro run --system memtis --workload cachelib \\
+        --csv out.csv
+    python -m repro figure fig5 --scale 0.0625
+    python -m repro calibrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+FIGURES = ("fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
+           "fig9", "fig10", "fig11", "overheads", "sensitivity")
+
+WORKLOADS = ("gups", "gapbs", "silo", "cachelib")
+
+SYSTEMS = ("hemem", "tpp", "memtis", "hemem+colloid", "tpp+colloid",
+           "memtis+colloid", "static", "batman", "carrefour",
+           "multitier-colloid")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Tiered Memory Management: Access "
+                     "Latency is the Key!' (Colloid, SOSP 2024)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("--system", choices=SYSTEMS, default="hemem+colloid")
+    run.add_argument("--workload", choices=WORKLOADS, default="gups")
+    run.add_argument("--contention", type=int, default=0,
+                     help="antagonist intensity (0-3+)")
+    run.add_argument("--duration", type=float, default=10.0,
+                     help="simulated seconds")
+    run.add_argument("--scale", type=float, default=0.125,
+                     help="geometry scale relative to the paper's 72 GB")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--object-bytes", type=int, default=64,
+                     help="GUPS object size")
+    run.add_argument("--csv", type=str, default=None,
+                     help="export the time series to this CSV path")
+    run.add_argument("--json", type=str, default=None,
+                     help="export the time series to this JSON path")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=FIGURES)
+    figure.add_argument("--scale", type=float, default=0.0625)
+    figure.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("calibrate",
+                   help="report the hardware model's calibration targets")
+
+    report = sub.add_parser(
+        "report", help="run the full evaluation and write a markdown "
+                       "report of measured tables"
+    )
+    report.add_argument("--out", type=str, default="results.md")
+    report.add_argument("--scale", type=float, default=0.0625)
+    report.add_argument("--seed", type=int, default=42)
+    report.add_argument("--section", action="append", default=None,
+                        help="run only sections whose title starts with "
+                             "this (repeatable)")
+    return parser
+
+
+def _build_workload(args):
+    from repro.workloads.cachelib import CacheLibWorkload
+    from repro.workloads.graph import GraphWorkload
+    from repro.workloads.gups import GupsWorkload
+    from repro.workloads.silo import SiloYcsbWorkload
+
+    if args.workload == "gups":
+        return GupsWorkload(scale=args.scale, seed=args.seed,
+                            object_bytes=args.object_bytes)
+    if args.workload == "gapbs":
+        return GraphWorkload.synthetic(scale=args.scale, seed=args.seed)
+    if args.workload == "silo":
+        return SiloYcsbWorkload(scale=args.scale, seed=args.seed)
+    return CacheLibWorkload(scale=args.scale, seed=args.seed)
+
+
+def _build_system(name: str):
+    from repro.core.multitier import MultiTierColloidSystem
+    from repro.experiments.common import make_system
+    from repro.memhw.topology import paper_testbed
+    from repro.tiering.batman import BatmanSystem
+    from repro.tiering.carrefour import CarrefourSystem
+    from repro.tiering.static import StaticPlacementSystem
+
+    if name == "static":
+        return StaticPlacementSystem()
+    if name == "batman":
+        tiers = paper_testbed().tiers
+        return BatmanSystem.from_bandwidths(
+            tiers[0].theoretical_bandwidth, tiers[1].theoretical_bandwidth
+        )
+    if name == "carrefour":
+        return CarrefourSystem()
+    if name == "multitier-colloid":
+        return MultiTierColloidSystem()
+    return make_system(name)
+
+
+def cmd_run(args) -> int:
+    """Handle ``repro run``: one simulation, printed summary."""
+    from repro.experiments.common import scaled_machine
+    from repro.runtime.export import to_csv, to_json
+    from repro.runtime.loop import SimulationLoop
+
+    workload = _build_workload(args)
+    loop = SimulationLoop(
+        machine=scaled_machine(args.scale),
+        workload=workload,
+        system=_build_system(args.system),
+        contention=args.contention,
+        seed=args.seed,
+    )
+    metrics = loop.run(duration_s=args.duration)
+    tail = max(1, len(metrics) // 4)
+    latency = metrics.latencies_ns[-tail:].mean(axis=0)
+    print(f"system        : {args.system}")
+    print(f"workload      : {workload.name} "
+          f"({workload.working_set_bytes / 1e9:.1f} GB working set)")
+    print(f"contention    : {args.contention}x")
+    print(f"throughput    : {metrics.steady_state_throughput():.2f} GB/s")
+    print("tier latencies: "
+          + "  ".join(f"{x:.0f} ns" for x in latency))
+    print(f"default share : {metrics.p_true[-tail:].mean():.1%}")
+    if args.csv:
+        print(f"wrote {to_csv(metrics, args.csv)}")
+    if args.json:
+        print(f"wrote {to_json(metrics, args.json)}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    """Handle ``repro figure``: regenerate one paper figure."""
+    from repro.experiments.common import ExperimentConfig
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    if args.name == "fig4":
+        print(module.format_rows(module.run()))
+        return 0
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    print(module.format_rows(module.run(config)))
+    return 0
+
+
+def cmd_calibrate() -> int:
+    """Handle ``repro calibrate``: print model-vs-paper anchors."""
+    from repro.memhw.calibration import calibration_report
+
+    report = calibration_report()
+    for group, entries in report.items():
+        print(group)
+        if isinstance(entries, dict) and "achieved" in entries:
+            print(f"  achieved={entries['achieved']} "
+                  f"target={entries['target']}")
+            continue
+        for key, entry in entries.items():
+            print(f"  {key}: achieved={entry['achieved']:.3f} "
+                  f"target={entry['target']:.3f}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Handle ``repro report``: run the evaluation, write markdown."""
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.report import write
+
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed,
+        migration_limit_bytes=8 * 1024 * 1024,
+        duration_caps={"hemem": 12.0, "memtis": 20.0, "tpp": 45.0},
+    )
+    path = write(args.out, config, sections=args.section,
+                 progress=lambda title: print(f"running: {title}"))
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return cmd_run(args)
+        if args.command == "figure":
+            return cmd_figure(args)
+        if args.command == "report":
+            return cmd_report(args)
+        return cmd_calibrate()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Colloid: latency-balancing tiered memory management (the paper's
+primary contribution).
+
+* :mod:`repro.core.measurement` — per-tier loaded-latency measurement from
+  CHA occupancy/rate counters via Little's Law with EWMA smoothing (§3.1).
+* :mod:`repro.core.shift` — Algorithm 2: the watermark binary search that
+  computes the desired shift in access probability, with resets for
+  dynamic workloads (§3.2).
+* :mod:`repro.core.limit` — the dynamic migration limit.
+* :mod:`repro.core.finder` — page-finding procedures per base system (§4).
+* :mod:`repro.core.controller` — Algorithm 1: the end-to-end per-quantum
+  decision loop.
+* :mod:`repro.core.integrate` — HeMem+Colloid, MEMTIS+Colloid and
+  TPP+Colloid, built by subclassing the baselines and replacing only their
+  placement policy, exactly as the paper's integrations do.
+* :mod:`repro.core.multitier` — the >2-tier generalization sketched in
+  §3.1.
+"""
+
+from repro.core.measurement import LatencyMonitor
+from repro.core.shift import ShiftComputer, DEFAULT_DELTA, DEFAULT_EPSILON
+from repro.core.limit import dynamic_migration_limit
+from repro.core.finder import BinnedPageFinder, HotListPageFinder
+from repro.core.controller import ColloidController, ColloidDecision
+from repro.core.integrate import (
+    HememColloidSystem,
+    MemtisColloidSystem,
+    TppColloidSystem,
+    with_colloid,
+)
+from repro.core.multitier import MultiTierBalancer, MultiTierColloidSystem
+
+__all__ = [
+    "LatencyMonitor",
+    "ShiftComputer",
+    "DEFAULT_DELTA",
+    "DEFAULT_EPSILON",
+    "dynamic_migration_limit",
+    "BinnedPageFinder",
+    "HotListPageFinder",
+    "ColloidController",
+    "ColloidDecision",
+    "HememColloidSystem",
+    "MemtisColloidSystem",
+    "TppColloidSystem",
+    "with_colloid",
+    "MultiTierBalancer",
+    "MultiTierColloidSystem",
+]

@@ -1,0 +1,41 @@
+"""Colloid's dynamic migration limit (§3.2).
+
+Near the equilibrium, a small desired shift over many tiny-probability
+pages could trigger a large volume of migration traffic, perturbing the
+system it is trying to stabilize. Colloid therefore caps each quantum's
+migration bytes at ``dp * (R_D + R_A)`` expressed in bytes over the
+quantum — the traffic perturbation the shift itself is worth — in addition
+to the system's static migration rate limit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import CACHELINE_BYTES
+
+
+def dynamic_migration_limit(dp: float, total_request_rate: float,
+                            quantum_ns: float,
+                            static_limit_bytes: int) -> int:
+    """Per-quantum migration byte budget (Algorithm 1, line 10).
+
+    Args:
+        dp: Desired shift in access probability (>= 0).
+        total_request_rate: R_D + R_A in requests/ns.
+        quantum_ns: Quantum duration.
+        static_limit_bytes: The underlying system's static per-quantum
+            migration limit M.
+
+    Returns:
+        ``min(dp * (R_D + R_A), M)`` converted to bytes per quantum.
+    """
+    if dp < 0:
+        raise ConfigurationError("dp must be non-negative")
+    if total_request_rate < 0:
+        raise ConfigurationError("request rate must be non-negative")
+    if quantum_ns <= 0:
+        raise ConfigurationError("quantum must be positive")
+    if static_limit_bytes <= 0:
+        raise ConfigurationError("static limit must be positive")
+    dynamic = dp * total_request_rate * CACHELINE_BYTES * quantum_ns
+    return int(min(dynamic, float(static_limit_bytes)))

@@ -1,0 +1,138 @@
+"""Generalization of latency balancing to more than two tiers (§3.1).
+
+The paper sketches the recursion: as long as tier latencies are unequal,
+shifting hot pages toward the lowest-latency tier reduces the average
+access latency, and the all-equal state is the equilibrium. This module
+implements that as a pairwise balancer: each quantum it finds the
+lowest- and highest-latency tiers and requests a shift of access
+probability from the slow tier to the fast one, sized by a proportional
+controller on the latency gap (with the same ``delta`` dead-band as
+Algorithm 2 so balanced systems hold still).
+
+It is exposed both standalone (for unit tests on synthetic latencies) and
+as a :class:`repro.tiering.base.TieringSystem` via
+:class:`MultiTierColloidSystem`, which reuses HeMem-style tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.measurement import DEFAULT_EWMA_ALPHA, LatencyMonitor
+from repro.core.shift import DEFAULT_DELTA
+from repro.errors import ConfigurationError
+from repro.pages.migration import MigrationPlan
+from repro.pages.selection import select_pages_by_probability
+from repro.tiering.base import QuantumContext, QuantumDecision
+from repro.tiering.hemem import HememSystem
+
+
+@dataclass(frozen=True)
+class PairwiseShift:
+    """One requested probability shift between two tiers."""
+
+    src_tier: int
+    dst_tier: int
+    dp: float
+
+
+class MultiTierBalancer:
+    """Stateless pairwise latency-balancing policy."""
+
+    def __init__(self, delta: float = DEFAULT_DELTA,
+                 gain: float = 0.25, max_dp: float = 0.10) -> None:
+        if not 0 < delta < 1:
+            raise ConfigurationError("delta must be in (0, 1)")
+        if not 0 < gain <= 1:
+            raise ConfigurationError("gain must be in (0, 1]")
+        if not 0 < max_dp <= 1:
+            raise ConfigurationError("max_dp must be in (0, 1]")
+        self.delta = float(delta)
+        self.gain = float(gain)
+        self.max_dp = float(max_dp)
+
+    def compute(self, latencies_ns: Sequence[float],
+                tier_shares: Sequence[float]) -> Optional[PairwiseShift]:
+        """Shift from the slowest tier to the fastest, or None if balanced.
+
+        Args:
+            latencies_ns: Measured per-tier latencies.
+            tier_shares: Current per-tier access-probability shares (used
+                to cap the shift at what the source tier actually holds).
+        """
+        lat = np.asarray(latencies_ns, dtype=float)
+        shares = np.asarray(tier_shares, dtype=float)
+        if lat.shape != shares.shape or lat.ndim != 1 or len(lat) < 2:
+            raise ConfigurationError("need aligned per-tier vectors (>=2)")
+        if (lat <= 0).any():
+            raise ConfigurationError("latencies must be positive")
+        fast = int(np.argmin(lat))
+        slow = int(np.argmax(lat))
+        if lat[slow] - lat[fast] < self.delta * lat[fast]:
+            return None
+        gap = (lat[slow] - lat[fast]) / lat[fast]
+        dp = min(self.gain * gap, self.max_dp, float(shares[slow]))
+        if dp <= 0:
+            return None
+        return PairwiseShift(src_tier=slow, dst_tier=fast, dp=dp)
+
+
+class MultiTierColloidSystem(HememSystem):
+    """Latency balancing over N tiers, on HeMem-style tracking."""
+
+    name = "multitier-colloid"
+
+    def __init__(self, delta: float = DEFAULT_DELTA, gain: float = 0.25,
+                 ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+                 **hemem_kwargs) -> None:
+        super().__init__(**hemem_kwargs)
+        self._balancer = MultiTierBalancer(delta=delta, gain=gain)
+        self._ewma_alpha = ewma_alpha
+        self._monitor: Optional[LatencyMonitor] = None
+
+    def on_configure(self, machine, static_limit_bytes: int,
+                     quantum_ns: float) -> None:
+        self._monitor = LatencyMonitor(
+            [t.unloaded_latency_ns for t in machine.tiers],
+            ewma_alpha=self._ewma_alpha,
+        )
+
+    def quantum(self, ctx: QuantumContext) -> QuantumDecision:
+        self.update_tracking(ctx)
+        if self._monitor is None:
+            raise ConfigurationError("system not configured")
+        self._monitor.update(ctx.cha)
+        if ctx.time_s - self._last_action_s < self.action_period_s:
+            return QuantumDecision.idle()
+        self._last_action_s = ctx.time_s
+
+        rates = self._monitor.smoothed_rates
+        total_rate = float(rates.sum())
+        shares = rates / total_rate if total_rate > 0 else (
+            np.full(self._monitor.n_tiers, 0.0)
+        )
+        shift = self._balancer.compute(self._monitor.latencies_ns(), shares)
+        if shift is None:
+            return QuantumDecision.idle()
+
+        placement = ctx.placement
+        probs = self.counters.access_probabilities()
+        sizes = placement.pages.sizes_bytes
+        candidates = placement.pages.pages_in_tier(shift.src_tier)
+        chosen = select_pages_by_probability(
+            probs, sizes, candidates, shift.dp, byte_budget=2**62
+        )
+        if chosen.size == 0:
+            return QuantumDecision.idle()
+        # Respect destination capacity by trimming the selection.
+        free = placement.free_bytes(shift.dst_tier)
+        cum = np.cumsum(sizes[chosen])
+        fit = int(np.searchsorted(cum, free, side="right"))
+        chosen = chosen[:fit]
+        self.account("plans", 1)
+        return QuantumDecision(plan=MigrationPlan(
+            chosen, np.full(len(chosen), shift.dst_tier, dtype=np.int64)
+        ))

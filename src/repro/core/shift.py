@@ -1,0 +1,95 @@
+"""Algorithm 2: computing the desired shift in access probability (§3.2).
+
+A binary-search over ``p`` (the default tier's share of access
+probability) using two watermarks:
+
+* ``p_hi`` upper-bounds the region where the default tier *may* still be
+  faster;
+* ``p_lo`` lower-bounds the region where it is *definitely* faster.
+
+Each quantum tightens the watermark on the side the latency comparison
+resolves, and the controller steers ``p`` toward the midpoint. Two
+invariants hold for static workloads: ``p_lo <= p <= p_hi`` and
+``p_lo <= p* <= p_hi`` (``p*`` the equilibrium), so the gap shrinks and
+``p`` converges to ``p*`` (Figure 4a).
+
+Dynamic workloads can violate either invariant: a jump in ``p`` is
+self-healing because the watermarks are updated from the *measured* ``p``
+before the midpoint is computed (Figure 4b); a jump in ``p*`` is detected
+when the watermarks have collapsed (gap < ``epsilon``) while latencies are
+still unbalanced (gap > ``delta`` criterion), and the stale watermark is
+reset (Figure 4c).
+
+Parameter trade-offs (paper text): larger ``epsilon`` detects workload
+changes faster but is less stable; larger ``delta`` is more stable but
+settles further from the optimum.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Paper defaults (§5): epsilon = 0.01, delta = 0.05.
+DEFAULT_EPSILON = 0.01
+DEFAULT_DELTA = 0.05
+
+
+class ShiftComputer:
+    """Stateful implementation of Algorithm 2."""
+
+    def __init__(self, delta: float = DEFAULT_DELTA,
+                 epsilon: float = DEFAULT_EPSILON,
+                 enable_resets: bool = True) -> None:
+        if not 0 < delta < 1:
+            raise ConfigurationError("delta must be in (0, 1)")
+        if not 0 < epsilon < 1:
+            raise ConfigurationError("epsilon must be in (0, 1)")
+        self.delta = float(delta)
+        self.epsilon = float(epsilon)
+        #: Ablation hook: with resets disabled, a moved equilibrium
+        #: outside the collapsed bracket is never recovered (Figure 4c's
+        #: failure mode).
+        self.enable_resets = bool(enable_resets)
+        self.p_lo = 0.0
+        self.p_hi = 1.0
+        self.resets = 0
+
+    def compute(self, p: float, latency_default: float,
+                latency_alternate: float) -> float:
+        """One quantum of Algorithm 2; returns the desired |shift| in p.
+
+        Args:
+            p: Measured default-tier access-probability share.
+            latency_default: Measured default-tier latency (L_D).
+            latency_alternate: Measured alternate-tier latency (L_A).
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"p must be in [0, 1], got {p}")
+        if latency_default <= 0 or latency_alternate <= 0:
+            raise ConfigurationError("latencies must be positive")
+        if abs(latency_default - latency_alternate) < (
+                self.delta * latency_default):
+            return 0.0
+        if latency_default < latency_alternate:
+            self.p_lo = p
+        else:
+            self.p_hi = p
+        if self.enable_resets and self.p_hi < self.p_lo + self.epsilon:
+            # Watermarks collapsed but latencies are still unbalanced:
+            # the equilibrium moved outside the bracket; reset the stale
+            # side (Figure 4c).
+            if latency_default < latency_alternate:
+                self.p_hi = 1.0
+            else:
+                self.p_lo = 0.0
+            self.resets += 1
+        return abs((self.p_lo + self.p_hi) / 2.0 - p)
+
+    def target_p(self) -> float:
+        """Midpoint of the current bracket — where the controller steers."""
+        return (self.p_lo + self.p_hi) / 2.0
+
+    def reset(self) -> None:
+        """Reinitialize the bracket to [0, 1]."""
+        self.p_lo = 0.0
+        self.p_hi = 1.0

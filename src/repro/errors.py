@@ -1,0 +1,32 @@
+"""Exception hierarchy for the Colloid reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single clause while still letting
+programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class CapacityError(ReproError):
+    """A placement or migration would exceed a tier's capacity."""
+
+
+class ConvergenceError(ReproError):
+    """A numerical fixed-point or calibration routine failed to converge."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class CalibrationError(ReproError):
+    """Hardware-model calibration could not satisfy its targets."""

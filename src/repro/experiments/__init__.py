@@ -1,0 +1,41 @@
+"""Experiment harnesses — one module per paper figure.
+
+Each module exposes ``run(...)`` returning a typed result and a
+``format_rows(result)`` helper that prints the same rows/series the paper
+reports. The benchmarks under ``benchmarks/`` call these with a reduced
+grid; running a module as a script executes the full grid.
+
+Figure index (see DESIGN.md for the complete mapping):
+
+* :mod:`repro.experiments.fig1` — baseline throughput vs best-case.
+* :mod:`repro.experiments.fig2` — latency and bandwidth-split roots.
+* :mod:`repro.experiments.fig4` — ComputeShift convergence traces.
+* :mod:`repro.experiments.fig5` — Colloid throughput vs best-case.
+* :mod:`repro.experiments.fig6` — Colloid bandwidth split / latency gap.
+* :mod:`repro.experiments.fig7` — alternate-latency sensitivity heatmap.
+* :mod:`repro.experiments.fig8` — object-size sensitivity heatmap.
+* :mod:`repro.experiments.fig9` — convergence time series.
+* :mod:`repro.experiments.fig10` — migration-rate time series.
+* :mod:`repro.experiments.fig11` — real-application benchmarks.
+* :mod:`repro.experiments.overheads` — CPU overhead accounting.
+* :mod:`repro.experiments.sensitivity` — epsilon/delta sweeps
+  (extended-version content).
+* :mod:`repro.experiments.appendix` — core-count and read/write-ratio
+  sweeps (extended-version content).
+"""
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    best_case_for,
+    make_system,
+    run_gups_steady_state,
+    scaled_machine,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "best_case_for",
+    "make_system",
+    "run_gups_steady_state",
+    "scaled_machine",
+]

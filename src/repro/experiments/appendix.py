@@ -1,0 +1,111 @@
+"""Extended-version sensitivity sweeps: core counts and read/write ratios.
+
+§5.1 of the paper runs sensitivity analyses "with varying number of
+application cores and varying read/write ratios", with the results in the
+extended version. Both knobs move the optimal operating point:
+
+* more application cores → more memory pressure → the default tier
+  saturates at lower contention → Colloid helps earlier and more;
+* write-heavier mixes → more wire traffic per access on the simplex
+  default tier (writebacks share its channels) while the duplex alternate
+  link absorbs writebacks for free → offloading becomes relatively more
+  attractive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_gups,
+    run_gups_steady_state,
+)
+
+DEFAULT_CORE_COUNTS = (5, 10, 15, 25)
+DEFAULT_READ_FRACTIONS = (1.0, 0.75, 0.5)
+DEFAULT_INTENSITIES = (0, 3)
+
+
+@dataclass(frozen=True)
+class AppendixResult:
+    """Colloid improvement over HeMem, keyed by the swept parameter."""
+
+    core_counts: Tuple[int, ...]
+    read_fractions: Tuple[float, ...]
+    intensities: Tuple[int, ...]
+    by_cores: Dict[Tuple[int, int], float]       # (cores, intensity)
+    by_read_fraction: Dict[Tuple[float, int], float]
+
+
+def _improvement(config: ExperimentConfig, intensity: int,
+                 **gups_overrides) -> float:
+    base = run_gups_steady_state(
+        "hemem", intensity, config,
+        workload=make_gups(config, **gups_overrides),
+    )
+    colloid = run_gups_steady_state(
+        "hemem+colloid", intensity, config,
+        workload=make_gups(config, **gups_overrides),
+    )
+    return colloid.throughput / base.throughput
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+        read_fractions: Sequence[float] = DEFAULT_READ_FRACTIONS,
+        intensities: Sequence[int] = DEFAULT_INTENSITIES
+        ) -> AppendixResult:
+    """Run both extended-version sweeps."""
+    if config is None:
+        config = ExperimentConfig.from_env()
+    by_cores: Dict[Tuple[int, int], float] = {}
+    by_rf: Dict[Tuple[float, int], float] = {}
+    for intensity in intensities:
+        for cores in core_counts:
+            by_cores[(cores, intensity)] = _improvement(
+                config, intensity, n_cores=cores
+            )
+        for rf in read_fractions:
+            by_rf[(rf, intensity)] = _improvement(
+                config, intensity, read_fraction=rf
+            )
+    return AppendixResult(
+        core_counts=tuple(core_counts),
+        read_fractions=tuple(read_fractions),
+        intensities=tuple(intensities),
+        by_cores=by_cores,
+        by_read_fraction=by_rf,
+    )
+
+
+def format_rows(result: AppendixResult) -> str:
+    """Both sweeps as aligned tables."""
+    core_headers = ["cores"] + [f"{i}x" for i in result.intensities]
+    core_rows = []
+    for cores in result.core_counts:
+        row = [str(cores)]
+        for intensity in result.intensities:
+            row.append(f"{result.by_cores[(cores, intensity)]:.2f}")
+        core_rows.append(row)
+    rf_headers = ["read fraction"] + [f"{i}x" for i in result.intensities]
+    rf_rows = []
+    for rf in result.read_fractions:
+        row = [f"{rf:.2f}"]
+        for intensity in result.intensities:
+            row.append(
+                f"{result.by_read_fraction[(rf, intensity)]:.2f}"
+            )
+        rf_rows.append(row)
+    return (
+        "Colloid improvement vs application core count (x)\n"
+        + format_table(core_headers, core_rows)
+        + "\n\nColloid improvement vs read fraction (x)\n"
+        + format_table(rf_headers, rf_rows)
+    )
+
+
+if __name__ == "__main__":
+    print(format_rows(run()))

@@ -1,0 +1,220 @@
+"""Shared experiment configuration and helpers.
+
+Experiments run the paper's geometry at a configurable ``scale``: tier
+capacities and working sets shrink together, leaving every ratio (hot set
+vs default tier, watermarks, probabilities) unchanged. ``scale=1.0``
+reproduces the paper's 72 GB working set at 2 MiB bookkeeping granularity
+(36 864 pages); the default 0.125 keeps full-grid runs tractable while
+preserving every reported shape.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.integrate import (
+    HememColloidSystem,
+    MemtisColloidSystem,
+    TppColloidSystem,
+)
+from repro.errors import ConfigurationError
+from repro.memhw.antagonist import antagonist_core_group
+from repro.memhw.fixedpoint import EquilibriumSolver
+from repro.memhw.topology import Machine, paper_testbed
+from repro.pages.oracle import BestCaseResult, best_case_sweep
+from repro.runtime.experiment import SteadyStateResult, run_steady_state
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.base import TieringSystem
+from repro.tiering.hemem import HememSystem
+from repro.tiering.memtis import MemtisSystem
+from repro.tiering.tpp import TppSystem
+from repro.workloads.base import Workload
+from repro.workloads.gups import GupsWorkload
+
+#: Environment variable overriding the experiment scale.
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+#: All baseline system names, in the paper's presentation order.
+BASELINE_SYSTEMS = ("hemem", "tpp", "memtis")
+
+#: Steady-state duration caps per system (seconds of simulated time) —
+#: TPP converges orders of magnitude slower by design.
+MAX_DURATION_S: Dict[str, float] = {
+    "hemem": 30.0,
+    "memtis": 45.0,
+    "tpp": 90.0,
+}
+
+
+def default_scale() -> float:
+    """Experiment scale: 0.125 unless overridden via ``REPRO_SCALE``."""
+    value = os.environ.get(SCALE_ENV_VAR)
+    if value is None:
+        return 0.125
+    scale = float(value)
+    if scale <= 0:
+        raise ConfigurationError(f"{SCALE_ENV_VAR} must be positive")
+    return scale
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared across all figure harnesses.
+
+    The migration limit scales with the geometry by default so that
+    convergence *times* (hot-set size over migration rate) match the
+    paper's regardless of the experiment scale.
+    """
+
+    scale: float = 0.125
+    quantum_ms: float = 10.0
+    seed: int = 42
+    cha_noise_sigma: float = 0.01
+    n_runs: int = 1
+    migration_limit_bytes: Optional[int] = None
+    duration_caps: Optional[Dict[str, float]] = None
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExperimentConfig":
+        """Build the default config honoring ``REPRO_SCALE``."""
+        cfg = cls(scale=default_scale())
+        return replace(cfg, **overrides) if overrides else cfg
+
+    def duration_cap(self, base_system: str) -> float:
+        """Steady-state duration cap for a base system."""
+        if self.duration_caps and base_system in self.duration_caps:
+            return self.duration_caps[base_system]
+        return MAX_DURATION_S[base_system]
+
+    def resolved_migration_limit(self) -> int:
+        """Per-quantum migration byte budget at this scale."""
+        if self.migration_limit_bytes is not None:
+            return self.migration_limit_bytes
+        from repro.runtime.loop import DEFAULT_MIGRATION_LIMIT_PER_QUANTUM
+
+        return max(4096,
+                   int(DEFAULT_MIGRATION_LIMIT_PER_QUANTUM * self.scale))
+
+
+def scaled_machine(scale: float, base: Optional[Machine] = None) -> Machine:
+    """The paper testbed with tier capacities scaled by ``scale``."""
+    machine = base if base is not None else paper_testbed()
+    return machine.with_tiers(
+        tuple(t.scaled_capacity(scale) for t in machine.tiers)
+    )
+
+
+def make_system(name: str, **kwargs) -> TieringSystem:
+    """Instantiate a tiering system by experiment name.
+
+    Names: ``hemem``, ``memtis``, ``tpp`` and their ``+colloid``
+    variants.
+    """
+    factories = {
+        "hemem": HememSystem,
+        "memtis": MemtisSystem,
+        "tpp": TppSystem,
+        "hemem+colloid": HememColloidSystem,
+        "memtis+colloid": MemtisColloidSystem,
+        "tpp+colloid": TppColloidSystem,
+    }
+    if name not in factories:
+        raise ConfigurationError(
+            f"unknown system {name!r}; expected one of {sorted(factories)}"
+        )
+    return factories[name](**kwargs)
+
+
+def base_system_of(name: str) -> str:
+    """Strip a ``+colloid`` suffix."""
+    return name.split("+")[0]
+
+
+def make_gups(config: ExperimentConfig, **overrides) -> GupsWorkload:
+    """The §2.1 GUPS workload at the experiment scale."""
+    kwargs = dict(scale=config.scale, seed=config.seed)
+    kwargs.update(overrides)
+    return GupsWorkload(**kwargs)
+
+
+def run_gups_steady_state(
+    system_name: str,
+    intensity: int,
+    config: ExperimentConfig,
+    machine: Optional[Machine] = None,
+    workload: Optional[Workload] = None,
+    max_duration_s: Optional[float] = None,
+    system_kwargs: Optional[dict] = None,
+) -> SteadyStateResult:
+    """Run one (system, intensity) cell to steady state."""
+    if machine is None:
+        machine = scaled_machine(config.scale)
+    if workload is None:
+        workload = make_gups(config)
+    system = make_system(system_name, **(system_kwargs or {}))
+    loop = SimulationLoop(
+        machine=machine,
+        workload=workload,
+        system=system,
+        quantum_ms=config.quantum_ms,
+        contention=intensity,
+        cha_noise_sigma=config.cha_noise_sigma,
+        migration_limit_bytes=config.resolved_migration_limit(),
+        seed=config.seed,
+    )
+    if max_duration_s is None:
+        max_duration_s = config.duration_cap(base_system_of(system_name))
+    # Placement convergence is rate-limited and can drift slowly enough
+    # to fool the chunk-mean settle detector; insist on most of the
+    # duration cap before accepting steady state.
+    min_duration_s = max(3.0, 0.7 * max_duration_s)
+    return run_steady_state(loop, min_duration_s=min_duration_s,
+                            max_duration_s=max_duration_s)
+
+
+def best_case_for(
+    intensity: int,
+    config: ExperimentConfig,
+    machine: Optional[Machine] = None,
+    workload: Optional[Workload] = None,
+) -> BestCaseResult:
+    """The paper's best-case sweep for one contention level."""
+    if machine is None:
+        machine = scaled_machine(config.scale)
+    if workload is None:
+        workload = make_gups(config)
+    solver = EquilibriumSolver(machine.tiers)
+    antagonist = antagonist_core_group(intensity, machine.antagonist)
+    return best_case_sweep(
+        solver=solver,
+        app=workload.core_group(),
+        access_probs=workload.access_probabilities(),
+        hot_mask=workload.effective_hot_mask(),
+        page_sizes=np.full(workload.n_pages, workload.page_bytes,
+                           dtype=np.int64),
+        default_capacity=machine.tiers[0].capacity_bytes,
+        pinned=[(antagonist, 0)],
+        rng=np.random.default_rng(config.seed),
+    )
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text aligned table used by every figure's ``format_rows``."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_line = "  ".join(
+        h.ljust(w) for h, w in zip(map(str, headers), widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(
+            str(cell).ljust(w) for cell, w in zip(row, widths)
+        ))
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Figure 1: baseline GUPS throughput vs best-case under contention.
+
+The paper's headline motivation: HeMem/TPP/MEMTIS match the best-case at
+0x memory-interconnect contention but fall up to 2.3x/2.36x/2.46x behind
+at 3x, because they keep packing the hot set into the default tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    BASELINE_SYSTEMS,
+    ExperimentConfig,
+    best_case_for,
+    format_table,
+    run_gups_steady_state,
+)
+
+DEFAULT_INTENSITIES = (0, 1, 2, 3)
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Throughputs (GB/s of demand reads) per system and intensity.
+
+    When run with ``config.n_runs > 1``, ``throughput`` holds the mean
+    across runs and ``throughput_range`` the (min, max) error bars, as
+    in the paper's Figure 1 (mean of 3 runs with min/max bars).
+    """
+
+    intensities: Tuple[int, ...]
+    systems: Tuple[str, ...]
+    throughput: Dict[Tuple[str, int], float]
+    best_case: Dict[int, float]
+    throughput_range: Dict[Tuple[str, int], Tuple[float, float]] = None
+
+    def gap(self, system: str, intensity: int) -> float:
+        """Best-case / system throughput ratio (paper's 'Nx worse')."""
+        return self.best_case[intensity] / self.throughput[(system,
+                                                            intensity)]
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        intensities: Sequence[int] = DEFAULT_INTENSITIES,
+        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig1Result:
+    """Run the Figure 1 grid (``config.n_runs`` repetitions per cell)."""
+    if config is None:
+        config = ExperimentConfig.from_env()
+    throughput: Dict[Tuple[str, int], float] = {}
+    ranges: Dict[Tuple[str, int], Tuple[float, float]] = {}
+    best: Dict[int, float] = {}
+    for intensity in intensities:
+        best[intensity] = best_case_for(intensity, config).throughput
+        for system in systems:
+            values = []
+            for run_idx in range(max(1, config.n_runs)):
+                from dataclasses import replace
+
+                cell_config = replace(config, seed=config.seed + run_idx)
+                result = run_gups_steady_state(system, intensity,
+                                               cell_config)
+                values.append(result.throughput)
+            throughput[(system, intensity)] = sum(values) / len(values)
+            ranges[(system, intensity)] = (min(values), max(values))
+    return Fig1Result(
+        intensities=tuple(intensities),
+        systems=tuple(systems),
+        throughput=throughput,
+        best_case=best,
+        throughput_range=ranges,
+    )
+
+
+def format_rows(result: Fig1Result) -> str:
+    """The Figure 1 bars as a table (throughput in GB/s, gap vs best)."""
+    headers = ["intensity", "best-case"] + [
+        f"{s} (gap)" for s in result.systems
+    ]
+    rows = []
+    for intensity in result.intensities:
+        row = [f"{intensity}x", f"{result.best_case[intensity]:.1f}"]
+        for system in result.systems:
+            t = result.throughput[(system, intensity)]
+            cell = f"{t:.1f} ({result.gap(system, intensity):.2f}x)"
+            lo, hi = result.throughput_range[(system, intensity)]
+            if hi - lo > 1e-9:
+                cell += f" [{lo:.1f}-{hi:.1f}]"
+            row.append(cell)
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+if __name__ == "__main__":
+    print(format_rows(run()))

@@ -1,0 +1,129 @@
+"""Figure 10: migration rate over time, HeMem vs HeMem+Colloid.
+
+After a workload change both variants spike to their peak migration rate;
+HeMem+Colloid's rate then tapers more gradually because the dynamic
+migration limit shrinks with the remaining shift ``dp`` as the system
+approaches the equilibrium. HeMem+Colloid never exceeds HeMem's peak
+rate, and its steady-state migration trickle stays a negligible fraction
+of application throughput (<0.7% in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_gups,
+    make_system,
+    scaled_machine,
+)
+from repro.runtime.loop import SimulationLoop
+from repro.workloads.dynamic import HotSetShiftWorkload
+
+DEFAULT_SCENARIOS = ("hotshift-0x", "contention")
+
+
+@dataclass(frozen=True)
+class MigrationTrace:
+    """Per-second migration rate (bytes/s) and throughput (GB/s)."""
+
+    times_s: np.ndarray
+    migration_rate: np.ndarray
+    throughput: np.ndarray
+
+    @property
+    def peak_rate(self) -> float:
+        """Peak per-second migration rate."""
+        return float(self.migration_rate.max())
+
+    def steady_fraction(self) -> float:
+        """Steady-state migration traffic over application throughput."""
+        tail = max(1, len(self.times_s) // 5)
+        mig = self.migration_rate[-tail:].mean()
+        app = self.throughput[-tail:].mean() * 1e9  # GB/s -> B/s
+        return float(mig / app) if app > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Traces keyed (system, scenario)."""
+
+    scenarios: Tuple[str, ...]
+    systems: Tuple[str, ...]
+    traces: Dict[Tuple[str, str], MigrationTrace]
+
+
+def run_one(system_name: str, scenario: str,
+            config: ExperimentConfig,
+            shift_s: float = 10.0,
+            duration_s: float = 25.0) -> MigrationTrace:
+    machine = scaled_machine(config.scale)
+    gups = make_gups(config)
+    if scenario == "contention":
+        workload = gups
+        contention = lambda t: 3 if t >= shift_s else 0
+    elif scenario == "hotshift-3x":
+        workload = HotSetShiftWorkload(gups, [shift_s])
+        contention = 3
+    else:
+        workload = HotSetShiftWorkload(gups, [shift_s])
+        contention = 0
+    loop = SimulationLoop(
+        machine=machine,
+        workload=workload,
+        system=make_system(system_name),
+        quantum_ms=config.quantum_ms,
+        contention=contention,
+        cha_noise_sigma=config.cha_noise_sigma,
+        migration_limit_bytes=config.resolved_migration_limit(),
+        seed=config.seed,
+    )
+    metrics = loop.run(duration_s=duration_s)
+    seconds = np.floor(metrics.time_s).astype(int)
+    unique = np.unique(seconds)
+    mig = np.array([
+        metrics.migration_bytes[seconds == s].sum() for s in unique
+    ], dtype=float)
+    thr = np.array([
+        metrics.throughput[seconds == s].mean() for s in unique
+    ])
+    return MigrationTrace(times_s=unique.astype(float),
+                          migration_rate=mig, throughput=thr)
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        scenarios: Sequence[str] = DEFAULT_SCENARIOS) -> Fig10Result:
+    if config is None:
+        config = ExperimentConfig.from_env()
+    systems = ("hemem", "hemem+colloid")
+    traces: Dict[Tuple[str, str], MigrationTrace] = {}
+    for scenario in scenarios:
+        for system in systems:
+            traces[(system, scenario)] = run_one(system, scenario, config)
+    return Fig10Result(scenarios=tuple(scenarios), systems=systems,
+                       traces=traces)
+
+
+def format_rows(result: Fig10Result) -> str:
+    headers = ["system", "scenario", "peak rate (MB/s)",
+               "steady mig/app (%)"]
+    rows = []
+    for scenario in result.scenarios:
+        for system in result.systems:
+            trace = result.traces[(system, scenario)]
+            rows.append([
+                system,
+                scenario,
+                f"{trace.peak_rate / 1e6:.0f}",
+                f"{trace.steady_fraction() * 100:.2f}",
+            ])
+    return format_table(headers, rows)
+
+
+if __name__ == "__main__":
+    print(format_rows(run()))

@@ -1,0 +1,116 @@
+"""Figure 2: root-causing the baseline gap.
+
+(a) Under contention, the default tier's loaded latency exceeds the
+alternate tier's (2.5x/3.8x/5x inflation at 1x/2x/3x in the paper's
+setup). (b) The baselines keep >75-90% of application bandwidth on the
+default tier regardless, while the best-case shifts it to the alternate
+tier as contention grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import (
+    BASELINE_SYSTEMS,
+    ExperimentConfig,
+    best_case_for,
+    format_table,
+    run_gups_steady_state,
+)
+
+DEFAULT_INTENSITIES = (0, 1, 2, 3)
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Per-system latencies and bandwidth splits across intensities."""
+
+    intensities: Tuple[int, ...]
+    systems: Tuple[str, ...]
+    #: (system, intensity) -> (L_D, L_A) CPU-observed ns, steady state.
+    latencies: Dict[Tuple[str, int], Tuple[float, float]]
+    #: (system, intensity) -> default-tier share of app bandwidth.
+    default_share: Dict[Tuple[str, int], float]
+    #: intensity -> best-case default-tier share of app bandwidth.
+    best_default_share: Dict[int, float]
+    #: default-tier unloaded CPU latency, for inflation factors.
+    unloaded_default_ns: float
+
+    def inflation(self, system: str, intensity: int) -> float:
+        """Default-tier latency inflation over the unloaded latency."""
+        return self.latencies[(system, intensity)][0] / (
+            self.unloaded_default_ns
+        )
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        intensities: Sequence[int] = DEFAULT_INTENSITIES,
+        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig2Result:
+    """Run the Figure 2 grid (baselines only, as in the paper)."""
+    if config is None:
+        config = ExperimentConfig.from_env()
+    latencies: Dict[Tuple[str, int], Tuple[float, float]] = {}
+    share: Dict[Tuple[str, int], float] = {}
+    best_share: Dict[int, float] = {}
+    for intensity in intensities:
+        best = best_case_for(intensity, config)
+        eq = best.best.equilibrium
+        app_bw = eq.app_tier_read_rate
+        total = float(app_bw.sum())
+        best_share[intensity] = float(app_bw[0]) / total if total else 0.0
+        for system in systems:
+            result = run_gups_steady_state(system, intensity, config)
+            metrics = result.metrics
+            tail = max(1, len(metrics) // 4)
+            lat = metrics.latencies_ns[-tail:].mean(axis=0)
+            latencies[(system, intensity)] = (float(lat[0]), float(lat[1]))
+            bw = metrics.app_tier_bandwidth[-tail:].mean(axis=0)
+            total_bw = float(bw.sum())
+            share[(system, intensity)] = (
+                float(bw[0]) / total_bw if total_bw else 0.0
+            )
+    return Fig2Result(
+        intensities=tuple(intensities),
+        systems=tuple(systems),
+        latencies=latencies,
+        default_share=share,
+        best_default_share=best_share,
+        unloaded_default_ns=70.0,
+    )
+
+
+def format_rows(result: Fig2Result) -> str:
+    """Both panels as tables."""
+    lat_headers = ["intensity"] + [
+        f"{s} L_D/L_A (infl)" for s in result.systems
+    ]
+    lat_rows = []
+    for i in result.intensities:
+        row = [f"{i}x"]
+        for s in result.systems:
+            l_d, l_a = result.latencies[(s, i)]
+            row.append(
+                f"{l_d:.0f}/{l_a:.0f} ns ({result.inflation(s, i):.1f}x)"
+            )
+        lat_rows.append(row)
+    bw_headers = ["intensity", "best-case"] + list(result.systems)
+    bw_rows = []
+    for i in result.intensities:
+        row = [f"{i}x", f"{result.best_default_share[i]:.0%}"]
+        for s in result.systems:
+            row.append(f"{result.default_share[(s, i)]:.0%}")
+        bw_rows.append(row)
+    return (
+        "(a) steady-state tier latencies\n"
+        + format_table(lat_headers, lat_rows)
+        + "\n\n(b) default-tier share of application bandwidth\n"
+        + format_table(bw_headers, bw_rows)
+    )
+
+
+if __name__ == "__main__":
+    print(format_rows(run()))

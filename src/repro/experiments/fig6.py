@@ -1,0 +1,111 @@
+"""Figure 6: why Colloid wins.
+
+(a) With Colloid, each system's application bandwidth split across tiers
+tracks the best-case placement: almost everything on the default tier at
+0x, shifting to the alternate tier as contention grows. (b) Colloid
+shrinks the latency gap between the tiers relative to Figure 2(a) — to
+zero when a balanced equilibrium exists, and substantially otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    BASELINE_SYSTEMS,
+    ExperimentConfig,
+    best_case_for,
+    format_table,
+    run_gups_steady_state,
+)
+
+DEFAULT_INTENSITIES = (0, 1, 2, 3)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Bandwidth splits and latency gaps for the Colloid systems."""
+
+    intensities: Tuple[int, ...]
+    base_systems: Tuple[str, ...]
+    #: (base, intensity) -> default-tier share of app bandwidth (+colloid).
+    default_share: Dict[Tuple[str, int], float]
+    best_default_share: Dict[int, float]
+    #: (base, intensity) -> (L_D, L_A) with Colloid, CPU ns.
+    latencies: Dict[Tuple[str, int], Tuple[float, float]]
+
+    def latency_ratio(self, base: str, intensity: int) -> float:
+        """L_D / L_A with Colloid (compare with Figure 2a's ratios)."""
+        l_d, l_a = self.latencies[(base, intensity)]
+        return l_d / l_a
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        intensities: Sequence[int] = DEFAULT_INTENSITIES,
+        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig6Result:
+    if config is None:
+        config = ExperimentConfig.from_env()
+    share: Dict[Tuple[str, int], float] = {}
+    best_share: Dict[int, float] = {}
+    latencies: Dict[Tuple[str, int], Tuple[float, float]] = {}
+    for intensity in intensities:
+        best = best_case_for(intensity, config)
+        bw = best.best.equilibrium.app_tier_read_rate
+        total = float(bw.sum())
+        best_share[intensity] = float(bw[0]) / total if total else 0.0
+        for base in systems:
+            result = run_gups_steady_state(
+                f"{base}+colloid", intensity, config
+            )
+            metrics = result.metrics
+            tail = max(1, len(metrics) // 4)
+            app_bw = metrics.app_tier_bandwidth[-tail:].mean(axis=0)
+            total_bw = float(app_bw.sum())
+            share[(base, intensity)] = (
+                float(app_bw[0]) / total_bw if total_bw else 0.0
+            )
+            lat = metrics.latencies_ns[-tail:].mean(axis=0)
+            latencies[(base, intensity)] = (float(lat[0]), float(lat[1]))
+    return Fig6Result(
+        intensities=tuple(intensities),
+        base_systems=tuple(systems),
+        default_share=share,
+        best_default_share=best_share,
+        latencies=latencies,
+    )
+
+
+def format_rows(result: Fig6Result) -> str:
+    bw_headers = ["intensity", "best-case"] + [
+        f"{s}+colloid" for s in result.base_systems
+    ]
+    bw_rows = []
+    for i in result.intensities:
+        row = [f"{i}x", f"{result.best_default_share[i]:.0%}"]
+        for s in result.base_systems:
+            row.append(f"{result.default_share[(s, i)]:.0%}")
+        bw_rows.append(row)
+    lat_headers = ["intensity"] + [
+        f"{s}+colloid L_D/L_A (ratio)" for s in result.base_systems
+    ]
+    lat_rows = []
+    for i in result.intensities:
+        row = [f"{i}x"]
+        for s in result.base_systems:
+            l_d, l_a = result.latencies[(s, i)]
+            row.append(
+                f"{l_d:.0f}/{l_a:.0f} ns "
+                f"({result.latency_ratio(s, i):.2f}x)"
+            )
+        lat_rows.append(row)
+    return (
+        "(a) default-tier share of application bandwidth (with Colloid)\n"
+        + format_table(bw_headers, bw_rows)
+        + "\n\n(b) tier latencies with Colloid\n"
+        + format_table(lat_headers, lat_rows)
+    )
+
+
+if __name__ == "__main__":
+    print(format_rows(run()))

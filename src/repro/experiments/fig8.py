@@ -1,0 +1,88 @@
+"""Figure 8: sensitivity to object size.
+
+Larger GUPS objects make the access stream more sequential, so hardware
+prefetchers raise effective per-core parallelism (2.82x more in-flight L3
+misses at 4096 B vs 64 B in the paper) and the workload becomes memory-
+intensive enough that the default tier's latency exceeds the alternate's
+*even without an antagonist* — Colloid then helps at 0x contention too
+(1.17-1.35x in the paper). At high contention, gains shrink slightly with
+object size because the alternate tier's interconnect saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    BASELINE_SYSTEMS,
+    ExperimentConfig,
+    format_table,
+    make_gups,
+    run_gups_steady_state,
+)
+
+DEFAULT_OBJECT_SIZES = (64, 256, 1024, 4096)
+DEFAULT_INTENSITIES = (0, 1, 2, 3)
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Improvement heatmaps keyed (system, object size, intensity)."""
+
+    object_sizes: Tuple[int, ...]
+    intensities: Tuple[int, ...]
+    base_systems: Tuple[str, ...]
+    improvement: Dict[Tuple[str, int, int], float]
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        object_sizes: Sequence[int] = DEFAULT_OBJECT_SIZES,
+        intensities: Sequence[int] = DEFAULT_INTENSITIES,
+        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig8Result:
+    if config is None:
+        config = ExperimentConfig.from_env()
+    improvement: Dict[Tuple[str, int, int], float] = {}
+    for size in object_sizes:
+        for intensity in intensities:
+            for base in systems:
+                baseline = run_gups_steady_state(
+                    base, intensity, config,
+                    workload=make_gups(config, object_bytes=size),
+                )
+                colloid = run_gups_steady_state(
+                    f"{base}+colloid", intensity, config,
+                    workload=make_gups(config, object_bytes=size),
+                )
+                improvement[(base, size, intensity)] = (
+                    colloid.throughput / baseline.throughput
+                )
+    return Fig8Result(
+        object_sizes=tuple(object_sizes),
+        intensities=tuple(intensities),
+        base_systems=tuple(systems),
+        improvement=improvement,
+    )
+
+
+def format_rows(result: Fig8Result) -> str:
+    blocks = []
+    for base in result.base_systems:
+        headers = ["object size"] + [f"{i}x" for i in result.intensities]
+        rows = []
+        for size in result.object_sizes:
+            row = [f"{size} B"]
+            for intensity in result.intensities:
+                row.append(
+                    f"{result.improvement[(base, size, intensity)]:.2f}"
+                )
+            rows.append(row)
+        blocks.append(
+            f"{base}+colloid improvement (x)\n"
+            + format_table(headers, rows)
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(format_rows(run()))

@@ -1,0 +1,154 @@
+"""Figure 9: convergence under dynamic workloads (§5.2).
+
+Three scenarios, each system with and without Colloid:
+
+* ``hotshift-0x`` — the GUPS hot set is instantaneously reshuffled under
+  no contention; both variants should recover at the same timescale.
+* ``hotshift-3x`` — the same change under 3x contention; Colloid recovers
+  to a *higher* operating point by re-balancing across tiers.
+* ``contention`` — the access pattern is fixed but contention jumps from
+  0x to 3x; the baselines do not react at all, Colloid converges to the
+  contention-appropriate placement at its usual timescale.
+
+The recorded series are per-second instantaneous throughputs, like the
+paper's plots; convergence times come from
+:func:`repro.analysis.convergence.convergence_time_s`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.convergence import convergence_time_s
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_gups,
+    make_system,
+    scaled_machine,
+)
+from repro.runtime.loop import SimulationLoop
+from repro.workloads.dynamic import HotSetShiftWorkload
+
+SCENARIOS = ("hotshift-0x", "hotshift-3x", "contention")
+
+#: Per-base-system (shift time, total duration) in simulated seconds,
+#: reflecting each system's convergence timescale.
+DEFAULT_TIMELINE: Dict[str, Tuple[float, float]] = {
+    "hemem": (15.0, 40.0),
+    "memtis": (20.0, 55.0),
+    "tpp": (45.0, 120.0),
+}
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One run's per-second throughput series."""
+
+    times_s: np.ndarray
+    throughput: np.ndarray
+    disturbance_time_s: float
+
+    def convergence_s(self, tolerance: float = 0.07) -> Optional[float]:
+        """Settling time after the disturbance."""
+        return convergence_time_s(
+            self.times_s, self.throughput, self.disturbance_time_s,
+            tolerance=tolerance,
+        )
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Traces keyed (system name, scenario)."""
+
+    scenarios: Tuple[str, ...]
+    systems: Tuple[str, ...]
+    traces: Dict[Tuple[str, str], Trace]
+
+
+def _per_second(times_s: np.ndarray, values: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Aggregate a per-quantum series into per-second means."""
+    seconds = np.floor(times_s).astype(int)
+    unique = np.unique(seconds)
+    means = np.array([values[seconds == s].mean() for s in unique])
+    return unique.astype(float), means
+
+
+def run_one(system_name: str, scenario: str,
+            config: ExperimentConfig,
+            timeline: Optional[Tuple[float, float]] = None) -> Trace:
+    """Run one (system, scenario) trace."""
+    if scenario not in SCENARIOS:
+        raise ConfigurationError(f"unknown scenario {scenario!r}")
+    base = system_name.split("+")[0]
+    if timeline is None:
+        timeline = DEFAULT_TIMELINE[base]
+    shift_s, duration_s = timeline
+    machine = scaled_machine(config.scale)
+    gups = make_gups(config)
+    if scenario == "contention":
+        workload = gups
+        contention = lambda t: 3 if t >= shift_s else 0
+    else:
+        workload = HotSetShiftWorkload(gups, [shift_s])
+        contention = 3 if scenario == "hotshift-3x" else 0
+    loop = SimulationLoop(
+        machine=machine,
+        workload=workload,
+        system=make_system(system_name),
+        quantum_ms=config.quantum_ms,
+        contention=contention,
+        cha_noise_sigma=config.cha_noise_sigma,
+        migration_limit_bytes=config.resolved_migration_limit(),
+        seed=config.seed,
+    )
+    metrics = loop.run(duration_s=duration_s)
+    times, series = _per_second(metrics.time_s, metrics.throughput)
+    return Trace(times_s=times, throughput=series,
+                 disturbance_time_s=shift_s)
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        scenarios: Sequence[str] = SCENARIOS,
+        base_systems: Sequence[str] = ("hemem", "tpp", "memtis")
+        ) -> Fig9Result:
+    if config is None:
+        config = ExperimentConfig.from_env()
+    traces: Dict[Tuple[str, str], Trace] = {}
+    systems = []
+    for base in base_systems:
+        for name in (base, f"{base}+colloid"):
+            systems.append(name)
+            for scenario in scenarios:
+                traces[(name, scenario)] = run_one(name, scenario, config)
+    return Fig9Result(
+        scenarios=tuple(scenarios),
+        systems=tuple(systems),
+        traces=traces,
+    )
+
+
+def format_rows(result: Fig9Result) -> str:
+    headers = ["system"] + [
+        f"{sc} conv(s) / T_final" for sc in result.scenarios
+    ]
+    rows = []
+    for system in result.systems:
+        row = [system]
+        for scenario in result.scenarios:
+            trace = result.traces[(system, scenario)]
+            conv = trace.convergence_s()
+            final = trace.throughput[-max(1, len(trace.throughput) // 5):]
+            conv_text = f"{conv:.0f}s" if conv is not None else ">window"
+            row.append(f"{conv_text} / {final.mean():.1f} GB/s")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+if __name__ == "__main__":
+    print(format_rows(run()))

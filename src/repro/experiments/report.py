@@ -1,0 +1,118 @@
+"""Full-evaluation report generation.
+
+Runs every figure harness and writes a single markdown report with the
+measured tables — the tool that regenerates the measured side of
+EXPERIMENTS.md. Grids are configurable; the defaults mirror the
+benchmark suite's reduced grids so a full report takes minutes, not
+hours.
+
+Usage::
+
+    python -m repro report --out results.md --scale 0.0625
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments import (
+    appendix,
+    fig1,
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    overheads,
+    sensitivity,
+)
+from repro.experiments.common import ExperimentConfig
+
+#: (section title, runner) pairs; each runner takes a config and returns
+#: formatted rows. Reduced grids match benchmarks/conftest defaults.
+SECTIONS: List[Tuple[str, Callable[[ExperimentConfig], str]]] = [
+    ("Figure 1 — baselines vs best-case",
+     lambda c: fig1.format_rows(fig1.run(c, intensities=(0, 2, 3)))),
+    ("Figure 2 — root cause",
+     lambda c: fig2.format_rows(fig2.run(c, intensities=(0, 2, 3)))),
+    ("Figure 4 — ComputeShift traces",
+     lambda c: fig4.format_rows(fig4.run())),
+    ("Figure 5 — Colloid vs baselines vs best-case",
+     lambda c: fig5.format_rows(fig5.run(c, intensities=(0, 2, 3)))),
+    ("Figure 6 — placement and latency balance",
+     lambda c: fig6.format_rows(fig6.run(c, intensities=(0, 1, 3)))),
+    ("Figure 7 — alternate-latency sensitivity",
+     lambda c: fig7.format_rows(fig7.run(
+         c, latency_ratios=(1.9, 2.7), intensities=(0, 3),
+         systems=("hemem",)))),
+    ("Figure 8 — object-size sensitivity",
+     lambda c: fig8.format_rows(fig8.run(
+         c, object_sizes=(64, 4096), intensities=(0, 3),
+         systems=("hemem",)))),
+    ("Figure 9 — convergence",
+     lambda c: fig9.format_rows(fig9.run(
+         c, scenarios=("hotshift-0x", "contention"),
+         base_systems=("hemem",)))),
+    ("Figure 10 — migration rate",
+     lambda c: fig10.format_rows(fig10.run(c))),
+    ("Figure 11 — real applications",
+     lambda c: fig11.format_rows(fig11.run(
+         c, intensities=(0, 3), systems=("hemem",)))),
+    ("CPU overheads (§5.1)",
+     lambda c: overheads.format_rows(overheads.run(c))),
+    ("Sensitivity — delta/epsilon",
+     lambda c: sensitivity.format_rows(sensitivity.run(
+         c, deltas=(0.02, 0.15), epsilons=(0.01,)))),
+    ("Appendix — cores and R/W ratio",
+     lambda c: appendix.format_rows(appendix.run(
+         c, core_counts=(5, 25), read_fractions=(1.0, 0.5)))),
+]
+
+
+def generate(config: Optional[ExperimentConfig] = None,
+             sections: Optional[List[str]] = None,
+             progress: Optional[Callable[[str], None]] = None) -> str:
+    """Run the evaluation and return the markdown report body.
+
+    Args:
+        config: Experiment configuration (scale, seed, limits).
+        sections: Optional subset of section titles to run (prefix match).
+        progress: Optional callback invoked with each section title as
+            it starts (for CLI progress output).
+    """
+    if config is None:
+        config = ExperimentConfig.from_env()
+    parts = [
+        "# Measured evaluation report",
+        "",
+        f"Configuration: scale={config.scale}, seed={config.seed}, "
+        f"migration limit={config.resolved_migration_limit()} B/quantum.",
+        "",
+    ]
+    for title, runner in SECTIONS:
+        if sections is not None and not any(
+            title.startswith(s) for s in sections
+        ):
+            continue
+        if progress is not None:
+            progress(title)
+        parts.append(f"## {title}")
+        parts.append("")
+        parts.append("```")
+        parts.append(runner(config))
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write(path: Path, config: Optional[ExperimentConfig] = None,
+          **kwargs) -> Path:
+    """Generate the report and write it to ``path``."""
+    path = Path(path)
+    path.write_text(generate(config, **kwargs))
+    return path

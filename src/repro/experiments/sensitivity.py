@@ -1,0 +1,118 @@
+"""Sensitivity analysis for Colloid's epsilon and delta parameters.
+
+The paper states the qualitative trade-offs (§3.2) and defers the
+quantitative sweep to its extended version: given fixed delta, larger
+epsilon detects workload changes faster at the cost of stability; given
+fixed epsilon, larger delta is more stable but settles further from the
+optimal operating point. This harness quantifies both on the GUPS
+workload with HeMem+Colloid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.convergence import convergence_time_s
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_gups,
+    scaled_machine,
+)
+from repro.core.integrate import HememColloidSystem
+from repro.runtime.loop import SimulationLoop
+
+DEFAULT_DELTAS = (0.02, 0.05, 0.15)
+DEFAULT_EPSILONS = (0.005, 0.01, 0.05)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Steady-state throughput and stability per (delta, epsilon)."""
+
+    deltas: Tuple[float, ...]
+    epsilons: Tuple[float, ...]
+    #: (delta, epsilon) -> steady-state throughput at 1x contention
+    #: (interior equilibrium, where delta matters most).
+    throughput: Dict[Tuple[float, float], float]
+    #: (delta, epsilon) -> coefficient of variation of the tail
+    #: throughput (stability; lower is steadier).
+    variation: Dict[Tuple[float, float], float]
+    #: (delta, epsilon) -> seconds to converge after a 0x -> 3x
+    #: contention flip (reaction speed; epsilon matters most).
+    reaction_s: Dict[Tuple[float, float], Optional[float]]
+
+
+def run_cell(delta: float, epsilon: float,
+             config: ExperimentConfig) -> Tuple[float, float,
+                                                Optional[float]]:
+    """One (delta, epsilon) cell: steady state at 1x, then a flip to 3x."""
+    machine = scaled_machine(config.scale)
+    flip_s = 10.0
+    loop = SimulationLoop(
+        machine=machine,
+        workload=make_gups(config),
+        system=HememColloidSystem(delta=delta, epsilon=epsilon),
+        contention=lambda t: 1 if t < flip_s else 3,
+        cha_noise_sigma=config.cha_noise_sigma,
+        migration_limit_bytes=config.resolved_migration_limit(),
+        seed=config.seed,
+    )
+    metrics = loop.run(duration_s=flip_s + 15.0)
+    before_flip = metrics.time_s < flip_s
+    tail = metrics.throughput[before_flip][-200:]
+    throughput = float(tail.mean())
+    variation = float(tail.std() / tail.mean()) if tail.mean() else 0.0
+    reaction = convergence_time_s(
+        metrics.time_s, metrics.throughput, disturbance_time_s=flip_s,
+        tolerance=0.07,
+    )
+    return throughput, variation, reaction
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        deltas: Sequence[float] = DEFAULT_DELTAS,
+        epsilons: Sequence[float] = DEFAULT_EPSILONS) -> SensitivityResult:
+    if config is None:
+        config = ExperimentConfig.from_env()
+    throughput: Dict[Tuple[float, float], float] = {}
+    variation: Dict[Tuple[float, float], float] = {}
+    reaction: Dict[Tuple[float, float], Optional[float]] = {}
+    for delta in deltas:
+        for epsilon in epsilons:
+            t, v, r = run_cell(delta, epsilon, config)
+            throughput[(delta, epsilon)] = t
+            variation[(delta, epsilon)] = v
+            reaction[(delta, epsilon)] = r
+    return SensitivityResult(
+        deltas=tuple(deltas),
+        epsilons=tuple(epsilons),
+        throughput=throughput,
+        variation=variation,
+        reaction_s=reaction,
+    )
+
+
+def format_rows(result: SensitivityResult) -> str:
+    headers = ["delta", "epsilon", "T@1x (GB/s)", "tail CoV",
+               "reaction to 3x (s)"]
+    rows = []
+    for delta in result.deltas:
+        for epsilon in result.epsilons:
+            key = (delta, epsilon)
+            r = result.reaction_s[key]
+            rows.append([
+                f"{delta}",
+                f"{epsilon}",
+                f"{result.throughput[key]:.1f}",
+                f"{result.variation[key]:.3f}",
+                f"{r:.0f}" if r is not None else ">window",
+            ])
+    return format_table(headers, rows)
+
+
+if __name__ == "__main__":
+    print(format_rows(run()))

@@ -1,0 +1,72 @@
+"""The memory antagonist (§2.1).
+
+The paper generates controlled memory-interconnect contention with an
+antagonist: cores issuing sequential 1:1 read/write traffic to a small
+buffer pinned in the default tier. Intensities 0x/1x/2x/3x correspond to
+0/5/10/15 antagonist cores, which in isolation consume 0%/51%/65%/70% of
+the default tier's theoretical bandwidth.
+
+We model the antagonist as a :class:`repro.memhw.corestate.CoreGroup` that
+is pinned to the default tier. Its effective MLP is a calibration target:
+sequential streams are prefetched aggressively, so per-core parallelism is
+much higher than a random-access workload's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memhw.corestate import CoreGroup
+
+#: Paper intensity levels -> antagonist core counts (§2.1).
+INTENSITY_CORES = {0: 0, 1: 5, 2: 10, 3: 15}
+
+#: Paper-reported isolated bandwidth shares of the 205 GB/s theoretical
+#: maximum at each intensity, used as calibration targets.
+INTENSITY_ISOLATED_SHARE = {0: 0.0, 1: 0.51, 2: 0.65, 3: 0.70}
+
+
+@dataclass(frozen=True)
+class AntagonistSpec:
+    """Parameters of the antagonist traffic source.
+
+    Attributes:
+        mlp_per_core: Effective in-flight requests per antagonist core
+            (calibrated; sequential streams prefetch deeply).
+        randomness: Access randomness (near zero: sequential).
+        read_fraction: Application-level read fraction (0.5 == 1:1 RW).
+    """
+
+    mlp_per_core: float = 26.0
+    randomness: float = 0.05
+    read_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mlp_per_core <= 0:
+            raise ConfigurationError("antagonist mlp must be positive")
+
+
+def cores_for_intensity(intensity: int) -> int:
+    """Map a paper intensity level (0-3) to an antagonist core count.
+
+    Intensities beyond 3 extrapolate linearly (5 cores per level), which
+    the dynamic-contention experiments use.
+    """
+    if intensity < 0:
+        raise ConfigurationError("intensity must be non-negative")
+    if intensity in INTENSITY_CORES:
+        return INTENSITY_CORES[intensity]
+    return 5 * intensity
+
+
+def antagonist_core_group(intensity: int,
+                          spec: AntagonistSpec = AntagonistSpec()) -> CoreGroup:
+    """Build the antagonist :class:`CoreGroup` for an intensity level."""
+    return CoreGroup(
+        name=f"antagonist-{intensity}x",
+        n_cores=cores_for_intensity(intensity),
+        mlp=spec.mlp_per_core,
+        randomness=spec.randomness,
+        read_fraction=spec.read_fraction,
+    )

@@ -1,0 +1,122 @@
+"""Closed-loop core groups with bounded memory-level parallelism.
+
+§3.1 of the paper: each core can keep at most ``N`` memory requests in
+flight (limited by line-fill buffers), so average per-core memory throughput
+is ``T = N * 64 / L`` where ``L`` is the average access latency the core
+observes. A :class:`CoreGroup` models a set of identical cores running the
+same access pattern; the fixed-point solver feeds it latencies and reads
+back demand rates.
+
+Object-size effects (Figure 8): larger objects make the access stream more
+sequential, so hardware prefetchers raise the *effective* per-core
+parallelism (the paper measures 2.82x more in-flight L3 misses per core at
+4096 B vs 64 B objects) and raise the achievable DRAM efficiency. The
+:meth:`CoreGroup.for_object_size` constructor encodes both effects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import CACHELINE_BYTES
+
+#: Effective-parallelism multiplier measured by the paper between 64 B and
+#: 4096 B objects (log2(4096/64) == 6 doublings).
+_PREFETCH_GAIN_AT_4096 = 2.82
+_PREFETCH_STEPS = 6.0
+#: Per-doubling multiplier on effective MLP as objects grow.
+PREFETCH_GAIN_PER_DOUBLING = (_PREFETCH_GAIN_AT_4096 - 1.0) / _PREFETCH_STEPS
+
+#: How quickly randomness decays as objects grow (per doubling of size).
+RANDOMNESS_DECAY_PER_DOUBLING = 0.105
+#: Floor on randomness: even 4 KiB-object GUPS jumps between random pages.
+RANDOMNESS_FLOOR = 0.35
+
+
+@dataclass(frozen=True)
+class CoreGroup:
+    """A set of identical closed-loop cores.
+
+    Attributes:
+        name: Identifier for diagnostics.
+        n_cores: Number of cores in the group.
+        mlp: Effective in-flight memory requests per core.
+        randomness: Access-pattern randomness in [0, 1] (see
+            :class:`repro.memhw.latency.TrafficClass`).
+        read_fraction: Fraction of *application* accesses that are reads.
+            Writes still trigger demand reads (read-for-ownership) and add
+            writeback traffic; see :meth:`traffic_multiplier`.
+    """
+
+    name: str
+    n_cores: int
+    mlp: float
+    randomness: float = 1.0
+    read_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 0:
+            raise ConfigurationError("n_cores must be non-negative")
+        if self.mlp <= 0:
+            raise ConfigurationError("mlp must be positive")
+        if not 0 <= self.randomness <= 1:
+            raise ConfigurationError("randomness must be in [0, 1]")
+        if not 0 <= self.read_fraction <= 1:
+            raise ConfigurationError("read_fraction must be in [0, 1]")
+
+    @classmethod
+    def for_object_size(cls, name: str, n_cores: int, object_bytes: int,
+                        base_mlp: float = 10.0,
+                        read_fraction: float = 0.5) -> "CoreGroup":
+        """Build a group whose MLP/randomness reflect ``object_bytes``.
+
+        64-byte objects give the base MLP and fully random traffic; each
+        doubling of object size adds prefetch-driven parallelism and makes
+        the stream more sequential, following the paper's Figure 8
+        discussion.
+        """
+        if object_bytes < CACHELINE_BYTES:
+            raise ConfigurationError(
+                f"object size must be >= {CACHELINE_BYTES} bytes"
+            )
+        doublings = math.log2(object_bytes / CACHELINE_BYTES)
+        mlp = base_mlp * (1.0 + PREFETCH_GAIN_PER_DOUBLING * doublings)
+        randomness = max(
+            RANDOMNESS_FLOOR, 1.0 - RANDOMNESS_DECAY_PER_DOUBLING * doublings
+        )
+        return cls(name=name, n_cores=n_cores, mlp=mlp,
+                   randomness=randomness, read_fraction=read_fraction)
+
+    def demand_read_rate(self, avg_latency_ns: float) -> float:
+        """Total demand-read bandwidth (bytes/ns) at the given latency.
+
+        This is the closed-loop law ``T = N * 64 / L`` summed over the
+        group's cores. Writeback traffic is *not* included; multiply by
+        :meth:`traffic_multiplier` to obtain wire traffic.
+        """
+        if avg_latency_ns <= 0:
+            raise ConfigurationError("latency must be positive")
+        return self.n_cores * self.mlp * CACHELINE_BYTES / avg_latency_ns
+
+    def traffic_multiplier(self) -> float:
+        """Wire traffic per byte of demand reads.
+
+        Every access (read or write) misses into a demand read; writes
+        additionally produce an asynchronous writeback, so wire traffic is
+        ``demand * (1 + write_fraction)``.
+        """
+        return 1.0 + (1.0 - self.read_fraction)
+
+    def wire_read_fraction(self) -> float:
+        """Fraction of this group's *wire* traffic that is reads."""
+        return 1.0 / self.traffic_multiplier()
+
+    def with_cores(self, n_cores: int) -> "CoreGroup":
+        """Return a copy with a different core count."""
+        return replace(self, n_cores=n_cores)
+
+    def with_mlp(self, mlp: float) -> "CoreGroup":
+        """Return a copy with a different effective MLP."""
+        return replace(self, mlp=mlp)

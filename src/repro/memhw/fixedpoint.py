@@ -1,0 +1,300 @@
+"""Closed-loop rate/latency equilibrium solver.
+
+Given a machine (tiers + latency curves), an application core group whose
+traffic splits across tiers according to the current page placement, any
+pinned core groups (the antagonist), and extra per-tier traffic (page
+migrations), this module solves the coupled system
+
+    per-core demand rate  =  N * 64 / L_avg          (closed loop, §3.1)
+    tier utilization      =  wire traffic / B_eff(mix)
+    tier latency          =  curve(utilization)
+    L_avg                 =  sum_i  p_i * L_i
+
+by damped fixed-point iteration on the tier latencies. The curves are
+monotone increasing in utilization and demand is monotone decreasing in
+latency, so the composite map has a unique fixed point which the damped
+iteration finds reliably; damping is adapted downward whenever the residual
+grows.
+
+This is the analytic stand-in for the physical testbed: the paper's own
+performance analysis (§2.2) uses exactly these relations to explain its
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.memhw.corestate import CoreGroup
+from repro.memhw.latency import (
+    LatencyCurve,
+    TrafficClass,
+    effective_bandwidth,
+    tier_load,
+)
+from repro.memhw.tier import MemoryTierSpec
+from repro.units import CACHELINE_BYTES
+
+_MAX_ITERATIONS = 2000
+_RELATIVE_TOLERANCE = 1e-10
+_INITIAL_DAMPING = 0.5
+_MIN_DAMPING = 1e-3
+
+
+@dataclass(frozen=True)
+class Equilibrium:
+    """Solved steady-state of the memory system for one configuration.
+
+    Attributes:
+        latencies_ns: Loaded latency of each tier (CHA-to-memory).
+        app_avg_latency_ns: Placement-weighted latency the application sees.
+        app_read_rate: Application demand-read bandwidth (bytes/ns); this is
+            the throughput metric for GUPS-style workloads.
+        app_split: The traffic split the application was solved with.
+        app_tier_read_rate: Application demand reads per tier (bytes/ns).
+        tier_wire_traffic: Total wire traffic per tier (bytes/ns), including
+            writebacks, pinned groups, and extra traffic.
+        tier_read_request_rate: Read requests per ns arriving at each tier —
+            what the CHA counters observe (application + antagonist +
+            migration reads).
+        utilizations: Effective utilization of each tier.
+        effective_bandwidths: Mix-dependent achievable bandwidth per tier.
+        iterations: Fixed-point iterations used.
+    """
+
+    latencies_ns: np.ndarray
+    app_avg_latency_ns: float
+    app_read_rate: float
+    app_split: np.ndarray
+    app_tier_read_rate: np.ndarray
+    tier_wire_traffic: np.ndarray
+    tier_read_request_rate: np.ndarray
+    utilizations: np.ndarray
+    effective_bandwidths: np.ndarray
+    iterations: int
+
+    @property
+    def measured_p(self) -> float:
+        """Traffic share of tier 0 as the CHA would measure it.
+
+        This is ``R_D / (R_D + R_A)`` over *all* read requests, which is
+        what Algorithm 1 computes from the counters. It includes antagonist
+        and migration traffic, exactly as on real hardware.
+        """
+        total = float(self.tier_read_request_rate.sum())
+        if total <= 0:
+            return 0.0
+        return float(self.tier_read_request_rate[0]) / total
+
+
+class EquilibriumSolver:
+    """Reusable solver bound to a fixed set of tiers.
+
+    Construction precomputes the per-tier latency curves; :meth:`solve` may
+    then be called many times per simulation quantum.
+    """
+
+    def __init__(self, tiers: Sequence[MemoryTierSpec]) -> None:
+        if not tiers:
+            raise ConfigurationError("at least one tier is required")
+        self._tiers: Tuple[MemoryTierSpec, ...] = tuple(tiers)
+        self._curves = [LatencyCurve(t) for t in self._tiers]
+
+    @property
+    def tiers(self) -> Tuple[MemoryTierSpec, ...]:
+        """The tier specifications this solver was built with."""
+        return self._tiers
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of tiers."""
+        return len(self._tiers)
+
+    def solve(
+        self,
+        app: CoreGroup,
+        split: Sequence[float],
+        pinned: Sequence[Tuple[CoreGroup, int]] = (),
+        extra_traffic: Optional[Sequence[Sequence[TrafficClass]]] = None,
+    ) -> Equilibrium:
+        """Solve for the steady state.
+
+        Args:
+            app: The application core group.
+            split: Fraction of application accesses served by each tier;
+                must be non-negative and sum to 1 (within tolerance) when
+                the application has any cores.
+            pinned: (group, tier index) pairs whose traffic goes entirely
+                to one tier (the antagonist).
+            extra_traffic: Optional per-tier open-loop traffic classes
+                (page-migration reads/writes).
+
+        Returns:
+            The solved :class:`Equilibrium`.
+
+        Raises:
+            ConfigurationError: On malformed inputs.
+            ConvergenceError: If the damped iteration fails to settle.
+        """
+        n = self.n_tiers
+        split_arr = np.asarray(split, dtype=float)
+        if split_arr.shape != (n,):
+            raise ConfigurationError(
+                f"split must have {n} entries, got shape {split_arr.shape}"
+            )
+        if (split_arr < -1e-12).any():
+            raise ConfigurationError("split fractions must be non-negative")
+        split_arr = np.clip(split_arr, 0.0, None)
+        total_split = split_arr.sum()
+        if app.n_cores > 0:
+            if abs(total_split - 1.0) > 1e-6:
+                raise ConfigurationError(
+                    f"split must sum to 1, got {total_split}"
+                )
+            split_arr = split_arr / total_split
+        for _, tier_idx in pinned:
+            if not 0 <= tier_idx < n:
+                raise ConfigurationError(
+                    f"pinned tier index {tier_idx} out of range"
+                )
+        if extra_traffic is None:
+            extra: List[List[TrafficClass]] = [[] for _ in range(n)]
+        else:
+            if len(extra_traffic) != n:
+                raise ConfigurationError(
+                    "extra_traffic must have one entry per tier"
+                )
+            extra = [list(classes) for classes in extra_traffic]
+
+        latencies = np.array(
+            [t.unloaded_latency_ns for t in self._tiers], dtype=float
+        )
+        damping = _INITIAL_DAMPING
+        previous_residual = np.inf
+        state = _SolverState()
+        for iteration in range(1, _MAX_ITERATIONS + 1):
+            new_latencies = self._evaluate(
+                latencies, app, split_arr, pinned, extra, state
+            )
+            residual = float(
+                np.max(np.abs(new_latencies - latencies) / latencies)
+            )
+            if residual < _RELATIVE_TOLERANCE:
+                latencies = new_latencies
+                break
+            if residual > previous_residual:
+                damping = max(_MIN_DAMPING, damping * 0.5)
+            else:
+                damping = min(_INITIAL_DAMPING, damping * 1.05)
+            previous_residual = residual
+            latencies = latencies + damping * (new_latencies - latencies)
+        else:
+            raise ConvergenceError(
+                f"equilibrium did not converge (residual {residual:.3e})"
+            )
+
+        # One final evaluation to populate the state consistently.
+        self._evaluate(latencies, app, split_arr, pinned, extra, state)
+        return Equilibrium(
+            latencies_ns=latencies.copy(),
+            app_avg_latency_ns=state.app_avg_latency,
+            app_read_rate=state.app_read_rate,
+            app_split=split_arr.copy(),
+            app_tier_read_rate=state.app_tier_read_rate.copy(),
+            tier_wire_traffic=state.tier_wire_traffic.copy(),
+            tier_read_request_rate=state.tier_read_request_rate.copy(),
+            utilizations=state.utilizations.copy(),
+            effective_bandwidths=state.effective_bandwidths.copy(),
+            iterations=iteration,
+        )
+
+    def _evaluate(
+        self,
+        latencies: np.ndarray,
+        app: CoreGroup,
+        split: np.ndarray,
+        pinned: Sequence[Tuple[CoreGroup, int]],
+        extra: Sequence[Sequence[TrafficClass]],
+        state: "_SolverState",
+    ) -> np.ndarray:
+        """One sweep of the fixed-point map; records flows into ``state``."""
+        n = self.n_tiers
+        app_avg_latency = float(np.dot(split, latencies)) if app.n_cores else (
+            float(latencies[0])
+        )
+        if app.n_cores > 0:
+            app_read_rate = app.demand_read_rate(app_avg_latency)
+        else:
+            app_read_rate = 0.0
+        app_tier_read = app_read_rate * split
+
+        traffic_per_tier: List[List[TrafficClass]] = [
+            list(extra[i]) for i in range(n)
+        ]
+        read_request_rate = np.zeros(n)
+        for i in range(n):
+            for cls in extra[i]:
+                read_request_rate[i] += (
+                    cls.bandwidth * cls.read_fraction / CACHELINE_BYTES
+                )
+            if app_tier_read[i] > 0:
+                traffic_per_tier[i].append(
+                    TrafficClass(
+                        bandwidth=app_tier_read[i] * app.traffic_multiplier(),
+                        randomness=app.randomness,
+                        read_fraction=app.wire_read_fraction(),
+                    )
+                )
+                read_request_rate[i] += app_tier_read[i] / CACHELINE_BYTES
+
+        for group, tier_idx in pinned:
+            if group.n_cores == 0:
+                continue
+            rate = group.demand_read_rate(float(latencies[tier_idx]))
+            traffic_per_tier[tier_idx].append(
+                TrafficClass(
+                    bandwidth=rate * group.traffic_multiplier(),
+                    randomness=group.randomness,
+                    read_fraction=group.wire_read_fraction(),
+                )
+            )
+            read_request_rate[tier_idx] += rate / CACHELINE_BYTES
+
+        new_latencies = np.empty(n)
+        wire = np.zeros(n)
+        utils = np.zeros(n)
+        beffs = np.zeros(n)
+        for i in range(n):
+            beff = effective_bandwidth(self._tiers[i], traffic_per_tier[i])
+            load = tier_load(self._tiers[i], traffic_per_tier[i])
+            u = load / beff if beff > 0 else 0.0
+            new_latencies[i] = self._curves[i].latency_ns(u)
+            wire[i] = sum(t.bandwidth for t in traffic_per_tier[i])
+            utils[i] = u
+            beffs[i] = beff
+
+        state.app_avg_latency = app_avg_latency
+        state.app_read_rate = app_read_rate
+        state.app_tier_read_rate = app_tier_read
+        state.tier_wire_traffic = wire
+        state.tier_read_request_rate = read_request_rate
+        state.utilizations = utils
+        state.effective_bandwidths = beffs
+        return new_latencies
+
+
+class _SolverState:
+    """Mutable scratch area filled by ``_evaluate`` on each sweep."""
+
+    def __init__(self) -> None:
+        self.app_avg_latency = 0.0
+        self.app_read_rate = 0.0
+        self.app_tier_read_rate = np.zeros(0)
+        self.tier_wire_traffic = np.zeros(0)
+        self.tier_read_request_rate = np.zeros(0)
+        self.utilizations = np.zeros(0)
+        self.effective_bandwidths = np.zeros(0)

@@ -1,0 +1,121 @@
+"""Memory tier specifications.
+
+A :class:`MemoryTierSpec` captures everything the analytic model needs to
+know about one memory tier: capacity, unloaded latency, theoretical peak
+bandwidth, and the parameters of its latency-load behaviour.
+
+The latency parameters deserve explanation (they encode §3.1 of the paper):
+
+``queueing_scale_ns``
+    Scale of the queueing-delay term. For a DDR-attached tier this is
+    dominated by bank-conflict service variability at the memory controller
+    (tens of ns); for a link-attached tier (UPI/CXL) the link itself is
+    deeply pipelined, so the scale is smaller and latency stays near the
+    unloaded value until the link approaches saturation.
+
+``efficiency_sequential`` / ``efficiency_random``
+    Fraction of the theoretical bandwidth achievable by purely sequential /
+    purely random cacheline traffic. The paper notes achievable bandwidth
+    can be 2.5x lower than theoretical and varies ~1.75x with read/write mix
+    [54]; random traffic defeats row-buffer locality, lowering the effective
+    saturation point and therefore inflating latency at lower loads.
+
+``rw_penalty``
+    Additional efficiency loss at a 1:1 read/write mix (bus turnarounds,
+    write-to-read penalties). Scaled linearly with the write share of
+    traffic: a pure-read stream suffers none of it, a 1:1 stream all of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryTierSpec:
+    """Static description of a single memory tier.
+
+    Attributes:
+        name: Human-readable identifier, e.g. ``"local-ddr"``.
+        capacity_bytes: Usable capacity of the tier.
+        unloaded_latency_ns: CHA-to-memory latency with one request in
+            flight (the paper's L0; 65 ns local, 130 ns remote after
+            subtracting the ~5 ns CPU-to-CHA hop, which Colloid ignores).
+        theoretical_bandwidth: Peak interconnect bandwidth in bytes/ns
+            (== GB/s).
+        queueing_scale_ns: Scale of the ``u/(1-u)`` queueing-delay term.
+        efficiency_sequential: Achievable fraction of theoretical bandwidth
+            for sequential traffic, in (0, 1].
+        efficiency_random: Achievable fraction for random traffic.
+        rw_penalty: Relative efficiency loss at a 1:1 read/write mix.
+        curve_exponent: Exponent ``gamma`` of the utilization term
+            ``u**gamma / (1 - u)``; >1 flattens the low-load region.
+        duplex: True for link-attached tiers (UPI, CXL) whose read and
+            write directions have independent bandwidth; utilization is
+            then driven by the busier direction rather than by the sum of
+            both, and ``theoretical_bandwidth`` is per direction.
+    """
+
+    name: str
+    capacity_bytes: int
+    unloaded_latency_ns: float
+    theoretical_bandwidth: float
+    queueing_scale_ns: float = 30.0
+    efficiency_sequential: float = 0.85
+    efficiency_random: float = 0.62
+    rw_penalty: float = 0.22
+    curve_exponent: float = 1.0
+    duplex: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: capacity must be positive, "
+                f"got {self.capacity_bytes}"
+            )
+        if self.unloaded_latency_ns <= 0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: unloaded latency must be positive"
+            )
+        if self.theoretical_bandwidth <= 0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: bandwidth must be positive"
+            )
+        if not 0 < self.efficiency_random <= self.efficiency_sequential <= 1:
+            raise ConfigurationError(
+                f"tier {self.name!r}: require "
+                "0 < efficiency_random <= efficiency_sequential <= 1"
+            )
+        if not 0 <= self.rw_penalty < 1:
+            raise ConfigurationError(
+                f"tier {self.name!r}: rw_penalty must be in [0, 1)"
+            )
+        if self.queueing_scale_ns < 0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: queueing scale must be non-negative"
+            )
+        if self.curve_exponent <= 0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: curve exponent must be positive"
+            )
+
+    def with_unloaded_latency(self, latency_ns: float) -> "MemoryTierSpec":
+        """Return a copy with a different unloaded latency.
+
+        Used by the Figure 7 sweep, which emulates the paper's
+        uncore-frequency trick for inflating the alternate tier latency.
+        """
+        return replace(self, unloaded_latency_ns=latency_ns)
+
+    def with_bandwidth(self, bandwidth: float) -> "MemoryTierSpec":
+        """Return a copy with a different theoretical bandwidth."""
+        return replace(self, theoretical_bandwidth=bandwidth)
+
+    def scaled_capacity(self, factor: float) -> "MemoryTierSpec":
+        """Return a copy with capacity scaled by ``factor`` (for tests)."""
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return replace(self, capacity_bytes=max(1, int(self.capacity_bytes * factor)))

@@ -1,0 +1,24 @@
+"""Page bookkeeping substrate.
+
+NumPy-backed page tables, capacity-checked placement state, a rate-limited
+migration executor that charges migration traffic back into the hardware
+model, and the best-case placement oracle that reproduces the paper's
+manual-``mbind`` sweep methodology (§2.1).
+"""
+
+from repro.pages.pagestate import PageArray
+from repro.pages.placement import PlacementState, fill_default_first
+from repro.pages.migration import MigrationExecutor, MigrationPlan, MigrationResult
+from repro.pages.oracle import BestCaseResult, best_case_sweep, sweep_hot_fraction
+
+__all__ = [
+    "PageArray",
+    "PlacementState",
+    "fill_default_first",
+    "MigrationExecutor",
+    "MigrationPlan",
+    "MigrationResult",
+    "BestCaseResult",
+    "best_case_sweep",
+    "sweep_hot_fraction",
+]

@@ -1,0 +1,159 @@
+"""Capacity-checked placement state.
+
+:class:`PlacementState` pairs a :class:`repro.pages.pagestate.PageArray`
+with per-tier capacities and enforces that no tier is ever over-committed.
+It also computes the quantity at the heart of the paper: ``p``, the sum of
+access probabilities of pages in the default tier (§3.1), given the true
+access distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.pages.pagestate import UNPLACED, PageArray
+
+
+class PlacementState:
+    """Tracks where every page lives and how full each tier is."""
+
+    def __init__(self, pages: PageArray,
+                 tier_capacities: Sequence[int]) -> None:
+        if len(tier_capacities) < 1:
+            raise ConfigurationError("need at least one tier capacity")
+        capacities = np.asarray(tier_capacities, dtype=np.int64)
+        if (capacities <= 0).any():
+            raise ConfigurationError("tier capacities must be positive")
+        if pages.total_bytes > capacities.sum():
+            raise CapacityError(
+                f"working set ({pages.total_bytes} B) exceeds total "
+                f"capacity ({int(capacities.sum())} B)"
+            )
+        self._pages = pages
+        self._capacities = capacities
+        self._used = np.zeros(len(capacities), dtype=np.int64)
+        self._recount()
+
+    def _recount(self) -> None:
+        """Recompute per-tier usage from the page table."""
+        tier = self._pages.tier
+        sizes = self._pages.sizes_bytes
+        for t in range(len(self._capacities)):
+            self._used[t] = sizes[tier == t].sum()
+
+    @property
+    def pages(self) -> PageArray:
+        """The underlying page table."""
+        return self._pages
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of tiers."""
+        return len(self._capacities)
+
+    def capacity_bytes(self, tier: int) -> int:
+        """Capacity of ``tier``."""
+        return int(self._capacities[tier])
+
+    def used_bytes(self, tier: int) -> int:
+        """Bytes currently placed in ``tier``."""
+        return int(self._used[tier])
+
+    def free_bytes(self, tier: int) -> int:
+        """Remaining capacity in ``tier``."""
+        return int(self._capacities[tier] - self._used[tier])
+
+    def move(self, page_indices: np.ndarray, dst_tier: int) -> None:
+        """Move pages to ``dst_tier``, enforcing its capacity.
+
+        Pages already in the destination are ignored. Raises
+        :class:`CapacityError` (leaving state unchanged) if the batch does
+        not fit.
+        """
+        if not 0 <= dst_tier < self.n_tiers:
+            raise ConfigurationError(f"tier {dst_tier} out of range")
+        idx = np.asarray(page_indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        current = self._pages.tier[idx]
+        moving = idx[current != dst_tier]
+        if moving.size == 0:
+            return
+        sizes = self._pages.sizes_bytes[moving]
+        incoming = int(sizes.sum())
+        if self._used[dst_tier] + incoming > self._capacities[dst_tier]:
+            raise CapacityError(
+                f"moving {incoming} B to tier {dst_tier} would exceed its "
+                f"capacity ({self.free_bytes(dst_tier)} B free)"
+            )
+        src_tiers = self._pages.tier[moving]
+        for t in range(self.n_tiers):
+            self._used[t] -= int(sizes[src_tiers == t].sum())
+        self._pages.set_tier(moving, dst_tier)
+        self._used[dst_tier] += incoming
+
+    def fits(self, page_indices: np.ndarray, dst_tier: int) -> bool:
+        """Whether moving the pages to ``dst_tier`` would respect capacity."""
+        idx = np.asarray(page_indices, dtype=np.int64)
+        if idx.size == 0:
+            return True
+        moving = idx[self._pages.tier[idx] != dst_tier]
+        incoming = int(self._pages.sizes_bytes[moving].sum())
+        return self._used[dst_tier] + incoming <= self._capacities[dst_tier]
+
+    def default_tier_probability(self, access_probs: np.ndarray) -> float:
+        """The paper's ``p``: summed access probability of default-tier pages.
+
+        Args:
+            access_probs: True per-page access probabilities (sum to 1).
+        """
+        if access_probs.shape != (self._pages.n_pages,):
+            raise ConfigurationError("probability vector length mismatch")
+        return float(access_probs[self._pages.tier == 0].sum())
+
+    def tier_probabilities(self, access_probs: np.ndarray) -> np.ndarray:
+        """Summed access probability per tier (the application's split)."""
+        if access_probs.shape != (self._pages.n_pages,):
+            raise ConfigurationError("probability vector length mismatch")
+        split = np.zeros(self.n_tiers)
+        tier = self._pages.tier
+        for t in range(self.n_tiers):
+            split[t] = access_probs[tier == t].sum()
+        unplaced = access_probs[tier == UNPLACED].sum()
+        if unplaced > 1e-12:
+            raise ConfigurationError(
+                "accessed pages must be placed before solving"
+            )
+        return split
+
+
+def fill_default_first(placement: PlacementState,
+                       order: Optional[np.ndarray] = None) -> None:
+    """Initial placement: pack pages into the default tier, overflow onward.
+
+    This mirrors first-touch allocation on a freshly booted tiered system
+    (and the paper's initial condition: the workload buffer is allocated
+    while the default tier has free capacity). ``order`` optionally gives
+    the allocation order (defaults to page index order).
+    """
+    pages = placement.pages
+    if order is None:
+        order = np.arange(pages.n_pages)
+    sizes = pages.sizes_bytes[order]
+    cumulative = np.cumsum(sizes)
+    start = 0
+    for tier in range(placement.n_tiers):
+        free = placement.free_bytes(tier)
+        # Largest prefix of the remaining pages that fits in this tier.
+        offset = cumulative[start - 1] if start > 0 else 0
+        fit = int(np.searchsorted(cumulative, offset + free, side="right"))
+        if fit > start:
+            placement.move(order[start:fit], tier)
+            start = fit
+        if start >= len(order):
+            return
+    if start < len(order):
+        raise CapacityError("pages did not fit across all tiers")

@@ -1,0 +1,76 @@
+"""Probability-budgeted page selection.
+
+Shared machinery for policies that move "up to delta-p worth" of access
+probability between tiers: Colloid's page-finding procedures (§3.2, §4) and
+the rate-balancing related-work baselines. Given per-page probability
+estimates and a candidate set, select pages whose summed probability stays
+within a budget and whose summed size stays within a byte budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def select_pages_by_probability(
+    prob_estimates: np.ndarray,
+    sizes_bytes: np.ndarray,
+    candidates: np.ndarray,
+    dp_budget: float,
+    byte_budget: int,
+    hottest_first: bool = True,
+) -> np.ndarray:
+    """Pick candidate pages under probability and byte budgets.
+
+    Greedy in the given hotness order: a page is taken iff adding it keeps
+    both the cumulative probability within ``dp_budget`` and the
+    cumulative bytes within ``byte_budget``; pages that individually
+    overshoot are skipped (so a small ``dp_budget`` naturally selects
+    cooler pages — the behaviour Colloid's binned iteration produces).
+
+    Args:
+        prob_estimates: Per-page access-probability estimates.
+        sizes_bytes: Per-page sizes.
+        candidates: Indices eligible for selection.
+        dp_budget: Maximum summed probability.
+        byte_budget: Maximum summed bytes.
+        hottest_first: Consider candidates hottest-first (True) or in the
+            given order (False).
+
+    Returns:
+        Selected page indices, in consideration order.
+    """
+    if dp_budget < 0 or byte_budget < 0:
+        raise ConfigurationError("budgets must be non-negative")
+    cand = np.asarray(candidates, dtype=np.int64)
+    if cand.size == 0 or dp_budget == 0 or byte_budget == 0:
+        return np.empty(0, dtype=np.int64)
+    if hottest_first:
+        cand = cand[np.argsort(-prob_estimates[cand], kind="stable")]
+    probs = prob_estimates[cand]
+    sizes = sizes_bytes[cand]
+
+    # Fast path: the longest prefix that fits both budgets outright; only
+    # past the first overshooting page do we fall back to the
+    # skip-and-continue scan.
+    cum_p = np.cumsum(probs)
+    cum_b = np.cumsum(sizes)
+    fits = (cum_p <= dp_budget + 1e-15) & (cum_b <= byte_budget)
+    if fits.all():
+        return cand
+    prefix = int(np.argmin(fits))  # first index that does not fit
+    selected = list(cand[:prefix])
+    acc_p = float(cum_p[prefix - 1]) if prefix > 0 else 0.0
+    acc_b = int(cum_b[prefix - 1]) if prefix > 0 else 0
+    for i in range(prefix, len(cand)):
+        p = float(probs[i])
+        b = int(sizes[i])
+        if acc_p + p <= dp_budget + 1e-15 and acc_b + b <= byte_budget:
+            selected.append(int(cand[i]))
+            acc_p += p
+            acc_b += b
+    return np.asarray(selected, dtype=np.int64)

@@ -1,0 +1,64 @@
+"""Metrics export.
+
+Writes recorded time series to CSV or JSON so results can be analyzed or
+plotted outside this library. Columns are stable and documented; tier
+vector quantities get one column per tier.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ConfigurationError
+from repro.runtime.metrics import MetricsRecorder
+
+PathLike = Union[str, Path]
+
+
+def _rows(metrics: MetricsRecorder):
+    """Yield header then data rows."""
+    records = metrics.records
+    if not records:
+        raise ConfigurationError("no records to export")
+    n_tiers = len(records[0].latencies_ns)
+    header = (
+        ["time_s", "throughput_gbps"]
+        + [f"latency_ns_tier{t}" for t in range(n_tiers)]
+        + ["p_true", "p_measured"]
+        + [f"app_bandwidth_gbps_tier{t}" for t in range(n_tiers)]
+        + ["migration_bytes", "antagonist_intensity"]
+    )
+    yield header
+    for r in records:
+        yield (
+            [r.time_s, r.throughput]
+            + [float(x) for x in r.latencies_ns]
+            + [r.p_true, r.p_measured]
+            + [float(x) for x in r.app_tier_bandwidth]
+            + [int(r.migration_bytes), int(r.antagonist_intensity)]
+        )
+
+
+def to_csv(metrics: MetricsRecorder, path: PathLike) -> Path:
+    """Write the time series as CSV; returns the path written."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row in _rows(metrics):
+            writer.writerow(row)
+    return path
+
+
+def to_json(metrics: MetricsRecorder, path: PathLike) -> Path:
+    """Write the time series as a JSON object of column arrays."""
+    path = Path(path)
+    rows = list(_rows(metrics))
+    header, data = rows[0], rows[1:]
+    columns = {name: [row[i] for row in data]
+               for i, name in enumerate(header)}
+    with path.open("w") as handle:
+        json.dump(columns, handle)
+    return path

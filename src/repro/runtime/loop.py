@@ -1,0 +1,252 @@
+"""The quantum-driven simulation loop.
+
+Each quantum the loop:
+
+1. advances the workload (possibly changing its distribution) and the
+   antagonist schedule;
+2. derives the application's tier split from the current placement and
+   the true access distribution;
+3. solves the hardware equilibrium — including last quantum's migration
+   traffic — and integrates the CHA/MBM counters;
+4. hands the tiering system its observables and collects a migration
+   plan;
+5. executes the plan under the applicable byte budget, remembering the
+   copy traffic for the next solve;
+6. records metrics.
+
+Migration traffic deliberately lands in the *next* quantum's equilibrium:
+the copies decided at the end of quantum k physically overlap the
+application traffic of quantum k+1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memhw.antagonist import antagonist_core_group
+from repro.memhw.cha import ChaCounters
+from repro.memhw.fixedpoint import EquilibriumSolver
+from repro.memhw.mbm import MbmMonitor
+from repro.memhw.topology import Machine
+from repro.pages.migration import MigrationExecutor
+from repro.pages.pagestate import PageArray
+from repro.pages.placement import PlacementState, fill_default_first
+from repro.runtime.metrics import MetricsRecorder, QuantumRecord
+from repro.tiering.base import QuantumContext, TieringSystem
+from repro.tracking.feed import AccessFeed
+from repro.units import mib, ms_to_ns
+from repro.workloads.base import Workload
+
+#: Default static migration limit: 25 MiB per 10 ms quantum (2.5 GiB/s),
+#: in line with the rate limits the evaluated systems configure.
+DEFAULT_MIGRATION_LIMIT_PER_QUANTUM = 25 * mib(1)
+
+ContentionSchedule = Union[int, Callable[[float], int]]
+
+
+class SimulationLoop:
+    """Binds machine, workload, and tiering system into a running sim."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        workload: Workload,
+        system: TieringSystem,
+        quantum_ms: float = 10.0,
+        contention: ContentionSchedule = 0,
+        cha_noise_sigma: float = 0.01,
+        migration_limit_bytes: int = DEFAULT_MIGRATION_LIMIT_PER_QUANTUM,
+        initial_placement: Optional[np.ndarray] = None,
+        seed: int = 1234,
+    ) -> None:
+        if quantum_ms <= 0:
+            raise ConfigurationError("quantum must be positive")
+        self.machine = machine
+        self.workload = workload
+        self.system = system
+        self.quantum_ns = ms_to_ns(quantum_ms)
+        self.quantum_s = quantum_ms / 1e3
+        if callable(contention):
+            self._contention = contention
+        else:
+            level = int(contention)
+            self._contention = lambda _t: level
+        self._rng = np.random.default_rng(seed)
+
+        self.solver = EquilibriumSolver(machine.tiers)
+        self.cha = ChaCounters(
+            n_tiers=len(machine.tiers),
+            noise_sigma=cha_noise_sigma,
+            rng=np.random.default_rng(seed + 1),
+        )
+        app = workload.core_group()
+        self.mbm = MbmMonitor(
+            n_tiers=len(machine.tiers),
+            traffic_multiplier=app.traffic_multiplier(),
+        )
+
+        pages = PageArray.uniform(workload.n_pages, workload.page_bytes)
+        capacities = [t.capacity_bytes for t in machine.tiers]
+        self.placement = PlacementState(pages, capacities)
+        if initial_placement is None:
+            fill_default_first(self.placement)
+        else:
+            placement_arr = np.asarray(initial_placement, dtype=np.int64)
+            if placement_arr.shape != (pages.n_pages,):
+                raise ConfigurationError("initial placement length mismatch")
+            for tier in range(len(capacities)):
+                self.placement.move(
+                    np.nonzero(placement_arr == tier)[0], tier
+                )
+
+        action_period_s = getattr(system, "action_period_s", None)
+        if action_period_s:
+            burst_quanta = max(2, int(round(action_period_s * 1e3
+                                            / quantum_ms)))
+        else:
+            burst_quanta = 2
+        self.executor = MigrationExecutor(
+            self.placement, migration_limit_bytes,
+            burst_quanta=burst_quanta,
+        )
+        self.metrics = MetricsRecorder()
+        self.time_s = 0.0
+        # Copy "debt": bytes of migration traffic not yet charged to the
+        # hardware model. Batched migrations (MEMTIS's 500 ms kmigrated)
+        # update placement instantly but their copies are streamed at the
+        # configured migration rate over the following quanta.
+        n_tiers = len(machine.tiers)
+        self._copy_read_debt = np.zeros(n_tiers)
+        self._copy_write_debt = np.zeros(n_tiers)
+        self._copy_rate_limit = float(migration_limit_bytes)
+
+        system.attach(self.placement)
+        system.on_configure(machine, migration_limit_bytes, self.quantum_ns)
+
+    @property
+    def app_core_group(self):
+        """The application core group with the system's throughput scale
+        (e.g. MEMTIS hugepage-split TLB pressure) applied."""
+        group = self.workload.core_group()
+        scale = self.system.throughput_scale()
+        if scale != 1.0:
+            group = group.with_mlp(group.mlp * scale)
+        return group
+
+    def _drain_copy_debt(self):
+        """Charge up to one quantum's worth of copy traffic this quantum.
+
+        Returns:
+            (per-tier traffic-class lists or None, bytes charged) — the
+            migration bandwidth presented to the equilibrium solver and
+            the amount recorded as this quantum's migration volume.
+        """
+        from repro.memhw.latency import TrafficClass
+
+        total_debt = self._copy_read_debt.sum() + self._copy_write_debt.sum()
+        if total_debt <= 0:
+            return None, 0
+        # Reads and writes of one copy happen together; scale both sides
+        # by the same factor so the rate limit covers moved bytes (the
+        # read side), matching the executor's accounting.
+        moved_debt = self._copy_read_debt.sum()
+        fraction = min(1.0, self._copy_rate_limit / max(moved_debt, 1.0))
+        charged_read = self._copy_read_debt * fraction
+        charged_write = self._copy_write_debt * fraction
+        self._copy_read_debt -= charged_read
+        self._copy_write_debt -= charged_write
+        traffic = []
+        for t in range(len(charged_read)):
+            classes = []
+            if charged_read[t] > 0:
+                classes.append(TrafficClass(
+                    bandwidth=charged_read[t] / self.quantum_ns,
+                    randomness=0.3, read_fraction=1.0,
+                ))
+            if charged_write[t] > 0:
+                classes.append(TrafficClass(
+                    bandwidth=charged_write[t] / self.quantum_ns,
+                    randomness=0.3, read_fraction=0.0,
+                ))
+            traffic.append(classes)
+        return traffic, int(charged_read.sum())
+
+    def step(self) -> QuantumRecord:
+        """Advance the simulation by one quantum."""
+        t = self.time_s
+        self.workload.advance(t)
+        probs = self.workload.access_probabilities()
+        split = self.placement.tier_probabilities(probs)
+        # Hardware-managed systems (memory mode) steer traffic without
+        # moving pages; they publish the split they produce directly.
+        override_fn = getattr(self.system, "traffic_split_override", None)
+        if override_fn is not None:
+            override = override_fn()
+            if override is not None:
+                split = override
+        intensity = int(self._contention(t))
+        antagonist = antagonist_core_group(intensity,
+                                           self.machine.antagonist)
+        app = self.app_core_group
+        migration_traffic, charged_bytes = self._drain_copy_debt()
+        equilibrium = self.solver.solve(
+            app=app,
+            split=split,
+            pinned=[(antagonist, 0)],
+            extra_traffic=migration_traffic,
+        )
+        self.cha.observe(equilibrium, self.quantum_ns)
+        self.mbm.observe(equilibrium, self.quantum_ns)
+
+        feed = AccessFeed(
+            access_probs=probs,
+            request_rate=equilibrium.app_read_rate / 64.0,
+            quantum_ns=self.quantum_ns,
+            rng=self._rng,
+        )
+        ctx = QuantumContext(
+            time_s=t,
+            quantum_ns=self.quantum_ns,
+            placement=self.placement,
+            cha=self.cha.sample_and_reset(),
+            mbm=self.mbm.sample_and_reset(),
+            feed=feed,
+            rng=self._rng,
+        )
+        decision = self.system.quantum(ctx)
+        result = self.executor.execute(
+            decision.plan, self.quantum_ns, decision.budget_bytes
+        )
+        if result.bytes_moved > 0:
+            self._copy_read_debt += result.read_bytes_per_tier
+            self._copy_write_debt += result.write_bytes_per_tier
+
+        record = QuantumRecord(
+            time_s=t,
+            throughput=equilibrium.app_read_rate,
+            latencies_ns=(
+                equilibrium.latencies_ns + self.machine.cpu_to_cha_ns
+            ),
+            p_true=float(split[0]),
+            p_measured=equilibrium.measured_p,
+            app_tier_bandwidth=(
+                equilibrium.app_tier_read_rate * app.traffic_multiplier()
+            ),
+            migration_bytes=charged_bytes,
+            antagonist_intensity=intensity,
+        )
+        self.metrics.record(record)
+        self.time_s = t + self.quantum_s
+        return record
+
+    def run(self, duration_s: float) -> MetricsRecorder:
+        """Run for ``duration_s`` of simulated time; returns the metrics."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        n_quanta = int(round(duration_s / self.quantum_s))
+        for __ in range(max(1, n_quanta)):
+            self.step()
+        return self.metrics

@@ -1,0 +1,108 @@
+"""Per-quantum metrics recording."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QuantumRecord:
+    """Snapshot of one simulation quantum.
+
+    Attributes:
+        time_s: Quantum start time.
+        throughput: Application demand-read bandwidth (bytes/ns == GB/s).
+        latencies_ns: Per-tier CPU-observed loaded latency.
+        p_true: True default-tier share of application access probability.
+        p_measured: CHA-measured request share of the default tier
+            (includes antagonist and migration traffic).
+        app_tier_bandwidth: Application wire bandwidth per tier.
+        migration_bytes: Bytes migrated during the quantum.
+        antagonist_intensity: Contention level in effect.
+    """
+
+    time_s: float
+    throughput: float
+    latencies_ns: np.ndarray
+    p_true: float
+    p_measured: float
+    app_tier_bandwidth: np.ndarray
+    migration_bytes: int
+    antagonist_intensity: int
+
+
+class MetricsRecorder:
+    """Accumulates :class:`QuantumRecord` rows and exposes numpy views."""
+
+    def __init__(self) -> None:
+        self._records: List[QuantumRecord] = []
+
+    def record(self, record: QuantumRecord) -> None:
+        """Append one quantum's snapshot."""
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[QuantumRecord]:
+        """All recorded quanta, in time order."""
+        return list(self._records)
+
+    def _require_data(self) -> None:
+        if not self._records:
+            raise ConfigurationError("no records yet")
+
+    @property
+    def time_s(self) -> np.ndarray:
+        self._require_data()
+        return np.array([r.time_s for r in self._records])
+
+    @property
+    def throughput(self) -> np.ndarray:
+        self._require_data()
+        return np.array([r.throughput for r in self._records])
+
+    @property
+    def latencies_ns(self) -> np.ndarray:
+        """Shape (n_quanta, n_tiers)."""
+        self._require_data()
+        return np.vstack([r.latencies_ns for r in self._records])
+
+    @property
+    def p_true(self) -> np.ndarray:
+        self._require_data()
+        return np.array([r.p_true for r in self._records])
+
+    @property
+    def p_measured(self) -> np.ndarray:
+        self._require_data()
+        return np.array([r.p_measured for r in self._records])
+
+    @property
+    def app_tier_bandwidth(self) -> np.ndarray:
+        """Shape (n_quanta, n_tiers)."""
+        self._require_data()
+        return np.vstack([r.app_tier_bandwidth for r in self._records])
+
+    @property
+    def migration_bytes(self) -> np.ndarray:
+        self._require_data()
+        return np.array([r.migration_bytes for r in self._records])
+
+    def migration_rate_bytes_per_s(self, quantum_s: float) -> np.ndarray:
+        """Migration rate series (Figure 10's metric)."""
+        if quantum_s <= 0:
+            raise ConfigurationError("quantum must be positive")
+        return self.migration_bytes / quantum_s
+
+    def steady_state_throughput(self, tail_fraction: float = 0.25) -> float:
+        """Mean throughput over the last ``tail_fraction`` of the run."""
+        series = self.throughput
+        start = int(len(series) * (1 - tail_fraction))
+        return float(series[start:].mean())

@@ -1,0 +1,28 @@
+"""Request-level discrete-event validation simulator.
+
+The analytic hardware model in :mod:`repro.memhw` asserts three things:
+per-core throughput is ``N * 64 / L`` (closed loop), latency inflates with
+load through queueing at the memory controller, and the CHA's
+occupancy/rate counters recover latency via Little's Law. This package
+simulates individual memory requests — cores with line-fill-buffer limits,
+a CHA with per-tier occupancy accounting, banked memory controllers — so
+the tests can *validate* those assertions against a mechanistic model,
+playing the role that [58] plays for the paper.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.memctrl import BankedMemoryController
+from repro.sim.link import LinkAttachedMemory
+from repro.sim.cha import SimulatedCha
+from repro.sim.core import ClosedLoopCore
+from repro.sim.harness import SimStats, run_closed_loop
+
+__all__ = [
+    "Simulator",
+    "BankedMemoryController",
+    "LinkAttachedMemory",
+    "SimulatedCha",
+    "ClosedLoopCore",
+    "SimStats",
+    "run_closed_loop",
+]

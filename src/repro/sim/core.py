@@ -1,0 +1,58 @@
+"""Closed-loop cores with a line-fill-buffer limit.
+
+A core keeps exactly ``mlp`` requests in flight (its LFB capacity); each
+completion immediately triggers the next request. The tier of each request
+is drawn from a placement split, modelling the application's access
+probability landing on each tier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.cha import SimulatedCha
+
+
+class ClosedLoopCore:
+    """One core issuing memory requests through the CHA."""
+
+    def __init__(self, cha: SimulatedCha, mlp: int,
+                 tier_split: Sequence[float],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if mlp <= 0:
+            raise ConfigurationError("mlp must be positive")
+        split = np.asarray(tier_split, dtype=float)
+        if split.ndim != 1 or len(split) != cha.n_tiers:
+            raise ConfigurationError("split must have one entry per tier")
+        if (split < 0).any() or split.sum() <= 0:
+            raise ConfigurationError("split must be non-negative, sum > 0")
+        self._cha = cha
+        self._mlp = int(mlp)
+        self._split = split / split.sum()
+        self._rng = rng if rng is not None else np.random.default_rng(1)
+        self.completed = 0
+        self._started = False
+
+    @property
+    def mlp(self) -> int:
+        """Line-fill-buffer capacity (max in-flight requests)."""
+        return self._mlp
+
+    def start(self) -> None:
+        """Fill the line-fill buffer with the initial requests."""
+        if self._started:
+            raise ConfigurationError("core already started")
+        self._started = True
+        for __ in range(self._mlp):
+            self._issue()
+
+    def _issue(self) -> None:
+        tier = int(self._rng.choice(self._cha.n_tiers, p=self._split))
+        self._cha.submit(tier, self._on_complete)
+
+    def _on_complete(self, _latency_ns: float) -> None:
+        self.completed += 1
+        self._issue()

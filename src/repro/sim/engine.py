@@ -1,0 +1,57 @@
+"""Minimal discrete-event simulation engine.
+
+A classic calendar queue: events are (time, sequence, callback) tuples in
+a heap; ``run_until`` pops and fires them in time order. Deliberately
+tiny — the simulator's value is in the component models, not the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+
+EventCallback = Callable[[], None]
+
+
+class Simulator:
+    """Event loop with a nanosecond clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, EventCallback]] = []
+        self._sequence = itertools.count()
+        self.events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (ns)."""
+        return self._now
+
+    def schedule(self, delay_ns: float, callback: EventCallback) -> None:
+        """Schedule ``callback`` to fire ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise ConfigurationError("cannot schedule into the past")
+        heapq.heappush(
+            self._heap, (self._now + delay_ns, next(self._sequence), callback)
+        )
+
+    def run_until(self, end_ns: float) -> None:
+        """Fire events in order until the clock reaches ``end_ns``."""
+        if end_ns < self._now:
+            raise SimulationError("end time is in the past")
+        while self._heap and self._heap[0][0] <= end_ns:
+            time_ns, __, callback = heapq.heappop(self._heap)
+            if time_ns < self._now:
+                raise SimulationError("event time went backwards")
+            self._now = time_ns
+            callback()
+            self.events_fired += 1
+        self._now = end_ns
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)

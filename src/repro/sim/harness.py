@@ -1,0 +1,144 @@
+"""Closed-loop simulation harness and measurement.
+
+Builds a two-tier (or N-tier) machine out of the discrete-event
+components, runs it, and reports per-tier latencies three ways — direct
+measurement, Little's Law on CHA counters, and the closed-loop throughput
+law — so tests can cross-validate the analytic model's assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.cha import SimulatedCha
+from repro.sim.core import ClosedLoopCore
+from repro.sim.engine import Simulator
+from repro.sim.memctrl import BankedMemoryController
+from repro.units import CACHELINE_BYTES
+
+
+@dataclass(frozen=True)
+class SimStats:
+    """Cross-validated measurements from one closed-loop run.
+
+    Attributes:
+        duration_ns: Simulated duration (after warmup).
+        mean_latency_ns: Directly measured per-tier mean latency.
+        littles_latency_ns: Per-tier latency recovered via Little's Law
+            from CHA occupancy/rate counters.
+        latency_percentiles_ns: Per-tier (p50, p95, p99) latency — beyond
+            the analytic model's mean-value scope, available only here.
+        throughput_bytes_per_ns: Aggregate completion bandwidth.
+        per_core_throughput: Mean per-core completion bandwidth.
+        arrivals: Per-tier request counts.
+    """
+
+    duration_ns: float
+    mean_latency_ns: Tuple[float, ...]
+    littles_latency_ns: Tuple[float, ...]
+    latency_percentiles_ns: Tuple[Tuple[float, float, float], ...]
+    throughput_bytes_per_ns: float
+    per_core_throughput: float
+    arrivals: Tuple[int, ...]
+
+    @property
+    def app_mean_latency_ns(self) -> float:
+        """Arrival-weighted mean latency across tiers."""
+        weights = np.asarray(self.arrivals, dtype=float)
+        lat = np.asarray(self.mean_latency_ns)
+        return float(np.average(lat, weights=weights))
+
+
+def run_closed_loop(
+    n_cores: int,
+    mlp: int,
+    tier_split: Sequence[float],
+    wire_latencies_ns: Sequence[float] = (50.0, 115.0),
+    n_banks: int = 16,
+    row_hit_probability: float = 0.3,
+    duration_ns: float = 200_000.0,
+    warmup_ns: float = 20_000.0,
+    seed: int = 7,
+) -> SimStats:
+    """Run cores against banked controllers; return cross-validated stats.
+
+    Warmup completions/arrivals are excluded from the statistics (but the
+    queues carry over), so the measurements reflect steady state.
+    """
+    if n_cores <= 0:
+        raise ConfigurationError("need at least one core")
+    if duration_ns <= 0 or warmup_ns < 0:
+        raise ConfigurationError("invalid durations")
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    controllers = [
+        BankedMemoryController(
+            sim,
+            n_banks=n_banks,
+            wire_latency_ns=wire,
+            row_hit_probability=row_hit_probability,
+            rng=np.random.default_rng(seed + 100 + i),
+        )
+        for i, wire in enumerate(wire_latencies_ns)
+    ]
+    cha = SimulatedCha(sim, controllers, record_samples=True)
+    cores = [
+        ClosedLoopCore(cha, mlp, tier_split,
+                       rng=np.random.default_rng(seed + 200 + i))
+        for i in range(n_cores)
+    ]
+    for core in cores:
+        core.start()
+    sim.run_until(warmup_ns)
+    # Snapshot warmup counters, then measure the remaining window.
+    warm_arrivals = list(cha.arrivals)
+    warm_completions = list(cha.completions)
+    warm_latency = list(cha.total_latency)
+    warm_samples = [len(s) for s in cha.latency_samples]
+    warm_core_completed = [c.completed for c in cores]
+    warm_occ = [cha.occupancy(t, max(warmup_ns, 1.0)) * warmup_ns
+                for t in range(cha.n_tiers)]
+    sim.run_until(warmup_ns + duration_ns)
+
+    n_tiers = cha.n_tiers
+    mean_latency = []
+    littles = []
+    arrivals = []
+    percentiles = []
+    for t in range(n_tiers):
+        window = cha.latency_samples[t][warm_samples[t]:]
+        if window:
+            p50, p95, p99 = np.percentile(window, [50, 95, 99])
+            percentiles.append((float(p50), float(p95), float(p99)))
+        else:
+            percentiles.append((float("nan"),) * 3)
+        completions = cha.completions[t] - warm_completions[t]
+        latency_sum = cha.total_latency[t] - warm_latency[t]
+        mean_latency.append(
+            latency_sum / completions if completions else float("nan")
+        )
+        arr = cha.arrivals[t] - warm_arrivals[t]
+        arrivals.append(arr)
+        occ_total = cha.occupancy(t, warmup_ns + duration_ns) * (
+            warmup_ns + duration_ns
+        )
+        occ_window = (occ_total - warm_occ[t]) / duration_ns
+        rate_window = arr / duration_ns
+        littles.append(
+            occ_window / rate_window if rate_window > 0 else float("nan")
+        )
+    completed = sum(c.completed for c in cores) - sum(warm_core_completed)
+    throughput = completed * CACHELINE_BYTES / duration_ns
+    return SimStats(
+        duration_ns=duration_ns,
+        mean_latency_ns=tuple(mean_latency),
+        littles_latency_ns=tuple(littles),
+        latency_percentiles_ns=tuple(percentiles),
+        throughput_bytes_per_ns=throughput,
+        per_core_throughput=throughput / n_cores,
+        arrivals=tuple(arrivals),
+    )

@@ -1,0 +1,41 @@
+"""Baseline tiering systems.
+
+Simulator-driven reimplementations of the three state-of-the-art systems
+the paper integrates with — HeMem, MEMTIS, and TPP — plus the static/manual
+placement used for best-case bars and two related-work baselines (BATMAN's
+bandwidth-ratio placement and Carrefour's rate balancing) used in the
+ablation benchmarks.
+
+All of them implement the same :class:`repro.tiering.base.TieringSystem`
+interface driven by the runtime loop, and all share the defining property
+the paper critiques: they pack the hottest known pages into the default
+tier regardless of its loaded latency.
+"""
+
+from repro.tiering.base import (
+    QuantumContext,
+    QuantumDecision,
+    TieringSystem,
+    pack_hottest_plan,
+)
+from repro.tiering.hemem import HememSystem
+from repro.tiering.memtis import MemtisSystem
+from repro.tiering.tpp import TppSystem
+from repro.tiering.static import StaticPlacementSystem
+from repro.tiering.batman import BatmanSystem
+from repro.tiering.carrefour import CarrefourSystem
+from repro.tiering.memorymode import MemoryModeSystem
+
+__all__ = [
+    "QuantumContext",
+    "QuantumDecision",
+    "TieringSystem",
+    "pack_hottest_plan",
+    "HememSystem",
+    "MemtisSystem",
+    "TppSystem",
+    "StaticPlacementSystem",
+    "BatmanSystem",
+    "CarrefourSystem",
+    "MemoryModeSystem",
+]

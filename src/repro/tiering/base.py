@@ -1,0 +1,172 @@
+"""Tiering-system interface and shared placement helpers.
+
+A tiering system is driven once per runtime quantum with a
+:class:`QuantumContext` — the observables a real system would have
+(hardware counters, sampled/faulted access signals, its own page table
+view) — and returns a :class:`QuantumDecision`: an ordered migration plan
+plus an optional dynamic byte budget (used by Colloid's dynamic migration
+limit; baselines use the static limit).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memhw.cha import ChaSample
+from repro.memhw.mbm import MbmSample
+from repro.pages.migration import MigrationPlan
+from repro.pages.placement import PlacementState
+from repro.tracking.feed import AccessFeed
+
+
+@dataclass
+class QuantumContext:
+    """Everything a tiering system may observe during one quantum."""
+
+    time_s: float
+    quantum_ns: float
+    placement: PlacementState
+    cha: ChaSample
+    mbm: MbmSample
+    feed: AccessFeed
+    rng: np.random.Generator
+
+
+@dataclass
+class QuantumDecision:
+    """A tiering system's output for one quantum.
+
+    Attributes:
+        plan: Ordered page moves (demotions that free space first).
+        budget_bytes: Optional per-quantum byte budget override; None
+            means the executor's static limit applies.
+    """
+
+    plan: MigrationPlan
+    budget_bytes: Optional[int] = None
+
+    @classmethod
+    def idle(cls) -> "QuantumDecision":
+        """No migrations this quantum."""
+        return cls(plan=MigrationPlan.empty())
+
+
+class TieringSystem(abc.ABC):
+    """Abstract tiering system driven by the runtime loop."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "tiering-system"
+
+    #: How often the system takes placement actions, in seconds; None
+    #: means every runtime quantum. The runtime sizes the migration
+    #: token bucket's burst from this, so systems with long periods
+    #: (MEMTIS's 500 ms kmigrated) can spend a period's worth of budget
+    #: in one batch while per-quantum actors stay smooth.
+    action_period_s: Optional[float] = None
+
+    def __init__(self) -> None:
+        self._cpu_work: Dict[str, int] = {}
+
+    def attach(self, placement: PlacementState) -> None:
+        """Bind to the experiment's placement state before the first
+        quantum. Subclasses allocate per-page tracking here."""
+        self._placement = placement
+
+    def on_configure(self, machine, static_limit_bytes: int,
+                     quantum_ns: float) -> None:
+        """Receive run-level configuration from the runtime loop.
+
+        Called once before the first quantum, after :meth:`attach`.
+        Colloid integrations build their latency monitor (which needs the
+        machine's unloaded latencies) and controller (which needs the
+        static migration limit) here. Baselines ignore it.
+        """
+
+    @abc.abstractmethod
+    def quantum(self, ctx: QuantumContext) -> QuantumDecision:
+        """Observe one quantum and decide migrations."""
+
+    def throughput_scale(self) -> float:
+        """Multiplier on the application's effective parallelism.
+
+        Models system-induced slowdowns that are not migration traffic —
+        MEMTIS's hugepage splitting (extra TLB pressure) uses this. 1.0
+        means no effect.
+        """
+        return 1.0
+
+    def account(self, key: str, amount: int = 1) -> None:
+        """Accumulate CPU-work accounting (used by the overheads model)."""
+        self._cpu_work[key] = self._cpu_work.get(key, 0) + int(amount)
+
+    @property
+    def cpu_work(self) -> Dict[str, int]:
+        """Accumulated CPU-work counters."""
+        return dict(self._cpu_work)
+
+
+def pack_hottest_plan(
+    placement: PlacementState,
+    hotness: np.ndarray,
+    hot_mask: np.ndarray,
+    max_bytes: int,
+    free_slack_bytes: int = 0,
+) -> MigrationPlan:
+    """The baseline placement policy: hottest pages into the default tier.
+
+    Builds an ordered plan that (a) promotes the hottest known-hot pages
+    currently in alternate tiers into the default tier, and (b) first
+    demotes the coldest non-hot default-tier pages as needed to make room.
+    This is the common core of HeMem/MEMTIS/TPP placement the paper
+    critiques: it never looks at loaded latency.
+
+    Args:
+        placement: Current placement state.
+        hotness: Per-page hotness estimates (higher is hotter).
+        hot_mask: Per-page eligibility for promotion.
+        max_bytes: Cap on total plan bytes (a system's migration budget);
+            the executor enforces its own limit too, but capping here
+            keeps demotions and promotions paired.
+        free_slack_bytes: Extra default-tier headroom to maintain beyond
+            what the promotions need (kswapd-style watermark slack).
+    """
+    pages = placement.pages
+    tier = pages.tier
+    sizes = pages.sizes_bytes
+
+    promo_candidates = np.nonzero(hot_mask & (tier != 0))[0]
+    if promo_candidates.size:
+        promo_order = promo_candidates[
+            np.argsort(-hotness[promo_candidates], kind="stable")
+        ]
+        promo_cum = np.cumsum(sizes[promo_order])
+        n_promo = int(np.searchsorted(promo_cum, max_bytes, side="right"))
+        promo_order = promo_order[:n_promo]
+        promo_bytes = int(sizes[promo_order].sum())
+    else:
+        promo_order = promo_candidates
+        promo_bytes = 0
+
+    need = promo_bytes + free_slack_bytes - placement.free_bytes(0)
+    demo_order = np.empty(0, dtype=np.int64)
+    if need > 0:
+        demo_candidates = np.nonzero(~hot_mask & (tier == 0))[0]
+        if demo_candidates.size:
+            demo_order = demo_candidates[
+                np.argsort(hotness[demo_candidates], kind="stable")
+            ]
+            demo_cum = np.cumsum(sizes[demo_order])
+            n_demo = int(np.searchsorted(demo_cum, need, side="left")) + 1
+            demo_order = demo_order[:min(n_demo, demo_order.size)]
+
+    plan_pages = np.concatenate([demo_order, promo_order])
+    plan_dst = np.concatenate([
+        np.ones(len(demo_order), dtype=np.int64),
+        np.zeros(len(promo_order), dtype=np.int64),
+    ])
+    return MigrationPlan(plan_pages, plan_dst)

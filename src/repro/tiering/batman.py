@@ -1,0 +1,101 @@
+"""BATMAN-style bandwidth-ratio placement (related work, §6).
+
+BATMAN (MEMSYS '17) balances the *fraction of accesses* to each tier in
+proportion to the tiers' theoretical maximum bandwidths, independent of
+measured contention. The paper argues this is doubly suboptimal: it
+ignores unloaded-latency differences (placing hot pages in slow tiers even
+when the fast tier is idle) and it uses static bandwidth rather than
+observed latency. We implement it as an ablation baseline on top of
+HeMem-style tracking: a feedback loop steering the measured request-rate
+split toward the fixed bandwidth ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pages.migration import MigrationPlan
+from repro.pages.selection import select_pages_by_probability
+from repro.tiering.base import QuantumContext, QuantumDecision
+from repro.tiering.hemem import HememSystem
+
+
+class BatmanSystem(HememSystem):
+    """Steers the default-tier access share toward B_D / (B_D + B_A)."""
+
+    name = "batman"
+
+    def __init__(self, target_share: float, gain: float = 0.5,
+                 tolerance: float = 0.01, **hemem_kwargs) -> None:
+        super().__init__(**hemem_kwargs)
+        if not 0 < target_share < 1:
+            raise ConfigurationError("target share must be in (0, 1)")
+        if not 0 < gain <= 1:
+            raise ConfigurationError("gain must be in (0, 1]")
+        self.target_share = float(target_share)
+        self.gain = float(gain)
+        self.tolerance = float(tolerance)
+
+    @classmethod
+    def from_bandwidths(cls, default_bw: float, alternate_bw: float,
+                        **kwargs) -> "BatmanSystem":
+        """Construct with the canonical bandwidth-ratio target."""
+        return cls(target_share=default_bw / (default_bw + alternate_bw),
+                   **kwargs)
+
+    def make_plan(self, ctx: QuantumContext) -> QuantumDecision:
+        """Shift access probability toward the fixed target share."""
+        rates = ctx.cha.rate
+        total = float(rates.sum())
+        if total <= 0:
+            return QuantumDecision.idle()
+        measured = float(rates[0]) / total
+        error = measured - self.target_share
+        self.account("plans", 1)
+        if abs(error) < self.tolerance:
+            return QuantumDecision.idle()
+        dp = self.gain * abs(error)
+        probs = self.counters.access_probabilities()
+        placement = ctx.placement
+        sizes = placement.pages.sizes_bytes
+        tier = placement.pages.tier
+        if error > 0:
+            # Too much default-tier traffic: demote hot default pages.
+            candidates = np.nonzero(tier == 0)[0]
+            dst = 1
+        else:
+            candidates = np.nonzero(tier != 0)[0]
+            dst = 0
+        chosen = select_pages_by_probability(
+            probs, sizes, candidates, dp, byte_budget=2**62
+        )
+        plan = _with_capacity_demotions(ctx, chosen, dst, probs)
+        return QuantumDecision(plan=plan)
+
+
+def _with_capacity_demotions(ctx: QuantumContext, chosen: np.ndarray,
+                             dst: int, probs: np.ndarray) -> MigrationPlan:
+    """Prepend coldest-page demotions to make room for promotions."""
+    placement = ctx.placement
+    sizes = placement.pages.sizes_bytes
+    if dst != 0 or chosen.size == 0:
+        return MigrationPlan(chosen, np.full(len(chosen), dst,
+                                             dtype=np.int64))
+    need = int(sizes[chosen].sum()) - placement.free_bytes(0)
+    demotions = np.empty(0, dtype=np.int64)
+    if need > 0:
+        default_pages = placement.pages.pages_in_tier(0)
+        default_pages = np.setdiff1d(default_pages, chosen,
+                                     assume_unique=False)
+        order = default_pages[np.argsort(probs[default_pages],
+                                         kind="stable")]
+        cum = np.cumsum(sizes[order])
+        n = int(np.searchsorted(cum, need, side="left")) + 1
+        demotions = order[:min(n, len(order))]
+    pages = np.concatenate([demotions, chosen])
+    dsts = np.concatenate([
+        np.ones(len(demotions), dtype=np.int64),
+        np.zeros(len(chosen), dtype=np.int64),
+    ])
+    return MigrationPlan(pages, dsts)

@@ -1,0 +1,24 @@
+"""Carrefour-style rate balancing (related work, §6).
+
+Carrefour (ASPLOS '13) balances the average *request rate* across NUMA
+nodes. In a tiered-memory setting with two tiers that means steering the
+access split toward 50/50 — which, as the paper argues, unnecessarily
+moves hot pages to the slow tier when the fast tier is uncontended and
+can still be suboptimal under contention (rates, not latencies, are
+balanced). Implemented as the BATMAN controller with an equal-share
+target; used by the ablation benchmarks to show why latency is the right
+signal.
+"""
+
+from __future__ import annotations
+
+from repro.tiering.batman import BatmanSystem
+
+
+class CarrefourSystem(BatmanSystem):
+    """Steers toward an equal request-rate split across tiers."""
+
+    name = "carrefour"
+
+    def __init__(self, n_tiers: int = 2, **kwargs) -> None:
+        super().__init__(target_share=1.0 / n_tiers, **kwargs)

@@ -1,0 +1,83 @@
+"""Hardware-managed tiering: the default tier as a transparent cache.
+
+§6 of the paper discusses hardware-managed alternatives (Intel memory
+mode, stacked DRAM caches): the default tier acts as an inclusive cache
+for the alternate tier, with data movement at cacheline granularity and
+no software placement at all. Such systems share the software baselines'
+assumption — the cache (default tier) serves the hottest data regardless
+of its loaded latency.
+
+:class:`MemoryModeSystem` models this: all pages live in the alternate
+tier (the cache is inclusive, capacity counts only the backing store),
+and the application's *traffic* split is the cache hit rate of the access
+distribution, estimated with Che's LRU approximation at cacheline-ish
+granularity. The hit rate is published to the runtime through
+:meth:`traffic_split_override`, which the loop uses instead of the
+placement-derived split.
+
+Like the software baselines, memory mode is contention-agnostic: under a
+default-tier antagonist it keeps absorbing hot accesses into the loaded
+tier. Comparing it against Colloid quantifies §6's argument that
+hardware-managed tiering inherits the same flaw.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.che import lru_hit_rate
+from repro.errors import ConfigurationError
+from repro.pages.placement import PlacementState
+from repro.tiering.base import QuantumContext, QuantumDecision, TieringSystem
+
+
+class MemoryModeSystem(TieringSystem):
+    """Default tier as an inclusive hardware cache (no page migration)."""
+
+    name = "memory-mode"
+
+    def __init__(self, sample_period: int = 199,
+                 estimate_decay: float = 0.99) -> None:
+        super().__init__()
+        if not 0 < estimate_decay < 1:
+            raise ConfigurationError("decay must be in (0, 1)")
+        self.sample_period = int(sample_period)
+        self.estimate_decay = float(estimate_decay)
+        self._counts: Optional[np.ndarray] = None
+        self._hit_rate = 0.0
+        self._cache_pages = 0
+
+    def attach(self, placement: PlacementState) -> None:
+        super().attach(placement)
+        self._counts = np.zeros(placement.pages.n_pages)
+        # Cache capacity in page-sized objects. Real memory mode caches
+        # at cacheline granularity; at page granularity Che's
+        # approximation over pages is the matching abstraction (whole
+        # hot pages become cache-resident).
+        page = int(placement.pages.sizes_bytes[0])
+        self._cache_pages = max(1, placement.capacity_bytes(0) // page)
+        # Inclusive cache: every page's home is the alternate tier.
+        placement.move(np.arange(placement.pages.n_pages), 1)
+
+    @property
+    def hit_rate(self) -> float:
+        """Current estimated cache hit rate (the traffic share served
+        by the default tier)."""
+        return self._hit_rate
+
+    def traffic_split_override(self) -> Optional[np.ndarray]:
+        """The application split the hardware cache produces."""
+        return np.array([self._hit_rate, 1.0 - self._hit_rate])
+
+    def quantum(self, ctx: QuantumContext) -> QuantumDecision:
+        samples = ctx.feed.pebs_counts(self.sample_period)
+        self._counts *= self.estimate_decay
+        self._counts += samples
+        self.account("pebs_samples", int(samples.sum()))
+        if self._counts.sum() > 0:
+            overall, __ = lru_hit_rate(self._counts, self._cache_pages)
+            self._hit_rate = overall
+        self.account("plans", 1)
+        return QuantumDecision.idle()

@@ -1,0 +1,21 @@
+"""Static (manual) placement.
+
+The paper's best-case bars come from manual ``mbind`` placements held
+fixed for the whole run (§2.1). :class:`StaticPlacementSystem` performs no
+migrations; the runtime applies the desired initial placement and this
+system simply holds it. It also serves as the no-tiering control in
+ablations.
+"""
+
+from __future__ import annotations
+
+from repro.tiering.base import QuantumContext, QuantumDecision, TieringSystem
+
+
+class StaticPlacementSystem(TieringSystem):
+    """Holds whatever placement the run started with."""
+
+    name = "static"
+
+    def quantum(self, ctx: QuantumContext) -> QuantumDecision:
+        return QuantumDecision.idle()

@@ -1,0 +1,24 @@
+"""Access-tracking substrates.
+
+Emulations of the tracking mechanisms the three base systems use:
+PEBS-style statistical sampling (HeMem, MEMTIS), page-table scanning with
+hint faults (TPP), plus the supporting pieces — HeMem's cooling, MEMTIS's
+access histogram with a capacity-fitted hot threshold, and the per-quantum
+:class:`AccessFeed` through which the runtime exposes the physical access
+stream to the systems.
+"""
+
+from repro.tracking.feed import AccessFeed
+from repro.tracking.pebs import PebsSampler
+from repro.tracking.cooling import CoolingCounters
+from repro.tracking.hintfaults import FaultEvent, HintFaultTracker
+from repro.tracking.histogram import capacity_hot_threshold
+
+__all__ = [
+    "AccessFeed",
+    "PebsSampler",
+    "CoolingCounters",
+    "FaultEvent",
+    "HintFaultTracker",
+    "capacity_hot_threshold",
+]

@@ -1,0 +1,74 @@
+"""The per-quantum access feed.
+
+Tiering systems must not read the workload's true access distribution —
+on real hardware they only see sampled or fault-driven signals. The
+:class:`AccessFeed` is the boundary: the runtime constructs one per quantum
+from the true distribution and the solved request rate, and systems draw
+*observations* from it (PEBS samples, fault arrivals). All randomness is
+owned by the feed's RNG so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class AccessFeed:
+    """Physical access stream for one quantum.
+
+    Attributes:
+        quantum_ns: Quantum duration.
+        request_rate: Application demand-read requests per ns (all tiers).
+    """
+
+    def __init__(self, access_probs: np.ndarray, request_rate: float,
+                 quantum_ns: float, rng: np.random.Generator) -> None:
+        if request_rate < 0:
+            raise ConfigurationError("request rate must be non-negative")
+        if quantum_ns <= 0:
+            raise ConfigurationError("quantum must be positive")
+        self._probs = access_probs
+        self.request_rate = float(request_rate)
+        self.quantum_ns = float(quantum_ns)
+        self._rng = rng
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages in the distribution."""
+        return len(self._probs)
+
+    @property
+    def total_accesses(self) -> int:
+        """Expected number of application accesses this quantum."""
+        return int(self.request_rate * self.quantum_ns)
+
+    def pebs_counts(self, sample_period: int,
+                    max_samples: Optional[int] = None) -> np.ndarray:
+        """Per-page PEBS sample counts for this quantum.
+
+        One sample is taken every ``sample_period`` accesses; sampled
+        addresses follow the true access distribution — exactly the
+        statistical process PEBS implements.
+        """
+        if sample_period <= 0:
+            raise ConfigurationError("sample period must be positive")
+        n_samples = self.total_accesses // sample_period
+        if max_samples is not None:
+            n_samples = min(n_samples, max_samples)
+        if n_samples <= 0:
+            return np.zeros(self.n_pages, dtype=np.int64)
+        return self._rng.multinomial(n_samples, self._probs).astype(np.int64)
+
+    def page_access_rates(self) -> np.ndarray:
+        """Per-page access rates (requests/ns) — the physical quantity the
+        hint-fault tracker's exponential clocks run on."""
+        return self._probs * self.request_rate
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The feed's RNG (shared with fault generation)."""
+        return self._rng

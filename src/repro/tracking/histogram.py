@@ -1,0 +1,48 @@
+"""MEMTIS-style dynamic hot threshold.
+
+MEMTIS keeps a histogram of per-page access counts and chooses the hot
+threshold dynamically: the smallest count such that the pages at or above
+it just fit in the default tier. Pages above the threshold form the hot
+set eligible for promotion; pages below it are demotion candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def capacity_hot_threshold(counts: np.ndarray, sizes_bytes: np.ndarray,
+                           capacity_bytes: int) -> float:
+    """Smallest count whose hot set fits in ``capacity_bytes``.
+
+    Args:
+        counts: Per-page access counts (any non-negative scale).
+        sizes_bytes: Per-page sizes.
+        capacity_bytes: Default-tier capacity to fit the hot set into.
+
+    Returns:
+        A threshold ``c`` such that pages with ``count >= c`` have total
+        size at most the capacity and the set is maximal. If even the
+        single hottest page does not fit (can't happen with sane page
+        sizes), returns infinity; if everything fits, returns 0.
+    """
+    if counts.shape != sizes_bytes.shape:
+        raise ConfigurationError("counts and sizes must align")
+    if capacity_bytes <= 0:
+        raise ConfigurationError("capacity must be positive")
+    if sizes_bytes.sum() <= capacity_bytes:
+        return 0.0
+    order = np.argsort(-counts, kind="stable")
+    cumulative = np.cumsum(sizes_bytes[order])
+    # Largest prefix of hottest pages fitting in the capacity.
+    fit = int(np.searchsorted(cumulative, capacity_bytes, side="right"))
+    if fit == 0:
+        return float("inf")
+    threshold = float(counts[order[fit - 1]])
+    # All pages with counts strictly above the cut page's count certainly
+    # fit; including ties may overflow, so use the cut page's count and
+    # let callers treat ">= threshold" as eligibility rather than a
+    # guarantee (the capacity check at migration time is authoritative).
+    return max(threshold, np.nextafter(0.0, 1.0))

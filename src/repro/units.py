@@ -1,0 +1,91 @@
+"""Unit helpers used throughout the library.
+
+Internal conventions (documented here once, relied on everywhere):
+
+* **Time** is measured in nanoseconds (``float``). Quantum durations and
+  convergence times are expressed in seconds at API boundaries and converted
+  with :func:`seconds_to_ns` / :func:`ns_to_seconds`.
+* **Capacity** is measured in bytes (``int``).
+* **Bandwidth / request rates** are measured in bytes per nanosecond, which
+  conveniently equals gigabytes per second (1 B/ns == 1 GB/s, decimal).
+  Helper constructors below make call sites read naturally.
+* **Access probabilities** are dimensionless fractions in ``[0, 1]``.
+
+Keeping a single unit system internally avoids the classic systems-paper
+bug class of mixed ns/us/ms arithmetic; the helpers exist so that the
+configuration layer can speak in the paper's units (GB, ns, GB/s, ms).
+"""
+
+from __future__ import annotations
+
+#: Bytes in one cacheline; every memory request moves one cacheline (§3.1).
+CACHELINE_BYTES = 64
+
+#: Decimal kilo/mega/giga, used for bandwidth (GB/s is decimal by convention).
+KB = 10**3
+MB = 10**6
+GB = 10**9
+
+#: Binary capacities, used for memory sizes (the paper's "32GB" DIMMs are GiB).
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+
+NS_PER_US = 10**3
+NS_PER_MS = 10**6
+NS_PER_S = 10**9
+
+
+def gib(n: float) -> int:
+    """Capacity in bytes for ``n`` gibibytes."""
+    return int(n * GiB)
+
+
+def mib(n: float) -> int:
+    """Capacity in bytes for ``n`` mebibytes."""
+    return int(n * MiB)
+
+
+def kib(n: float) -> int:
+    """Capacity in bytes for ``n`` kibibytes."""
+    return int(n * KiB)
+
+
+def gbps(n: float) -> float:
+    """Bandwidth in internal units (bytes/ns) for ``n`` GB/s."""
+    return float(n)
+
+
+def to_gbps(bytes_per_ns: float) -> float:
+    """Convert internal bandwidth (bytes/ns) back to GB/s (identity)."""
+    return float(bytes_per_ns)
+
+
+def seconds_to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * NS_PER_S
+
+
+def ms_to_ns(milliseconds: float) -> float:
+    """Convert milliseconds to nanoseconds."""
+    return milliseconds * NS_PER_MS
+
+
+def us_to_ns(microseconds: float) -> float:
+    """Convert microseconds to nanoseconds."""
+    return microseconds * NS_PER_US
+
+
+def ns_to_seconds(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def requests_per_ns(bandwidth_bytes_per_ns: float) -> float:
+    """Convert a cacheline bandwidth into a request rate (requests/ns)."""
+    return bandwidth_bytes_per_ns / CACHELINE_BYTES
+
+
+def bandwidth_from_requests(rate_requests_per_ns: float) -> float:
+    """Convert a request rate (requests/ns) into bandwidth (bytes/ns)."""
+    return rate_requests_per_ns * CACHELINE_BYTES

@@ -1,0 +1,29 @@
+"""Workload models.
+
+Each workload exposes the two things the rest of the stack needs: a true
+per-page access-probability distribution (what the hardware would serve and
+what samplers observe) and a :class:`repro.memhw.corestate.CoreGroup`
+describing the cores that issue the accesses. Dynamic workloads mutate
+their distribution over time (§5.2).
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.gups import GupsWorkload
+from repro.workloads.dynamic import HotSetShiftWorkload
+from repro.workloads.zipf import zipf_page_probabilities
+from repro.workloads.graph import GraphWorkload
+from repro.workloads.silo import SiloYcsbWorkload
+from repro.workloads.cachelib import CacheLibWorkload
+from repro.workloads.trace import TraceEpoch, TraceWorkload
+
+__all__ = [
+    "Workload",
+    "GupsWorkload",
+    "HotSetShiftWorkload",
+    "zipf_page_probabilities",
+    "GraphWorkload",
+    "SiloYcsbWorkload",
+    "CacheLibWorkload",
+    "TraceEpoch",
+    "TraceWorkload",
+]

@@ -1,0 +1,68 @@
+"""Time-varying workload wrappers (§5.2).
+
+The paper evaluates two sources of dynamism: changes in the access pattern
+(handled here by :class:`HotSetShiftWorkload`) and changes in memory
+interconnect contention (handled by the runtime's antagonist schedule —
+contention is a property of the machine's background traffic, not of the
+workload).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memhw.corestate import CoreGroup
+from repro.workloads.base import Workload
+from repro.workloads.gups import GupsWorkload
+
+
+class HotSetShiftWorkload(Workload):
+    """Wraps a GUPS workload and reshuffles its hot set at given times.
+
+    At each shift time, pages previously in the hot set become cold and a
+    different random region becomes hot — the methodology HeMem (and §5.2)
+    uses to evaluate convergence after access-pattern changes.
+    """
+
+    def __init__(self, base: GupsWorkload,
+                 shift_times_s: Sequence[float]) -> None:
+        times = sorted(float(t) for t in shift_times_s)
+        if any(t < 0 for t in times):
+            raise ConfigurationError("shift times must be non-negative")
+        self._base = base
+        self._pending = times
+        self.name = f"{base.name}-hotshift"
+
+    @property
+    def base(self) -> GupsWorkload:
+        """The wrapped workload."""
+        return self._base
+
+    @property
+    def n_pages(self) -> int:
+        return self._base.n_pages
+
+    @property
+    def page_bytes(self) -> int:
+        return self._base.page_bytes
+
+    def access_probabilities(self) -> np.ndarray:
+        return self._base.access_probabilities()
+
+    def hot_mask(self) -> Optional[np.ndarray]:
+        return self._base.hot_mask()
+
+    def core_group(self) -> CoreGroup:
+        return self._base.core_group()
+
+    def advance(self, time_s: float) -> bool:
+        """Fire any shifts whose time has come; returns True if one fired."""
+        fired = False
+        while self._pending and self._pending[0] <= time_s:
+            self._pending.pop(0)
+            self._base.reshuffle_hot_set()
+            fired = True
+        return fired

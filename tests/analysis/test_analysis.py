@@ -1,0 +1,132 @@
+"""Tests for analysis utilities (EWMA, Little's Law, stats, convergence)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convergence import convergence_time_s
+from repro.analysis.ewma import Ewma
+from repro.analysis.littles import littles_law_latency, littles_law_occupancy
+from repro.analysis.stats import relative_gap, summarize
+from repro.errors import ConfigurationError
+
+
+class TestEwma:
+    def test_first_sample_initializes(self):
+        ewma = Ewma(alpha=0.1)
+        assert not ewma.initialized
+        value = ewma.update(10.0)
+        assert value == pytest.approx(10.0)
+        assert ewma.initialized
+
+    def test_blending(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(10.0)
+        assert ewma.update(20.0) == pytest.approx(15.0)
+
+    def test_vector_samples(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(ewma.update(np.array([3.0, 4.0])),
+                                   [2.0, 3.0])
+
+    def test_shape_change_rejected(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            ewma.update(np.array([1.0]))
+
+    def test_reset(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(5.0)
+        ewma.reset()
+        assert ewma.value is None
+
+    @given(st.floats(min_value=0.01, max_value=1.0),
+           st.lists(st.floats(min_value=-100, max_value=100), min_size=1,
+                    max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_stays_within_sample_range(self, alpha, samples):
+        ewma = Ewma(alpha=alpha)
+        for s in samples:
+            ewma.update(s)
+        assert min(samples) - 1e-9 <= float(ewma.value) <= max(samples) + 1e-9
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            Ewma(alpha=0.0)
+
+
+class TestLittlesLaw:
+    def test_roundtrip(self):
+        latency = littles_law_latency(np.array([100.0]), np.array([2.0]))
+        assert latency[0] == pytest.approx(50.0)
+        occupancy = littles_law_occupancy(latency, np.array([2.0]))
+        assert occupancy[0] == pytest.approx(100.0)
+
+    def test_idle_fallback(self):
+        latency = littles_law_latency(np.array([0.0]), np.array([0.0]),
+                                      fallback=np.array([65.0]))
+        assert latency[0] == 65.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            littles_law_latency(np.array([-1.0]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            littles_law_occupancy(np.array([-1.0]), np.array([1.0]))
+
+
+class TestStats:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.n == 4
+
+    def test_tail_fraction(self):
+        summary = summarize([0.0] * 75 + [8.0] * 25, tail_fraction=0.25)
+        assert summary.mean == pytest.approx(8.0)
+
+    def test_relative_gap(self):
+        assert relative_gap(80.0, 100.0) == pytest.approx(0.2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+        with pytest.raises(ConfigurationError):
+            relative_gap(1.0, 0.0)
+
+
+class TestConvergence:
+    def test_step_response(self):
+        t = np.arange(0, 100, dtype=float)
+        v = np.where(t < 50, 10.0, 20.0)
+        # Disturbance at t=40; settles at t=50.
+        conv = convergence_time_s(t, v, disturbance_time_s=40.0)
+        assert conv == pytest.approx(10.0)
+
+    def test_exponential_recovery(self):
+        t = np.arange(0, 200, dtype=float)
+        v = np.where(t < 20, 10.0, 20.0 - 10.0 * np.exp(-(t - 20) / 15.0))
+        conv = convergence_time_s(t, v, disturbance_time_s=20.0,
+                                  tolerance=0.05)
+        # Within 5% of 20 when exp term < 1 -> t-20 ~ 15*ln(10) ~ 34.5.
+        assert 25.0 < conv < 45.0
+
+    def test_never_settles_returns_none(self):
+        t = np.arange(0, 100, dtype=float)
+        rng = np.random.default_rng(0)
+        v = 10.0 + 8.0 * rng.standard_normal(100)
+        conv = convergence_time_s(t, v, disturbance_time_s=10.0,
+                                  tolerance=0.01)
+        assert conv is None
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            convergence_time_s([0.0], [1.0], disturbance_time_s=5.0)
+        with pytest.raises(ConfigurationError):
+            convergence_time_s([0.0], [1.0, 2.0], 0.0)
+        with pytest.raises(ConfigurationError):
+            convergence_time_s([0.0], [1.0], 0.0, tolerance=0.0)

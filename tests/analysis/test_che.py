@@ -1,0 +1,72 @@
+"""Tests for Che's LRU approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.che import characteristic_time, lru_hit_rate
+from repro.errors import ConfigurationError
+
+
+class TestCharacteristicTime:
+    def test_everything_fits_infinite_time(self):
+        probs = np.full(10, 0.1)
+        assert np.isinf(characteristic_time(probs, 10))
+        assert np.isinf(characteristic_time(probs, 20))
+
+    def test_occupancy_constraint_satisfied(self):
+        rng = np.random.default_rng(0)
+        probs = rng.dirichlet(np.ones(100))
+        t_c = characteristic_time(probs, 30)
+        occupancy = (1 - np.exp(-probs * t_c)).sum()
+        assert occupancy == pytest.approx(30.0, rel=1e-6)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            characteristic_time(np.array([]), 1)
+        with pytest.raises(ConfigurationError):
+            characteristic_time(np.array([0.5, -0.1]), 1)
+        with pytest.raises(ConfigurationError):
+            characteristic_time(np.array([1.0]), 0)
+
+
+class TestHitRate:
+    def test_uniform_distribution_hit_rate_is_capacity_fraction(self):
+        probs = np.full(100, 0.01)
+        overall, per_object = lru_hit_rate(probs, 25)
+        assert overall == pytest.approx(0.25, abs=0.03)
+        np.testing.assert_allclose(per_object, per_object[0])
+
+    def test_skew_raises_hit_rate(self):
+        uniform = np.full(100, 1.0)
+        rng = np.random.default_rng(1)
+        zipfy = 1.0 / np.arange(1, 101) ** 1.1
+        flat_hit, __ = lru_hit_rate(uniform, 20)
+        skew_hit, __ = lru_hit_rate(zipfy, 20)
+        assert skew_hit > flat_hit + 0.2
+
+    def test_hot_objects_hit_more(self):
+        probs = np.concatenate([np.full(10, 0.09), np.full(90, 0.1 / 90)])
+        __, per_object = lru_hit_rate(probs, 20)
+        assert per_object[:10].min() > per_object[10:].max()
+
+    def test_full_capacity_hits_everything(self):
+        probs = np.full(10, 0.1)
+        overall, per_object = lru_hit_rate(probs, 10)
+        assert overall == pytest.approx(1.0)
+        assert (per_object == 1.0).all()
+
+    def test_unnormalized_inputs_accepted(self):
+        counts = np.array([30.0, 20.0, 10.0, 1.0])
+        overall, __ = lru_hit_rate(counts, 2)
+        assert 0 < overall < 1
+
+    @given(st.integers(min_value=1, max_value=49))
+    @settings(max_examples=30, deadline=None)
+    def test_hit_rate_monotone_in_capacity(self, capacity):
+        rng = np.random.default_rng(7)
+        probs = rng.dirichlet(np.ones(50) * 0.5)
+        smaller, __ = lru_hit_rate(probs, capacity)
+        larger, __ = lru_hit_rate(probs, min(capacity + 1, 49))
+        assert larger >= smaller - 1e-9

@@ -1,0 +1,109 @@
+"""End-to-end tests of the three Colloid integrations.
+
+These assert the paper's headline behaviours on the full simulation
+stack: parity at 0x contention, large gains at 3x, and the mechanism —
+placement adapted until tier latencies balance (or the boundary is hit).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.integrate import (
+    HememColloidSystem,
+    MemtisColloidSystem,
+    TppColloidSystem,
+)
+from repro.errors import ConfigurationError
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.hemem import HememSystem
+from repro.tiering.memtis import MemtisSystem
+from repro.tiering.tpp import TppSystem
+from repro.workloads.gups import GupsWorkload
+from tests.conftest import FAST_SCALE
+
+PAIRS = [
+    (HememSystem, HememColloidSystem, 8.0),
+    (MemtisSystem, MemtisColloidSystem, 12.0),
+    (TppSystem, TppColloidSystem, 25.0),
+]
+
+
+def run(system, machine, contention, duration, seed=5):
+    workload = GupsWorkload(scale=FAST_SCALE, seed=seed)
+    loop = SimulationLoop(machine=machine, workload=workload,
+                          system=system, contention=contention, seed=seed)
+    return loop.run(duration_s=duration)
+
+
+@pytest.mark.parametrize("base_cls,colloid_cls,duration", PAIRS)
+class TestParityAtZeroContention:
+    def test_matches_baseline_at_0x(self, base_cls, colloid_cls, duration,
+                                    small_machine):
+        base = run(base_cls(), small_machine, 0, duration)
+        colloid = run(colloid_cls(), small_machine, 0, duration)
+        t_base = base.throughput[-50:].mean()
+        t_colloid = colloid.throughput[-50:].mean()
+        assert t_colloid == pytest.approx(t_base, rel=0.10)
+
+
+@pytest.mark.parametrize("base_cls,colloid_cls,duration", PAIRS)
+class TestGainsUnderContention:
+    def test_large_gain_at_3x(self, base_cls, colloid_cls, duration,
+                              small_machine):
+        """The paper's headline: 1.2-2.4x improvement at 3x intensity."""
+        base = run(base_cls(), small_machine, 3, duration)
+        colloid = run(colloid_cls(), small_machine, 3, duration)
+        gain = (colloid.throughput[-50:].mean()
+                / base.throughput[-50:].mean())
+        assert gain > 1.6
+
+    def test_colloid_offloads_hot_set(self, base_cls, colloid_cls,
+                                      duration, small_machine):
+        """At 3x the hot set belongs in the alternate tier (Figure 6a)."""
+        colloid = run(colloid_cls(), small_machine, 3, duration)
+        assert colloid.p_true[-50:].mean() < 0.3
+
+    def test_latency_gap_narrows(self, base_cls, colloid_cls, duration,
+                                 small_machine):
+        """Figure 6(b): Colloid shrinks the L_D/L_A gap vs the baseline."""
+        base = run(base_cls(), small_machine, 3, duration)
+        colloid = run(colloid_cls(), small_machine, 3, duration)
+        ratio = lambda m: (m.latencies_ns[-50:, 0].mean()
+                           / m.latencies_ns[-50:, 1].mean())
+        assert ratio(colloid) < ratio(base)
+
+
+class TestModerateContention:
+    def test_hemem_colloid_balances_at_1x(self, small_machine):
+        """At 1x the equilibrium is interior: latencies should be close
+        to balanced (within the delta dead band plus measurement slop)."""
+        colloid = run(HememColloidSystem(), small_machine, 1, 10.0)
+        tail = colloid.latencies_ns[-100:]
+        ratio = tail[:, 0].mean() / tail[:, 1].mean()
+        assert 0.75 < ratio < 1.30
+
+    def test_hemem_colloid_beats_baseline_at_1x(self, small_machine):
+        base = run(HememSystem(), small_machine, 1, 8.0)
+        colloid = run(HememColloidSystem(), small_machine, 1, 10.0)
+        gain = (colloid.throughput[-50:].mean()
+                / base.throughput[-50:].mean())
+        assert gain > 1.05
+
+
+class TestConfiguration:
+    def test_controller_requires_configuration(self):
+        system = HememColloidSystem()
+        with pytest.raises(ConfigurationError):
+            system.controller
+
+    def test_custom_delta_epsilon_forwarded(self):
+        system = HememColloidSystem(delta=0.1, epsilon=0.02)
+        from repro.memhw.topology import paper_testbed
+        from repro.pages.pagestate import PageArray
+        from repro.pages.placement import PlacementState
+
+        pages = PageArray.uniform(4, 100)
+        system.attach(PlacementState(pages, [400, 400]))
+        system.on_configure(paper_testbed(), 10**6, 1e7)
+        assert system.controller.shift.delta == 0.1
+        assert system.controller.shift.epsilon == 0.02

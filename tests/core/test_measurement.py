@@ -1,0 +1,109 @@
+"""Tests for the CHA-based latency monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.measurement import LatencyMonitor
+from repro.errors import ConfigurationError
+from repro.memhw.cha import ChaSample
+
+
+def sample(occupancy, rate, duration=1e7):
+    return ChaSample(
+        occupancy=np.asarray(occupancy, dtype=float),
+        rate=np.asarray(rate, dtype=float),
+        duration_ns=duration,
+    )
+
+
+class TestLittlesLawEstimation:
+    def test_latency_is_occupancy_over_rate(self):
+        monitor = LatencyMonitor([65.0, 130.0])
+        monitor.update(sample([100.0, 30.0], [1.0, 0.2]))
+        lat = monitor.latencies_ns()
+        assert lat[0] == pytest.approx(100.0)
+        assert lat[1] == pytest.approx(150.0)
+
+    def test_idle_tier_reports_unloaded_latency(self):
+        monitor = LatencyMonitor([65.0, 130.0])
+        monitor.update(sample([100.0, 0.0], [1.0, 0.0]))
+        assert monitor.latencies_ns()[1] == pytest.approx(130.0)
+
+    def test_no_samples_reports_unloaded(self):
+        monitor = LatencyMonitor([65.0, 130.0])
+        np.testing.assert_allclose(monitor.latencies_ns(), [65.0, 130.0])
+
+    def test_estimates_clamped_at_unloaded(self):
+        """Noise cannot push the estimate below physical latency."""
+        monitor = LatencyMonitor([65.0, 130.0])
+        monitor.update(sample([10.0, 1.0], [1.0, 0.2]))  # 10 ns, 5 ns
+        lat = monitor.latencies_ns()
+        assert lat[0] == 65.0
+        assert lat[1] == 130.0
+
+
+class TestEwmaSmoothing:
+    def test_first_sample_initializes(self):
+        monitor = LatencyMonitor([65.0, 130.0], ewma_alpha=0.2)
+        monitor.update(sample([200.0, 40.0], [1.0, 0.2]))
+        assert monitor.latencies_ns()[0] == pytest.approx(200.0)
+
+    def test_smoothing_dampens_spikes(self):
+        monitor = LatencyMonitor([65.0, 130.0], ewma_alpha=0.2)
+        for __ in range(20):
+            monitor.update(sample([100.0, 30.0], [1.0, 0.2]))
+        monitor.update(sample([1000.0, 30.0], [1.0, 0.2]))  # 10x spike
+        # One spike sample moves the estimate by at most alpha's worth.
+        assert monitor.latencies_ns()[0] < 300.0
+
+    def test_converges_to_new_level(self):
+        monitor = LatencyMonitor([65.0, 130.0], ewma_alpha=0.3)
+        for __ in range(5):
+            monitor.update(sample([100.0, 30.0], [1.0, 0.2]))
+        for __ in range(40):
+            monitor.update(sample([300.0, 30.0], [1.0, 0.2]))
+        assert monitor.latencies_ns()[0] == pytest.approx(300.0, rel=0.02)
+
+    def test_occupancy_and_rate_smoothed_separately(self):
+        """The paper smooths O and R before dividing; a sample with both
+        doubled must leave the latency estimate unchanged."""
+        monitor = LatencyMonitor([65.0, 130.0], ewma_alpha=0.5)
+        monitor.update(sample([100.0, 30.0], [1.0, 0.2]))
+        before = monitor.latencies_ns()[0]
+        monitor.update(sample([200.0, 60.0], [2.0, 0.4]))
+        assert monitor.latencies_ns()[0] == pytest.approx(before)
+
+
+class TestMeasuredP:
+    def test_measured_p_is_rate_share(self):
+        monitor = LatencyMonitor([65.0, 130.0])
+        monitor.update(sample([100.0, 30.0], [0.8, 0.2]))
+        assert monitor.measured_p() == pytest.approx(0.8)
+
+    def test_measured_p_zero_when_idle(self):
+        monitor = LatencyMonitor([65.0, 130.0])
+        assert monitor.measured_p() == 0.0
+
+    def test_reset_forgets_state(self):
+        monitor = LatencyMonitor([65.0, 130.0])
+        monitor.update(sample([100.0, 30.0], [1.0, 0.2]))
+        monitor.reset()
+        assert monitor.samples_seen == 0
+        np.testing.assert_allclose(monitor.latencies_ns(), [65.0, 130.0])
+
+
+class TestValidation:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            LatencyMonitor([65.0], ewma_alpha=0.0)
+
+    def test_rejects_bad_unloaded(self):
+        with pytest.raises(ConfigurationError):
+            LatencyMonitor([])
+        with pytest.raises(ConfigurationError):
+            LatencyMonitor([65.0, -1.0])
+
+    def test_rejects_shape_mismatch(self):
+        monitor = LatencyMonitor([65.0, 130.0])
+        with pytest.raises(ConfigurationError):
+            monitor.update(sample([1.0], [1.0]))

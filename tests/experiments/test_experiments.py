@@ -1,0 +1,151 @@
+"""Tests for the experiment harnesses (small grids)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import fig1, fig4, fig9, fig10
+from repro.experiments.common import (
+    ExperimentConfig,
+    base_system_of,
+    best_case_for,
+    format_table,
+    make_system,
+    run_gups_steady_state,
+    scaled_machine,
+)
+from tests.conftest import FAST_SCALE
+
+
+@pytest.fixture
+def config():
+    # A generous migration limit keeps convergence (and thus these
+    # tests) fast; the experiment defaults use the paper-scaled limit.
+    return ExperimentConfig(scale=FAST_SCALE, seed=7,
+                            migration_limit_bytes=8 * 1024 * 1024)
+
+
+class TestCommon:
+    def test_scaled_machine_preserves_ratios(self):
+        machine = scaled_machine(0.25)
+        full = scaled_machine(1.0)
+        assert machine.tiers[0].capacity_bytes == pytest.approx(
+            full.tiers[0].capacity_bytes * 0.25, rel=1e-6
+        )
+        assert machine.tiers[0].unloaded_latency_ns == (
+            full.tiers[0].unloaded_latency_ns
+        )
+
+    def test_make_system_names(self):
+        for name in ("hemem", "tpp", "memtis", "hemem+colloid",
+                     "tpp+colloid", "memtis+colloid"):
+            assert make_system(name).name == name
+
+    def test_make_system_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_system("autonuma")
+
+    def test_base_system_of(self):
+        assert base_system_of("hemem+colloid") == "hemem"
+        assert base_system_of("tpp") == "tpp"
+
+    def test_format_table_aligns(self):
+        table = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_best_case_monotone_in_contention(self, config):
+        """More contention can only hurt the best case."""
+        best0 = best_case_for(0, config).throughput
+        best3 = best_case_for(3, config).throughput
+        assert best3 < best0
+
+
+class TestFig1Harness:
+    def test_single_cell(self, config):
+        result = run_gups_steady_state("hemem", 0, config,
+                                       max_duration_s=5.0)
+        assert result.throughput > 0
+
+    def test_small_grid_shapes(self, config):
+        result = fig1.run(config, intensities=(0, 3), systems=("hemem",))
+        assert result.gap("hemem", 0) < 1.2
+        assert result.gap("hemem", 3) > 1.6
+        text = fig1.format_rows(result)
+        assert "best-case" in text
+        assert "hemem" in text
+
+
+class TestFig4Harness:
+    def test_all_scenarios_converge(self):
+        traces = fig4.run(quanta=80)
+        assert len(traces) == 3
+        for trace in traces:
+            assert trace.final_error() < 0.05, trace.scenario
+
+    def test_pstar_jump_uses_reset(self):
+        trace = fig4.run_scenario("pstar-jump", quanta=80)
+        # After the jump the watermarks must have been reset (p_hi back
+        # to 1.0 at some point past quantum 20).
+        assert max(trace.p_hi[21:]) == pytest.approx(1.0)
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ConfigurationError):
+            fig4.run_scenario("nope")
+
+    def test_format_rows(self):
+        text = fig4.format_rows(fig4.run(quanta=60))
+        assert "static" in text and "pstar-jump" in text
+
+
+class TestFig9Harness:
+    def test_hotshift_trace_dips_and_recovers(self, config):
+        trace = fig9.run_one("hemem", "hotshift-0x", config,
+                             timeline=(8.0, 20.0))
+        before = trace.throughput[trace.times_s < 8.0][-2:].mean()
+        dip = trace.throughput[(trace.times_s >= 8.0)
+                               & (trace.times_s < 11.0)].min()
+        final = trace.throughput[-2:].mean()
+        # The dip depends on how much the old and new hot regions
+        # overlap; with per-second averaging a few percent is expected.
+        assert dip < before * 0.97
+        assert final == pytest.approx(before, rel=0.1)
+
+    def test_contention_scenario_colloid_recovers_higher(self, config):
+        base = fig9.run_one("hemem", "contention", config,
+                            timeline=(8.0, 22.0))
+        colloid = fig9.run_one("hemem+colloid", "contention", config,
+                               timeline=(8.0, 22.0))
+        assert colloid.throughput[-2:].mean() > (
+            1.5 * base.throughput[-2:].mean()
+        )
+
+    def test_rejects_unknown_scenario(self, config):
+        with pytest.raises(ConfigurationError):
+            fig9.run_one("hemem", "bogus", config)
+
+
+class TestFig10Harness:
+    def test_migration_trace_spikes_after_shift(self, config):
+        trace = fig10.run_one("hemem", "hotshift-0x", config,
+                              shift_s=9.0, duration_s=20.0)
+        # Quiescent just before the shift (initial convergence is done),
+        # then a sustained burst after it.
+        before = trace.migration_rate[
+            (trace.times_s >= 7.0) & (trace.times_s < 9.0)
+        ].max()
+        after = trace.migration_rate[trace.times_s >= 9.0].max()
+        assert after > 5 * max(before, 1.0)
+
+    def test_colloid_peak_not_above_baseline(self, config):
+        base = fig10.run_one("hemem", "hotshift-0x", config,
+                             shift_s=9.0, duration_s=20.0)
+        colloid = fig10.run_one("hemem+colloid", "hotshift-0x", config,
+                                shift_s=9.0, duration_s=20.0)
+        assert colloid.peak_rate <= base.peak_rate * 1.1
+
+    def test_steady_migration_fraction_small(self, config):
+        trace = fig10.run_one("hemem+colloid", "hotshift-0x", config,
+                              shift_s=9.0, duration_s=22.0)
+        assert trace.steady_fraction() < 0.02

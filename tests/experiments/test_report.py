@@ -1,0 +1,39 @@
+"""Tests for the report generator (tiny section subset)."""
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.common import ExperimentConfig
+from tests.conftest import FAST_SCALE
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(scale=FAST_SCALE, seed=7,
+                            migration_limit_bytes=8 * 1024 * 1024,
+                            duration_caps={"hemem": 8.0, "memtis": 12.0,
+                                           "tpp": 25.0})
+
+
+class TestReport:
+    def test_section_filter_and_progress(self, config):
+        seen = []
+        body = report.generate(config, sections=["Figure 4"],
+                               progress=seen.append)
+        assert seen == ["Figure 4 — ComputeShift traces"]
+        assert "pstar-jump" in body
+        assert "Figure 1" not in body
+
+    def test_write_roundtrip(self, config, tmp_path):
+        path = report.write(tmp_path / "r.md", config,
+                            sections=["Figure 4"])
+        text = path.read_text()
+        assert text.startswith("# Measured evaluation report")
+        assert "ComputeShift" in text
+
+    def test_every_section_has_a_runner(self):
+        titles = [t for t, __ in report.SECTIONS]
+        assert len(titles) == len(set(titles))
+        for expected in ("Figure 1", "Figure 11", "CPU overheads",
+                         "Appendix"):
+            assert any(t.startswith(expected) for t in titles)

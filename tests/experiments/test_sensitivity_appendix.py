@@ -1,0 +1,48 @@
+"""Tests for the extended-version experiment harnesses."""
+
+import pytest
+
+from repro.experiments import appendix, sensitivity
+from repro.experiments.common import ExperimentConfig
+from tests.conftest import FAST_SCALE
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(scale=FAST_SCALE, seed=7,
+                            migration_limit_bytes=8 * 1024 * 1024,
+                            duration_caps={"hemem": 10.0, "memtis": 15.0,
+                                           "tpp": 30.0})
+
+
+class TestSensitivity:
+    def test_single_cell_runs(self, config):
+        throughput, variation, reaction = sensitivity.run_cell(
+            0.05, 0.01, config
+        )
+        assert throughput > 0
+        assert variation >= 0
+        assert reaction is None or reaction >= 0
+
+    def test_grid_and_formatting(self, config):
+        result = sensitivity.run(config, deltas=(0.05,),
+                                 epsilons=(0.01,))
+        text = sensitivity.format_rows(result)
+        assert "delta" in text and "reaction" in text
+
+    def test_large_delta_settles_further_from_optimum(self, config):
+        """The paper's delta trade-off on the real stack."""
+        tight, *_ = sensitivity.run_cell(0.02, 0.01, config)
+        loose, *_ = sensitivity.run_cell(0.30, 0.01, config)
+        assert loose <= tight * 1.03
+
+
+class TestAppendix:
+    def test_small_grid(self, config):
+        result = appendix.run(config, core_counts=(5, 15),
+                              read_fractions=(0.5,),
+                              intensities=(3,))
+        assert result.by_cores[(15, 3)] > 1.2
+        assert result.by_read_fraction[(0.5, 3)] > 1.2
+        text = appendix.format_rows(result)
+        assert "cores" in text and "read fraction" in text

@@ -1,0 +1,81 @@
+"""End-to-end runs on the CXL and HBM machine variants.
+
+Colloid's design claim (§3.1): the balancing principle needs no
+per-machine tuning — unloaded latencies, bandwidths, and contention are
+all captured through the measured loaded latencies. These tests run the
+unchanged HeMem+Colloid stack on machines with very different alternate
+tiers and check it lands on the right side of the trade-off each time.
+"""
+
+import pytest
+
+from repro.core.integrate import HememColloidSystem
+from repro.memhw.topology import cxl_testbed, hbm_testbed
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.hemem import HememSystem
+from repro.units import gib
+from repro.workloads.gups import GupsWorkload
+from tests.conftest import FAST_SCALE
+
+
+def run(machine, system, contention, duration=8.0, seed=5):
+    scaled = machine.with_tiers(
+        tuple(t.scaled_capacity(FAST_SCALE) for t in machine.tiers)
+    )
+    workload = GupsWorkload(scale=FAST_SCALE, seed=seed)
+    loop = SimulationLoop(machine=scaled, workload=workload,
+                          system=system, contention=contention, seed=seed)
+    return loop.run(duration_s=duration)
+
+
+class TestCxlVariant:
+    def test_parity_at_zero_contention(self):
+        machine = cxl_testbed(latency_ratio=2.0)
+        base = run(machine, HememSystem(), 0)
+        colloid = run(machine, HememColloidSystem(), 0)
+        assert colloid.throughput[-50:].mean() == pytest.approx(
+            base.throughput[-50:].mean(), rel=0.1
+        )
+
+    def test_gain_under_contention(self):
+        machine = cxl_testbed(latency_ratio=2.0)
+        base = run(machine, HememSystem(), 3)
+        colloid = run(machine, HememColloidSystem(), 3)
+        gain = colloid.throughput[-50:].mean() / base.throughput[-50:].mean()
+        assert gain > 1.3
+
+    def test_slower_cxl_smaller_gain(self):
+        """Figure 7's gradient on the CXL preset."""
+        gains = []
+        for ratio in (2.0, 2.7):
+            machine = cxl_testbed(latency_ratio=ratio)
+            base = run(machine, HememSystem(), 3)
+            colloid = run(machine, HememColloidSystem(), 3)
+            gains.append(colloid.throughput[-50:].mean()
+                         / base.throughput[-50:].mean())
+        assert gains[1] < gains[0] * 1.05
+        assert gains[1] > 1.1
+
+
+class TestHbmVariant:
+    def test_hbm_tier_absorbs_hot_set_under_contention(self):
+        """With a 400 GB/s alternate tier, offloading is cheap: Colloid
+        should move the hot set and win big at 3x contention."""
+        machine = hbm_testbed(hbm_capacity_bytes=gib(64))
+        base = run(machine, HememSystem(), 3)
+        colloid = run(machine, HememColloidSystem(), 3)
+        gain = colloid.throughput[-50:].mean() / base.throughput[-50:].mean()
+        assert gain > 1.5
+        # Nearly everything lands on HBM.
+        assert colloid.p_true[-50:].mean() < 0.2
+
+    def test_hbm_latency_stays_low_under_offload(self):
+        machine = hbm_testbed(hbm_capacity_bytes=gib(64))
+        colloid = run(machine, HememColloidSystem(), 3)
+        hbm_latency = colloid.latencies_ns[-50:, 1].mean()
+        # 400 GB/s absorbs the offloaded hot set without inflating much.
+        assert hbm_latency < 160.0
+
+    def test_rejects_hbm_faster_than_default(self):
+        with pytest.raises(Exception):
+            hbm_testbed(hbm_latency_ns=40.0)

@@ -1,0 +1,169 @@
+"""Integration tests organized by the paper's claims.
+
+Each test maps to a quoted claim and checks the reproduction's version of
+it on the full stack (hardware model + tracking + tiering + Colloid),
+with band tolerances per DESIGN.md §5.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.integrate import (
+    HememColloidSystem,
+    MemtisColloidSystem,
+    TppColloidSystem,
+)
+from repro.experiments.common import (
+    ExperimentConfig,
+    best_case_for,
+    run_gups_steady_state,
+)
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.hemem import HememSystem
+from repro.tiering.memtis import MemtisSystem
+from repro.workloads.gups import GupsWorkload
+from tests.conftest import FAST_SCALE
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale=FAST_SCALE, seed=11,
+                            migration_limit_bytes=8 * 1024 * 1024,
+                            duration_caps={"hemem": 12.0, "memtis": 20.0,
+                                           "tpp": 45.0})
+
+
+@pytest.fixture(scope="module")
+def steady(config):
+    """Steady-state throughputs for all systems at 0x and 3x."""
+    results = {}
+    for intensity in (0, 3):
+        results[("best", intensity)] = best_case_for(
+            intensity, config
+        ).throughput
+        for base in ("hemem", "tpp", "memtis"):
+            for name in (base, f"{base}+colloid"):
+                results[(name, intensity)] = run_gups_steady_state(
+                    name, intensity, config
+                ).throughput
+    return results
+
+
+class TestSection2Claims:
+    """§2: existing systems are far from optimal under contention."""
+
+    def test_baselines_near_best_at_zero_contention(self, steady):
+        """'HeMem, TPP, and MEMTIS achieve throughput within 1.5%, 4.6%
+        and 10.1% of the best-case respectively' (0x)."""
+        best = steady[("best", 0)]
+        assert steady[("hemem", 0)] > 0.90 * best
+        assert steady[("tpp", 0)] > 0.88 * best
+        assert steady[("memtis", 0)] > 0.82 * best
+
+    def test_memtis_pays_a_splitting_penalty(self, steady):
+        """MEMTIS trails the other baselines at 0x because of premature
+        hugepage splitting (§2.2)."""
+        assert steady[("memtis", 0)] < steady[("hemem", 0)]
+
+    def test_baselines_far_from_best_at_3x(self, steady):
+        """'as much as 2.3x, 2.36x and 2.46x worse than optimal.'"""
+        best = steady[("best", 3)]
+        for base in ("hemem", "tpp", "memtis"):
+            gap = best / steady[(base, 3)]
+            assert 1.7 < gap < 3.0, base
+
+
+class TestSection5Claims:
+    """§5.1: Colloid restores near-optimal performance."""
+
+    def test_colloid_matches_baselines_at_zero_contention(self, steady):
+        """'With 0x intensity, performance with Colloid matches
+        performance without Colloid for all systems.'"""
+        for base in ("hemem", "tpp", "memtis"):
+            ratio = steady[(f"{base}+colloid", 0)] / steady[(base, 0)]
+            assert ratio == pytest.approx(1.0, abs=0.1), base
+
+    def test_colloid_gains_at_3x(self, steady):
+        """'1.2-2.3x for HeMem, 1.35-2.35x for TPP and 1.29-2.3x for
+        MEMTIS.'"""
+        for base in ("hemem", "tpp", "memtis"):
+            gain = steady[(f"{base}+colloid", 3)] / steady[(base, 3)]
+            assert 1.6 < gain < 2.8, base
+
+    def test_colloid_near_best_case(self, steady):
+        """'within 3%, 8% and 13%' of best-case (we allow a wider band;
+        the balance point is not exactly the throughput optimum when the
+        latency curves are steep)."""
+        for base in ("hemem", "tpp", "memtis"):
+            for intensity in (0, 3):
+                gap = 1 - (steady[(f"{base}+colloid", intensity)]
+                           / steady[("best", intensity)])
+                assert gap < 0.25, (base, intensity)
+
+
+class TestMeasurementPathway:
+    """§3.1: the CHA + Little's Law + EWMA pathway drives decisions."""
+
+    def test_colloid_works_under_measurement_noise(self, small_machine):
+        """Decisions survive 5% lognormal counter noise."""
+        workload = GupsWorkload(scale=FAST_SCALE, seed=11)
+        loop = SimulationLoop(
+            machine=small_machine, workload=workload,
+            system=HememColloidSystem(), contention=3,
+            cha_noise_sigma=0.05, seed=11,
+        )
+        noisy = loop.run(duration_s=8.0).throughput[-50:].mean()
+        loop2 = SimulationLoop(
+            machine=small_machine,
+            workload=GupsWorkload(scale=FAST_SCALE, seed=11),
+            system=HememColloidSystem(), contention=3,
+            cha_noise_sigma=0.0, seed=11,
+        )
+        clean = loop2.run(duration_s=8.0).throughput[-50:].mean()
+        assert noisy == pytest.approx(clean, rel=0.1)
+
+    def test_measured_p_includes_antagonist_but_loop_still_converges(
+            self, small_machine):
+        """The CHA cannot attribute traffic; the feedback loop tolerates
+        the antagonist's contribution to measured p."""
+        workload = GupsWorkload(scale=FAST_SCALE, seed=11)
+        loop = SimulationLoop(
+            machine=small_machine, workload=workload,
+            system=HememColloidSystem(), contention=2, seed=11,
+        )
+        metrics = loop.run(duration_s=10.0)
+        tail = metrics.p_measured[-50:]
+        assert (tail > metrics.p_true[-50:]).all()  # antagonist included
+        ratio = (metrics.latencies_ns[-50:, 0].mean()
+                 / metrics.latencies_ns[-50:, 1].mean())
+        assert ratio < 2.0  # still pulled far toward balance
+
+
+class TestStructuralProperties:
+    """Cross-cutting invariants on full runs."""
+
+    @pytest.mark.parametrize("system_cls", [
+        HememSystem, MemtisSystem, HememColloidSystem,
+        MemtisColloidSystem, TppColloidSystem,
+    ])
+    def test_capacity_never_violated(self, system_cls, small_machine):
+        workload = GupsWorkload(scale=FAST_SCALE, seed=11)
+        loop = SimulationLoop(machine=small_machine, workload=workload,
+                              system=system_cls(), contention=3, seed=11)
+        for __ in range(300):
+            loop.step()
+            for tier in range(loop.placement.n_tiers):
+                assert loop.placement.used_bytes(tier) <= (
+                    loop.placement.capacity_bytes(tier)
+                )
+
+    def test_runs_are_deterministic(self, small_machine):
+        def run():
+            workload = GupsWorkload(scale=FAST_SCALE, seed=11)
+            loop = SimulationLoop(
+                machine=small_machine, workload=workload,
+                system=HememColloidSystem(), contention=3, seed=11,
+            )
+            return loop.run(duration_s=3.0).throughput
+
+        np.testing.assert_array_equal(run(), run())

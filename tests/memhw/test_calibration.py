@@ -1,0 +1,96 @@
+"""Calibration tests: the pinned testbed hits the paper's operating points.
+
+These are *band* checks, not exact-number checks — the reproduction
+promises shape fidelity (DESIGN.md §5).
+"""
+
+import pytest
+
+from repro.memhw.calibration import (
+    LATENCY_INFLATION_TARGETS,
+    calibration_report,
+)
+from repro.memhw.topology import paper_testbed
+
+
+@pytest.fixture(scope="module")
+def report():
+    return calibration_report(paper_testbed())
+
+
+class TestAntagonistIsolation:
+    def test_shares_within_band(self, report):
+        """Isolated antagonist bandwidth within +-6 points of the paper."""
+        for level, entry in report["antagonist_isolated_share"].items():
+            assert entry["achieved"] == pytest.approx(
+                entry["target"], abs=0.06
+            ), f"intensity {level}"
+
+    def test_shares_increase_with_intensity(self, report):
+        shares = [
+            report["antagonist_isolated_share"][k]["achieved"]
+            for k in sorted(report["antagonist_isolated_share"])
+        ]
+        assert shares == sorted(shares)
+
+    def test_concavity(self, report):
+        """Doubling antagonist cores less than doubles bandwidth (the
+        near-saturation regime the paper operates in)."""
+        s = report["antagonist_isolated_share"]
+        assert s[2]["achieved"] < 2 * s[1]["achieved"]
+        assert s[3]["achieved"] < 1.5 * s[2]["achieved"]
+
+
+class TestLatencyInflation:
+    def test_inflations_within_band(self, report):
+        """Default-tier latency inflation within 25% of 2.5x/3.8x/5x."""
+        for level, entry in report["default_latency_inflation"].items():
+            assert entry["achieved"] == pytest.approx(
+                entry["target"], rel=0.25
+            ), f"intensity {level}"
+
+    def test_inflation_monotone(self, report):
+        values = [
+            report["default_latency_inflation"][k]["achieved"]
+            for k in sorted(LATENCY_INFLATION_TARGETS)
+        ]
+        assert values == sorted(values)
+
+    def test_default_exceeds_alternate_under_contention(self):
+        """The paper's core observation: L_D > L_A at 1x and above."""
+        from repro.memhw.calibration import HOT_PACKED_P, _gups_group
+        from repro.memhw.antagonist import antagonist_core_group
+        from repro.memhw.fixedpoint import EquilibriumSolver
+
+        machine = paper_testbed()
+        solver = EquilibriumSolver(machine.tiers)
+        app = _gups_group(machine)
+        for level in (1, 2, 3):
+            ant = antagonist_core_group(level, machine.antagonist)
+            eq = solver.solve(app, [HOT_PACKED_P, 1 - HOT_PACKED_P],
+                              pinned=[(ant, 0)])
+            assert eq.latencies_ns[0] > eq.latencies_ns[1], (
+                f"intensity {level}"
+            )
+
+
+class TestZeroContention:
+    def test_hot_packing_optimal_at_0x(self, report):
+        """Without the antagonist, the default tier stays faster, so
+        packing the hot set there is the right call (Figure 1, 0x)."""
+        assert report["hot_packing_optimal_at_0x"]["achieved"] is True
+
+
+@pytest.mark.slow
+class TestRefit:
+    def test_least_squares_refit_improves_or_holds(self):
+        from repro.memhw.calibration import calibrate_paper_testbed
+        import numpy as np
+
+        result = calibrate_paper_testbed(max_nfev=20)
+        assert np.isfinite(result.residual_norm)
+        # The pinned defaults are already near-optimal; the refit should
+        # land in the same neighbourhood.
+        assert result.residual_norm < 0.6
+        refit_report = calibration_report(result.machine)
+        assert refit_report["hot_packing_optimal_at_0x"]["achieved"]

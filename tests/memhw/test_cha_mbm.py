@@ -1,0 +1,108 @@
+"""Tests for the emulated CHA and MBM counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memhw.cha import ChaCounters
+from repro.memhw.corestate import CoreGroup
+from repro.memhw.fixedpoint import EquilibriumSolver
+from repro.memhw.mbm import MbmMonitor
+from repro.memhw.topology import paper_testbed
+
+
+@pytest.fixture
+def equilibrium():
+    solver = EquilibriumSolver(paper_testbed().tiers)
+    app = CoreGroup("a", 15, 7.0, read_fraction=0.5)
+    return solver.solve(app, [0.8, 0.2])
+
+
+class TestChaCounters:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            ChaCounters(0)
+        with pytest.raises(ConfigurationError):
+            ChaCounters(2, noise_sigma=-0.1)
+
+    def test_noiseless_sample_recovers_latency(self, equilibrium):
+        cha = ChaCounters(2, noise_sigma=0.0)
+        cha.observe(equilibrium, 1e7)
+        sample = cha.sample_and_reset()
+        latency = sample.occupancy / sample.rate
+        np.testing.assert_allclose(latency, equilibrium.latencies_ns,
+                                   rtol=1e-12)
+
+    def test_rates_match_equilibrium(self, equilibrium):
+        cha = ChaCounters(2, noise_sigma=0.0)
+        cha.observe(equilibrium, 5e6)
+        sample = cha.sample_and_reset()
+        np.testing.assert_allclose(
+            sample.rate, equilibrium.tier_read_request_rate, rtol=1e-12
+        )
+
+    def test_sample_resets_accumulators(self, equilibrium):
+        cha = ChaCounters(2)
+        cha.observe(equilibrium, 1e6)
+        cha.sample_and_reset()
+        empty = cha.sample_and_reset()
+        assert empty.duration_ns == 0.0
+        assert (empty.occupancy == 0).all()
+        assert (empty.rate == 0).all()
+
+    def test_multiple_observations_average(self, equilibrium):
+        cha = ChaCounters(2, noise_sigma=0.0)
+        cha.observe(equilibrium, 1e6)
+        cha.observe(equilibrium, 3e6)
+        sample = cha.sample_and_reset()
+        assert sample.duration_ns == pytest.approx(4e6)
+        np.testing.assert_allclose(
+            sample.occupancy / sample.rate, equilibrium.latencies_ns,
+            rtol=1e-12,
+        )
+
+    def test_noise_perturbs_but_centers(self, equilibrium):
+        cha = ChaCounters(2, noise_sigma=0.05,
+                          rng=np.random.default_rng(3))
+        ratios = []
+        for __ in range(400):
+            cha.observe(equilibrium, 1e6)
+            sample = cha.sample_and_reset()
+            ratios.append(
+                (sample.occupancy / sample.rate) / equilibrium.latencies_ns
+            )
+        mean_ratio = np.mean(ratios, axis=0)
+        np.testing.assert_allclose(mean_ratio, 1.0, atol=0.02)
+        assert np.std(ratios, axis=0).max() > 0.01  # noise is present
+
+    def test_tier_count_mismatch_rejected(self, equilibrium):
+        cha = ChaCounters(3)
+        with pytest.raises(ConfigurationError):
+            cha.observe(equilibrium, 1e6)
+
+
+class TestMbmMonitor:
+    def test_attributes_app_bandwidth_per_tier(self, equilibrium):
+        mbm = MbmMonitor(2, traffic_multiplier=1.5)
+        mbm.observe(equilibrium, 1e6)
+        sample = mbm.sample_and_reset()
+        np.testing.assert_allclose(
+            sample.app_tier_bandwidth,
+            equilibrium.app_tier_read_rate * 1.5,
+            rtol=1e-12,
+        )
+
+    def test_default_tier_share(self, equilibrium):
+        mbm = MbmMonitor(2)
+        mbm.observe(equilibrium, 1e6)
+        sample = mbm.sample_and_reset()
+        assert sample.default_tier_share == pytest.approx(0.8, rel=1e-9)
+
+    def test_empty_window(self):
+        mbm = MbmMonitor(2)
+        sample = mbm.sample_and_reset()
+        assert sample.default_tier_share == 0.0
+
+    def test_rejects_multiplier_below_one(self):
+        with pytest.raises(ConfigurationError):
+            MbmMonitor(2, traffic_multiplier=0.5)

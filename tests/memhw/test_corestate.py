@@ -1,0 +1,110 @@
+"""Tests for closed-loop core groups."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memhw.corestate import CoreGroup
+
+
+class TestValidation:
+    def test_rejects_negative_cores(self):
+        with pytest.raises(ConfigurationError):
+            CoreGroup("x", -1, 8.0)
+
+    def test_rejects_nonpositive_mlp(self):
+        with pytest.raises(ConfigurationError):
+            CoreGroup("x", 1, 0.0)
+
+    def test_rejects_bad_randomness(self):
+        with pytest.raises(ConfigurationError):
+            CoreGroup("x", 1, 8.0, randomness=2.0)
+
+    def test_rejects_bad_read_fraction(self):
+        with pytest.raises(ConfigurationError):
+            CoreGroup("x", 1, 8.0, read_fraction=1.5)
+
+
+class TestClosedLoopLaw:
+    def test_demand_rate_is_n_mlp_64_over_latency(self):
+        group = CoreGroup("x", 15, 7.0)
+        assert group.demand_read_rate(100.0) == pytest.approx(
+            15 * 7.0 * 64 / 100.0
+        )
+
+    def test_rate_halves_when_latency_doubles(self):
+        group = CoreGroup("x", 4, 10.0)
+        assert group.demand_read_rate(200.0) == pytest.approx(
+            group.demand_read_rate(100.0) / 2
+        )
+
+    def test_zero_cores_zero_rate(self):
+        assert CoreGroup("x", 0, 8.0).demand_read_rate(100.0) == 0.0
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ConfigurationError):
+            CoreGroup("x", 1, 8.0).demand_read_rate(0.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=30, deadline=None)
+    def test_rate_positive_and_monotone_in_latency(self, latency):
+        group = CoreGroup("x", 2, 5.0)
+        rate = group.demand_read_rate(latency)
+        assert rate > 0
+        assert rate >= group.demand_read_rate(latency * 2)
+
+
+class TestTrafficAccounting:
+    def test_read_only_has_no_writebacks(self):
+        group = CoreGroup("x", 1, 8.0, read_fraction=1.0)
+        assert group.traffic_multiplier() == pytest.approx(1.0)
+        assert group.wire_read_fraction() == pytest.approx(1.0)
+
+    def test_one_to_one_rw_adds_half_writebacks(self):
+        group = CoreGroup("x", 1, 8.0, read_fraction=0.5)
+        assert group.traffic_multiplier() == pytest.approx(1.5)
+        assert group.wire_read_fraction() == pytest.approx(2.0 / 3.0)
+
+    def test_write_only_doubles_traffic(self):
+        group = CoreGroup("x", 1, 8.0, read_fraction=0.0)
+        assert group.traffic_multiplier() == pytest.approx(2.0)
+
+
+class TestObjectSizeModel:
+    def test_64_byte_objects_are_baseline(self):
+        group = CoreGroup.for_object_size("x", 15, 64, base_mlp=7.0)
+        assert group.mlp == pytest.approx(7.0)
+        assert group.randomness == pytest.approx(1.0)
+
+    def test_4096_byte_objects_hit_paper_parallelism_gain(self):
+        """The paper measures 2.82x more in-flight misses at 4 KiB."""
+        small = CoreGroup.for_object_size("x", 15, 64, base_mlp=7.0)
+        large = CoreGroup.for_object_size("x", 15, 4096, base_mlp=7.0)
+        assert large.mlp / small.mlp == pytest.approx(2.82, rel=1e-6)
+
+    def test_larger_objects_less_random(self):
+        sizes = [64, 256, 1024, 4096]
+        randomness = [
+            CoreGroup.for_object_size("x", 1, s).randomness for s in sizes
+        ]
+        assert randomness == sorted(randomness, reverse=True)
+
+    def test_randomness_floor_holds(self):
+        huge = CoreGroup.for_object_size("x", 1, 1 << 20)
+        assert huge.randomness >= 0.35
+
+    def test_rejects_sub_cacheline_objects(self):
+        with pytest.raises(ConfigurationError):
+            CoreGroup.for_object_size("x", 1, 32)
+
+
+class TestCopies:
+    def test_with_cores(self):
+        group = CoreGroup("x", 2, 8.0)
+        assert group.with_cores(5).n_cores == 5
+        assert group.n_cores == 2
+
+    def test_with_mlp(self):
+        group = CoreGroup("x", 2, 8.0)
+        assert group.with_mlp(16.0).mlp == 16.0

@@ -1,0 +1,175 @@
+"""Tests for latency-load curves and traffic-mix effective bandwidth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memhw.latency import (
+    LatencyCurve,
+    TrafficClass,
+    effective_bandwidth,
+    tier_load,
+    total_bandwidth,
+    U_CAP,
+)
+from repro.memhw.tier import MemoryTierSpec
+from repro.units import gib
+
+
+def make_tier(**overrides) -> MemoryTierSpec:
+    kwargs = dict(
+        name="t",
+        capacity_bytes=gib(32),
+        unloaded_latency_ns=65.0,
+        theoretical_bandwidth=205.0,
+        queueing_scale_ns=20.0,
+        efficiency_sequential=0.88,
+        efficiency_random=0.75,
+        rw_penalty=0.15,
+    )
+    kwargs.update(overrides)
+    return MemoryTierSpec(**kwargs)
+
+
+class TestTrafficClass:
+    def test_valid(self):
+        t = TrafficClass(bandwidth=10.0, randomness=0.5, read_fraction=0.7)
+        assert t.bandwidth == 10.0
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            TrafficClass(bandwidth=-1.0)
+
+    def test_rejects_bad_randomness(self):
+        with pytest.raises(ConfigurationError):
+            TrafficClass(bandwidth=1.0, randomness=1.5)
+
+    def test_rejects_bad_read_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TrafficClass(bandwidth=1.0, read_fraction=-0.1)
+
+
+class TestEffectiveBandwidth:
+    def test_sequential_read_only_is_maximal(self):
+        tier = make_tier()
+        traffic = [TrafficClass(50.0, randomness=0.0, read_fraction=1.0)]
+        assert effective_bandwidth(tier, traffic) == pytest.approx(
+            205.0 * 0.88
+        )
+
+    def test_random_traffic_lowers_effective_bandwidth(self):
+        tier = make_tier()
+        seq = effective_bandwidth(
+            tier, [TrafficClass(50.0, randomness=0.0, read_fraction=1.0)]
+        )
+        rand = effective_bandwidth(
+            tier, [TrafficClass(50.0, randomness=1.0, read_fraction=1.0)]
+        )
+        assert rand < seq
+        assert rand == pytest.approx(205.0 * 0.75)
+
+    def test_write_share_applies_penalty(self):
+        tier = make_tier()
+        reads = effective_bandwidth(
+            tier, [TrafficClass(50.0, randomness=0.0, read_fraction=1.0)]
+        )
+        mixed = effective_bandwidth(
+            tier, [TrafficClass(50.0, randomness=0.0, read_fraction=0.5)]
+        )
+        assert mixed < reads
+        # 1:1 wire mix pays the full penalty.
+        assert mixed == pytest.approx(205.0 * 0.88 * (1 - 0.15))
+
+    def test_mix_weighted_by_bandwidth(self):
+        tier = make_tier()
+        heavy_seq = effective_bandwidth(tier, [
+            TrafficClass(90.0, randomness=0.0, read_fraction=1.0),
+            TrafficClass(10.0, randomness=1.0, read_fraction=1.0),
+        ])
+        heavy_rand = effective_bandwidth(tier, [
+            TrafficClass(10.0, randomness=0.0, read_fraction=1.0),
+            TrafficClass(90.0, randomness=1.0, read_fraction=1.0),
+        ])
+        assert heavy_rand < heavy_seq
+
+    def test_no_traffic_uses_sequential_efficiency(self):
+        tier = make_tier()
+        assert effective_bandwidth(tier, []) == pytest.approx(205.0 * 0.88)
+
+
+class TestTierLoad:
+    def test_simplex_sums_everything(self):
+        tier = make_tier(duplex=False)
+        traffic = [
+            TrafficClass(30.0, read_fraction=1.0),
+            TrafficClass(20.0, read_fraction=0.0),
+        ]
+        assert tier_load(tier, traffic) == pytest.approx(50.0)
+
+    def test_duplex_uses_busier_direction(self):
+        tier = make_tier(duplex=True)
+        traffic = [
+            TrafficClass(30.0, read_fraction=1.0),   # 30 read
+            TrafficClass(20.0, read_fraction=0.0),   # 20 write
+        ]
+        assert tier_load(tier, traffic) == pytest.approx(30.0)
+
+    def test_duplex_write_heavy(self):
+        tier = make_tier(duplex=True)
+        traffic = [TrafficClass(40.0, read_fraction=0.25)]
+        assert tier_load(tier, traffic) == pytest.approx(30.0)  # writes
+
+    def test_total_bandwidth(self):
+        traffic = [TrafficClass(1.0), TrafficClass(2.5)]
+        assert total_bandwidth(traffic) == pytest.approx(3.5)
+
+
+class TestLatencyCurve:
+    def test_zero_load_is_unloaded_latency(self):
+        curve = LatencyCurve(make_tier())
+        assert curve.latency_ns(0.0) == pytest.approx(65.0)
+
+    def test_negative_utilization_clamped(self):
+        curve = LatencyCurve(make_tier())
+        assert curve.latency_ns(-0.5) == pytest.approx(65.0)
+
+    @given(st.floats(min_value=0.0, max_value=2.0),
+           st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_nondecreasing(self, u1, u2):
+        curve = LatencyCurve(make_tier())
+        lo, hi = sorted([u1, u2])
+        assert curve.latency_ns(lo) <= curve.latency_ns(hi) + 1e-9
+
+    def test_continuous_at_cap(self):
+        curve = LatencyCurve(make_tier())
+        below = curve.latency_ns(U_CAP - 1e-9)
+        above = curve.latency_ns(U_CAP + 1e-9)
+        assert abs(above - below) < 1e-3
+
+    def test_linear_beyond_cap(self):
+        curve = LatencyCurve(make_tier())
+        l1 = curve.latency_ns(U_CAP + 0.01)
+        l2 = curve.latency_ns(U_CAP + 0.02)
+        l3 = curve.latency_ns(U_CAP + 0.03)
+        assert (l3 - l2) == pytest.approx(l2 - l1, rel=1e-9)
+
+    @given(st.floats(min_value=0.01, max_value=0.97))
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_roundtrip(self, u):
+        curve = LatencyCurve(make_tier())
+        latency = curve.latency_ns(u)
+        assert curve.utilization_for_latency(latency) == pytest.approx(
+            u, abs=1e-6
+        )
+
+    def test_inverse_below_unloaded_is_zero(self):
+        curve = LatencyCurve(make_tier())
+        assert curve.utilization_for_latency(10.0) == 0.0
+
+    def test_exponent_flattens_low_load(self):
+        gentle = LatencyCurve(make_tier(curve_exponent=2.0))
+        steep = LatencyCurve(make_tier(curve_exponent=1.0))
+        assert gentle.latency_ns(0.3) < steep.latency_ns(0.3)

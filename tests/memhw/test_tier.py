@@ -1,0 +1,82 @@
+"""Tests for memory tier specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memhw.tier import MemoryTierSpec
+from repro.units import gib
+
+
+def make_tier(**overrides) -> MemoryTierSpec:
+    kwargs = dict(
+        name="test",
+        capacity_bytes=gib(32),
+        unloaded_latency_ns=65.0,
+        theoretical_bandwidth=205.0,
+    )
+    kwargs.update(overrides)
+    return MemoryTierSpec(**kwargs)
+
+
+class TestValidation:
+    def test_valid_tier_constructs(self):
+        tier = make_tier()
+        assert tier.capacity_bytes == gib(32)
+        assert tier.unloaded_latency_ns == 65.0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(capacity_bytes=0)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(unloaded_latency_ns=0.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(theoretical_bandwidth=-1.0)
+
+    def test_rejects_random_efficiency_above_sequential(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(efficiency_sequential=0.6, efficiency_random=0.8)
+
+    def test_rejects_rw_penalty_of_one(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(rw_penalty=1.0)
+
+    def test_rejects_negative_queueing_scale(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(queueing_scale_ns=-1.0)
+
+    def test_rejects_nonpositive_curve_exponent(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(curve_exponent=0.0)
+
+
+class TestCopies:
+    def test_with_unloaded_latency_changes_only_latency(self):
+        tier = make_tier()
+        slower = tier.with_unloaded_latency(130.0)
+        assert slower.unloaded_latency_ns == 130.0
+        assert slower.capacity_bytes == tier.capacity_bytes
+        assert tier.unloaded_latency_ns == 65.0  # original untouched
+
+    def test_with_bandwidth(self):
+        tier = make_tier()
+        assert tier.with_bandwidth(75.0).theoretical_bandwidth == 75.0
+
+    def test_scaled_capacity(self):
+        tier = make_tier()
+        assert tier.scaled_capacity(0.5).capacity_bytes == gib(32) // 2
+
+    def test_scaled_capacity_rejects_nonpositive_factor(self):
+        with pytest.raises(ConfigurationError):
+            make_tier().scaled_capacity(0.0)
+
+    def test_scaled_capacity_never_reaches_zero(self):
+        assert make_tier().scaled_capacity(1e-15).capacity_bytes >= 1
+
+    def test_specs_are_immutable(self):
+        tier = make_tier()
+        with pytest.raises(Exception):
+            tier.capacity_bytes = 1

@@ -1,0 +1,104 @@
+"""Tests for machine topologies and antagonist specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memhw.antagonist import (
+    AntagonistSpec,
+    antagonist_core_group,
+    cores_for_intensity,
+)
+from repro.memhw.tier import MemoryTierSpec
+from repro.memhw.topology import Machine, cxl_testbed, paper_testbed
+from repro.units import gib
+
+
+class TestPaperTestbed:
+    def test_default_tier_is_fastest(self):
+        machine = paper_testbed()
+        assert machine.default_tier.unloaded_latency_ns < min(
+            t.unloaded_latency_ns for t in machine.alternate_tiers
+        )
+
+    def test_paper_capacities(self):
+        machine = paper_testbed()
+        assert machine.tiers[0].capacity_bytes == gib(32)
+        assert machine.tiers[1].capacity_bytes == gib(96)
+        assert machine.total_capacity_bytes == gib(128)
+
+    def test_cpu_latencies_match_paper(self):
+        machine = paper_testbed()
+        assert machine.cpu_latency_ns(
+            machine.tiers[0].unloaded_latency_ns
+        ) == pytest.approx(70.0)
+        assert machine.cpu_latency_ns(
+            machine.tiers[1].unloaded_latency_ns
+        ) == pytest.approx(135.0)
+
+    def test_alternate_tier_is_duplex_link(self):
+        machine = paper_testbed()
+        assert machine.tiers[1].duplex
+        assert not machine.tiers[0].duplex
+
+    def test_alternate_latency_override(self):
+        machine = paper_testbed().with_alternate_latency(180.0)
+        assert machine.tiers[1].unloaded_latency_ns == 180.0
+        assert machine.tiers[0].unloaded_latency_ns == 65.0
+
+    def test_rejects_default_tier_slower_than_alternate(self):
+        machine = paper_testbed()
+        with pytest.raises(ConfigurationError):
+            Machine(
+                name="bad",
+                tiers=(machine.tiers[1], machine.tiers[0]),
+            )
+
+    def test_rejects_single_tier(self):
+        machine = paper_testbed()
+        with pytest.raises(ConfigurationError):
+            Machine(name="solo", tiers=(machine.tiers[0],))
+
+
+class TestCxlTestbed:
+    def test_latency_ratio_applied(self):
+        machine = cxl_testbed(latency_ratio=2.0)
+        cpu_default = machine.cpu_latency_ns(
+            machine.tiers[0].unloaded_latency_ns
+        )
+        cpu_alt = machine.cpu_latency_ns(
+            machine.tiers[1].unloaded_latency_ns
+        )
+        assert cpu_alt / cpu_default == pytest.approx(2.0, rel=1e-6)
+
+    def test_rejects_ratio_below_one(self):
+        with pytest.raises(ConfigurationError):
+            cxl_testbed(latency_ratio=0.5)
+
+    def test_link_bandwidth_configurable(self):
+        machine = cxl_testbed(link_bandwidth=32.0)
+        assert machine.tiers[1].theoretical_bandwidth == 32.0
+
+
+class TestAntagonist:
+    def test_paper_intensity_mapping(self):
+        assert cores_for_intensity(0) == 0
+        assert cores_for_intensity(1) == 5
+        assert cores_for_intensity(2) == 10
+        assert cores_for_intensity(3) == 15
+
+    def test_extrapolates_beyond_three(self):
+        assert cores_for_intensity(4) == 20
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            cores_for_intensity(-1)
+
+    def test_core_group_shape(self):
+        group = antagonist_core_group(2, AntagonistSpec(mlp_per_core=24.0))
+        assert group.n_cores == 10
+        assert group.mlp == 24.0
+        assert group.randomness < 0.2  # sequential
+
+    def test_rejects_nonpositive_mlp(self):
+        with pytest.raises(ConfigurationError):
+            AntagonistSpec(mlp_per_core=0.0)

@@ -1,0 +1,129 @@
+"""Tests for the rate-limited migration executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pages.migration import MigrationExecutor, MigrationPlan
+from repro.pages.pagestate import PageArray
+from repro.pages.placement import PlacementState, fill_default_first
+
+PAGE = 100
+QUANTUM_NS = 1e7
+
+
+def make_state(n_pages=10, capacities=(500, 1000)):
+    pages = PageArray.uniform(n_pages, PAGE)
+    placement = PlacementState(pages, list(capacities))
+    fill_default_first(placement)
+    return placement
+
+
+class TestPlan:
+    def test_empty_plan(self):
+        plan = MigrationPlan.empty()
+        assert len(plan) == 0
+
+    def test_concat_preserves_order(self):
+        a = MigrationPlan(np.array([1, 2]), np.array([0, 0]))
+        b = MigrationPlan(np.array([3]), np.array([1]))
+        merged = MigrationPlan.concat([a, b])
+        assert list(merged.page_indices) == [1, 2, 3]
+        assert list(merged.dst_tiers) == [0, 0, 1]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            MigrationPlan(np.array([1, 2]), np.array([0]))
+
+
+class TestExecute:
+    def test_moves_within_budget(self):
+        placement = make_state()
+        executor = MigrationExecutor(placement, limit_bytes_per_quantum=250)
+        plan = MigrationPlan(np.array([0, 1, 2, 3]), np.full(4, 1))
+        result = executor.execute(plan, QUANTUM_NS)
+        assert result.bytes_moved == 200  # 2 pages of 100 B within 250
+        assert result.moves_applied == 2
+        assert result.moves_deferred == 2
+        assert placement.pages.tier[0] == 1
+        assert placement.pages.tier[2] == 0
+
+    def test_token_bucket_accrues_while_idle(self):
+        placement = make_state()
+        executor = MigrationExecutor(placement, limit_bytes_per_quantum=100)
+        # Idle for 3 quanta -> ~400 B of tokens accumulated (incl. initial).
+        for __ in range(3):
+            executor.execute(MigrationPlan.empty(), QUANTUM_NS)
+        plan = MigrationPlan(np.array([0, 1, 2, 3]), np.full(4, 1))
+        result = executor.execute(plan, QUANTUM_NS)
+        assert result.bytes_moved == 400
+
+    def test_burst_cap_bounds_accrual(self):
+        placement = make_state()
+        executor = MigrationExecutor(placement, limit_bytes_per_quantum=100,
+                                     burst_quanta=2)
+        for __ in range(50):
+            executor.execute(MigrationPlan.empty(), QUANTUM_NS)
+        plan = MigrationPlan(np.arange(5), np.full(5, 1))
+        result = executor.execute(plan, QUANTUM_NS)
+        assert result.bytes_moved == 200  # capped at 2 quanta worth
+
+    def test_budget_override_caps_below_tokens(self):
+        placement = make_state()
+        executor = MigrationExecutor(placement, limit_bytes_per_quantum=1000)
+        plan = MigrationPlan(np.arange(4), np.full(4, 1))
+        result = executor.execute(plan, QUANTUM_NS, budget_bytes=150)
+        assert result.bytes_moved == 100
+
+    def test_capacity_violation_skips_but_continues(self):
+        placement = make_state()  # tier0 full (5 pages), tier1 has 5
+        executor = MigrationExecutor(placement, limit_bytes_per_quantum=10_000)
+        # Try to promote pages 5,6 into the full tier 0, then demote 0.
+        plan = MigrationPlan(np.array([5, 6, 0]), np.array([0, 0, 1]))
+        result = executor.execute(plan, QUANTUM_NS)
+        assert result.moves_skipped == 2
+        assert result.moves_applied == 1
+        assert placement.pages.tier[0] == 1
+
+    def test_demote_then_promote_order_works(self):
+        placement = make_state()
+        executor = MigrationExecutor(placement, limit_bytes_per_quantum=10_000)
+        plan = MigrationPlan(np.array([0, 5]), np.array([1, 0]))
+        result = executor.execute(plan, QUANTUM_NS)
+        assert result.moves_applied == 2
+        assert placement.pages.tier[0] == 1
+        assert placement.pages.tier[5] == 0
+
+    def test_traffic_charged_to_both_tiers(self):
+        placement = make_state()
+        executor = MigrationExecutor(placement, limit_bytes_per_quantum=10_000)
+        plan = MigrationPlan(np.array([0, 1]), np.array([1, 1]))
+        result = executor.execute(plan, QUANTUM_NS)
+        assert result.read_bytes_per_tier[0] == 200   # read at source
+        assert result.write_bytes_per_tier[1] == 200  # written at dest
+        reads = result.tier_traffic[0]
+        writes = result.tier_traffic[1]
+        assert reads[0].read_fraction == 1.0
+        assert writes[0].read_fraction == 0.0
+        assert reads[0].bandwidth == pytest.approx(200 / QUANTUM_NS)
+
+    def test_same_tier_moves_are_free(self):
+        placement = make_state()
+        executor = MigrationExecutor(placement, limit_bytes_per_quantum=100)
+        plan = MigrationPlan(np.array([0]), np.array([0]))  # already there
+        result = executor.execute(plan, QUANTUM_NS)
+        assert result.bytes_moved == 0
+        assert result.moves_applied == 0
+
+    def test_rejects_bad_construction(self):
+        placement = make_state()
+        with pytest.raises(ConfigurationError):
+            MigrationExecutor(placement, limit_bytes_per_quantum=0)
+        with pytest.raises(ConfigurationError):
+            MigrationExecutor(placement, 100, burst_quanta=0)
+
+    def test_rejects_bad_quantum(self):
+        placement = make_state()
+        executor = MigrationExecutor(placement, 100)
+        with pytest.raises(ConfigurationError):
+            executor.execute(MigrationPlan.empty(), 0.0)

@@ -1,0 +1,104 @@
+"""Tests for the best-case placement oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memhw.antagonist import antagonist_core_group
+from repro.memhw.corestate import CoreGroup
+from repro.memhw.fixedpoint import EquilibriumSolver
+from repro.memhw.topology import paper_testbed
+from repro.pages.oracle import best_case_sweep, sweep_hot_fraction
+from repro.units import gib, mib
+
+
+@pytest.fixture
+def setup():
+    machine = paper_testbed()
+    solver = EquilibriumSolver(machine.tiers)
+    app = CoreGroup("gups", 15, machine.app_base_mlp, randomness=1.0,
+                    read_fraction=0.5)
+    n_pages = 4608  # 9 GiB at 2 MiB pages (1/8 scale geometry)
+    n_hot = 1536
+    probs = np.full(n_pages, 0.1 / n_pages)
+    hot = np.zeros(n_pages, dtype=bool)
+    hot[:n_hot] = True
+    probs[hot] += 0.9 / n_hot
+    sizes = np.full(n_pages, mib(2), dtype=np.int64)
+    default_capacity = int(gib(32) * 0.125)
+    return machine, solver, app, probs, hot, sizes, default_capacity
+
+
+class TestBestCaseSweep:
+    def test_zero_contention_prefers_hot_packing(self, setup):
+        machine, solver, app, probs, hot, sizes, cap = setup
+        result = best_case_sweep(solver, app, probs, hot, sizes, cap)
+        assert result.best.hot_fraction >= 0.6
+
+    def test_heavy_contention_prefers_alternate(self, setup):
+        machine, solver, app, probs, hot, sizes, cap = setup
+        ant = antagonist_core_group(3, machine.antagonist)
+        result = best_case_sweep(solver, app, probs, hot, sizes, cap,
+                                 pinned=[(ant, 0)])
+        assert result.best.hot_fraction <= 0.2
+
+    def test_best_case_gain_matches_paper_band(self, setup):
+        """Best-case at 3x is ~2.3x the hot-packed placement (Figure 1)."""
+        machine, solver, app, probs, hot, sizes, cap = setup
+        ant = antagonist_core_group(3, machine.antagonist)
+        result = best_case_sweep(solver, app, probs, hot, sizes, cap,
+                                 pinned=[(ant, 0)])
+        packed = [pt for pt in result.points if pt.hot_fraction == 1.0]
+        assert packed, "sweep should include the fully packed placement"
+        gain = result.throughput / packed[0].throughput
+        assert 1.7 <= gain <= 2.9
+
+    def test_points_cover_all_feasible_fractions(self, setup):
+        machine, solver, app, probs, hot, sizes, cap = setup
+        result = best_case_sweep(solver, app, probs, hot, sizes, cap)
+        fractions = [pt.hot_fraction for pt in result.points]
+        assert fractions == sorted(fractions)
+        assert len(fractions) == 11  # hot set fits at every fraction
+
+    def test_infeasible_fractions_skipped(self, setup):
+        machine, solver, app, probs, hot, sizes, __ = setup
+        tiny_capacity = int(sizes[hot].sum() // 2)  # half the hot set
+        result = best_case_sweep(solver, app, probs, hot, sizes,
+                                 tiny_capacity)
+        assert all(pt.hot_fraction <= 0.5 + 1e-9 for pt in result.points)
+
+    def test_default_probability_monotone_in_fraction(self, setup):
+        machine, solver, app, probs, hot, sizes, cap = setup
+        result = best_case_sweep(solver, app, probs, hot, sizes, cap)
+        ps = [pt.default_probability for pt in result.points]
+        # More hot pages in default -> strictly more probability there.
+        assert all(b >= a - 1e-9 for a, b in zip(ps, ps[1:]))
+
+    def test_shape_mismatch_rejected(self, setup):
+        machine, solver, app, probs, hot, sizes, cap = setup
+        with pytest.raises(ConfigurationError):
+            best_case_sweep(solver, app, probs[:-1], hot, sizes, cap)
+
+
+class TestRawSweep:
+    def test_returns_pairs(self, setup):
+        machine, solver, app, *_ = setup
+        pairs = sweep_hot_fraction(solver, app, [0.0, 0.5, 1.0])
+        assert len(pairs) == 3
+        assert all(t > 0 for _, t in pairs)
+
+    def test_rejects_out_of_range_p(self, setup):
+        machine, solver, app, *_ = setup
+        with pytest.raises(ConfigurationError):
+            sweep_hot_fraction(solver, app, [1.5])
+
+    def test_throughput_curve_has_interior_peak_under_contention(self, setup):
+        """Under heavy contention the throughput-vs-p curve peaks at low
+        p — the structural change Colloid exploits."""
+        machine, solver, app, *_ = setup
+        ant = antagonist_core_group(3, machine.antagonist)
+        pairs = sweep_hot_fraction(
+            solver, app, np.linspace(0.0, 1.0, 11), pinned=[(ant, 0)]
+        )
+        throughputs = [t for _, t in pairs]
+        assert np.argmax(throughputs) < 3

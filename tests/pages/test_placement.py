@@ -1,0 +1,148 @@
+"""Tests for capacity-checked placement state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.pages.pagestate import PageArray
+from repro.pages.placement import PlacementState, fill_default_first
+
+
+def make_placement(n_pages=10, page_bytes=100,
+                   capacities=(500, 1000)) -> PlacementState:
+    pages = PageArray.uniform(n_pages, page_bytes)
+    return PlacementState(pages, list(capacities))
+
+
+class TestConstruction:
+    def test_basics(self):
+        placement = make_placement()
+        assert placement.n_tiers == 2
+        assert placement.capacity_bytes(0) == 500
+        assert placement.free_bytes(0) == 500
+        assert placement.used_bytes(1) == 0
+
+    def test_rejects_oversized_working_set(self):
+        pages = PageArray.uniform(100, 100)
+        with pytest.raises(CapacityError):
+            PlacementState(pages, [500, 1000])
+
+    def test_rejects_nonpositive_capacity(self):
+        pages = PageArray.uniform(2, 100)
+        with pytest.raises(ConfigurationError):
+            PlacementState(pages, [0, 1000])
+
+
+class TestMove:
+    def test_move_updates_usage(self):
+        placement = make_placement()
+        placement.move(np.array([0, 1, 2]), 0)
+        assert placement.used_bytes(0) == 300
+        placement.move(np.array([0]), 1)
+        assert placement.used_bytes(0) == 200
+        assert placement.used_bytes(1) == 100
+
+    def test_move_rejects_overflow_atomically(self):
+        placement = make_placement()
+        placement.move(np.arange(5), 0)  # 500/500 used
+        with pytest.raises(CapacityError):
+            placement.move(np.array([5]), 0)
+        assert placement.used_bytes(0) == 500
+        assert placement.pages.tier[5] == -1  # untouched
+
+    def test_move_same_tier_is_noop(self):
+        placement = make_placement()
+        placement.move(np.array([0]), 0)
+        placement.move(np.array([0]), 0)
+        assert placement.used_bytes(0) == 100
+
+    def test_move_empty_batch(self):
+        placement = make_placement()
+        placement.move(np.empty(0, dtype=np.int64), 0)
+        assert placement.used_bytes(0) == 0
+
+    def test_move_rejects_bad_tier(self):
+        placement = make_placement()
+        with pytest.raises(ConfigurationError):
+            placement.move(np.array([0]), 7)
+
+    def test_fits_predicate(self):
+        placement = make_placement()
+        assert placement.fits(np.arange(5), 0)
+        assert not placement.fits(np.arange(6), 0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=20),
+           st.integers(min_value=0, max_value=1))
+    @settings(max_examples=50, deadline=None)
+    def test_usage_always_consistent(self, moves, dst):
+        """Capacity accounting stays consistent with the page table under
+        arbitrary move sequences."""
+        placement = make_placement()
+        for page in moves:
+            try:
+                placement.move(np.array([page]), dst)
+            except CapacityError:
+                pass
+            dst = 1 - dst
+        for tier in range(2):
+            assert placement.used_bytes(tier) == (
+                placement.pages.bytes_in_tier(tier)
+            )
+            assert placement.used_bytes(tier) <= placement.capacity_bytes(
+                tier
+            )
+
+
+class TestProbabilities:
+    def test_default_tier_probability(self):
+        placement = make_placement()
+        placement.move(np.array([0, 1]), 0)
+        placement.move(np.arange(2, 10), 1)
+        probs = np.full(10, 0.1)
+        assert placement.default_tier_probability(probs) == pytest.approx(
+            0.2
+        )
+
+    def test_tier_probabilities_sum_to_one(self):
+        placement = make_placement()
+        placement.move(np.arange(0, 4), 0)
+        placement.move(np.arange(4, 10), 1)
+        probs = np.random.default_rng(0).dirichlet(np.ones(10))
+        split = placement.tier_probabilities(probs)
+        assert split.sum() == pytest.approx(1.0)
+
+    def test_unplaced_accessed_pages_rejected(self):
+        placement = make_placement()
+        placement.move(np.arange(0, 4), 0)  # pages 4..9 unplaced
+        probs = np.full(10, 0.1)
+        with pytest.raises(ConfigurationError):
+            placement.tier_probabilities(probs)
+
+    def test_length_mismatch_rejected(self):
+        placement = make_placement()
+        with pytest.raises(ConfigurationError):
+            placement.default_tier_probability(np.full(5, 0.2))
+
+
+class TestFillDefaultFirst:
+    def test_packs_default_then_overflows(self):
+        placement = make_placement()
+        fill_default_first(placement)
+        assert placement.used_bytes(0) == 500
+        assert placement.used_bytes(1) == 500
+        assert list(placement.pages.pages_in_tier(0)) == [0, 1, 2, 3, 4]
+
+    def test_custom_order(self):
+        placement = make_placement()
+        fill_default_first(placement, order=np.arange(9, -1, -1))
+        assert list(placement.pages.pages_in_tier(0)) == [5, 6, 7, 8, 9]
+
+    def test_raises_when_nothing_fits(self):
+        pages = PageArray.uniform(10, 100)
+        placement = PlacementState(pages, [500, 500])
+        fill_default_first(placement)  # exactly fits
+        assert placement.free_bytes(0) == 0
+        assert placement.free_bytes(1) == 0

@@ -1,0 +1,118 @@
+"""Tests for probability-budgeted page selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pages.selection import select_pages_by_probability
+
+
+def uniform_sizes(n, size=100):
+    return np.full(n, size, dtype=np.int64)
+
+
+class TestBudgets:
+    def test_respects_probability_budget(self):
+        probs = np.array([0.4, 0.3, 0.2, 0.1])
+        chosen = select_pages_by_probability(
+            probs, uniform_sizes(4), np.arange(4),
+            dp_budget=0.5, byte_budget=10_000,
+        )
+        assert probs[chosen].sum() <= 0.5 + 1e-12
+        # 0.4 taken, 0.3 skipped (overshoot), 0.1... -> greedy hottest
+        assert 0 in chosen
+
+    def test_respects_byte_budget(self):
+        probs = np.array([0.4, 0.3, 0.2, 0.1])
+        chosen = select_pages_by_probability(
+            probs, uniform_sizes(4), np.arange(4),
+            dp_budget=1.0, byte_budget=250,
+        )
+        assert len(chosen) == 2
+
+    def test_skips_individually_overshooting_pages(self):
+        """A small dp budget picks cooler pages, like Colloid's binned
+        iteration."""
+        probs = np.array([0.5, 0.05, 0.04, 0.01])
+        chosen = select_pages_by_probability(
+            probs, uniform_sizes(4), np.arange(4),
+            dp_budget=0.1, byte_budget=10_000,
+        )
+        assert 0 not in chosen
+        assert set(chosen) == {1, 2, 3}
+
+    def test_zero_budgets_select_nothing(self):
+        probs = np.array([0.5, 0.5])
+        assert select_pages_by_probability(
+            probs, uniform_sizes(2), np.arange(2), 0.0, 1000
+        ).size == 0
+        assert select_pages_by_probability(
+            probs, uniform_sizes(2), np.arange(2), 1.0, 0
+        ).size == 0
+
+    def test_empty_candidates(self):
+        probs = np.array([0.5, 0.5])
+        chosen = select_pages_by_probability(
+            probs, uniform_sizes(2), np.empty(0, dtype=np.int64), 1.0, 1000
+        )
+        assert chosen.size == 0
+
+    def test_all_fit_fast_path(self):
+        probs = np.full(10, 0.05)
+        chosen = select_pages_by_probability(
+            probs, uniform_sizes(10), np.arange(10), 1.0, 10_000
+        )
+        assert len(chosen) == 10
+
+    def test_hottest_first_ordering(self):
+        probs = np.array([0.1, 0.4, 0.2, 0.3])
+        chosen = select_pages_by_probability(
+            probs, uniform_sizes(4), np.arange(4), 0.45, 10_000
+        )
+        assert list(chosen)[:1] == [1]  # hottest considered first
+
+    def test_given_order_respected_when_disabled(self):
+        probs = np.array([0.1, 0.4, 0.2, 0.3])
+        chosen = select_pages_by_probability(
+            probs, uniform_sizes(4), np.array([3, 2, 1, 0]),
+            0.45, 10_000, hottest_first=False,
+        )
+        assert list(chosen)[0] == 3
+
+    def test_rejects_negative_budgets(self):
+        probs = np.array([0.5])
+        with pytest.raises(ConfigurationError):
+            select_pages_by_probability(
+                probs, uniform_sizes(1), np.array([0]), -0.1, 100
+            )
+
+
+class TestSelectionProperties:
+    @given(
+        st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=1,
+                 max_size=40),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_budgets_never_violated(self, raw_probs, dp, byte_budget):
+        probs = np.array(raw_probs)
+        probs = probs / probs.sum()
+        sizes = uniform_sizes(len(probs))
+        chosen = select_pages_by_probability(
+            probs, sizes, np.arange(len(probs)), dp, byte_budget
+        )
+        assert probs[chosen].sum() <= dp + 1e-9
+        assert sizes[chosen].sum() <= byte_budget
+        assert len(set(chosen.tolist())) == len(chosen)  # no duplicates
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_generous_budgets_take_everything(self, n):
+        probs = np.full(n, 1.0 / n)
+        chosen = select_pages_by_probability(
+            probs, uniform_sizes(n), np.arange(n), 2.0, 10**9
+        )
+        assert len(chosen) == n

@@ -1,0 +1,87 @@
+"""Tests for the steady-state runner and the metrics recorder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.experiment import run_steady_state
+from repro.runtime.loop import SimulationLoop
+from repro.runtime.metrics import MetricsRecorder, QuantumRecord
+from repro.tiering.hemem import HememSystem
+from repro.tiering.static import StaticPlacementSystem
+from repro.workloads.gups import GupsWorkload
+from tests.conftest import FAST_SCALE
+
+
+def record_at(t, throughput=10.0, migration=0):
+    return QuantumRecord(
+        time_s=t,
+        throughput=throughput,
+        latencies_ns=np.array([70.0, 135.0]),
+        p_true=0.9,
+        p_measured=0.92,
+        app_tier_bandwidth=np.array([9.0, 1.0]),
+        migration_bytes=migration,
+        antagonist_intensity=0,
+    )
+
+
+class TestMetricsRecorder:
+    def test_series_views(self):
+        recorder = MetricsRecorder()
+        for i in range(5):
+            recorder.record(record_at(i * 0.01, throughput=float(i)))
+        assert len(recorder) == 5
+        np.testing.assert_allclose(recorder.throughput,
+                                   [0.0, 1.0, 2.0, 3.0, 4.0])
+        assert recorder.latencies_ns.shape == (5, 2)
+        assert recorder.app_tier_bandwidth.shape == (5, 2)
+
+    def test_steady_state_tail_mean(self):
+        recorder = MetricsRecorder()
+        for i in range(100):
+            recorder.record(record_at(i * 0.01,
+                                      throughput=1.0 if i < 75 else 9.0))
+        assert recorder.steady_state_throughput(
+            tail_fraction=0.25
+        ) == pytest.approx(9.0)
+
+    def test_migration_rate(self):
+        recorder = MetricsRecorder()
+        recorder.record(record_at(0.0, migration=1000))
+        rates = recorder.migration_rate_bytes_per_s(quantum_s=0.01)
+        assert rates[0] == pytest.approx(100_000)
+
+    def test_empty_recorder_rejects_views(self):
+        recorder = MetricsRecorder()
+        with pytest.raises(ConfigurationError):
+            __ = recorder.throughput
+
+
+class TestRunSteadyState:
+    def test_static_workload_converges_quickly(self, small_machine):
+        workload = GupsWorkload(scale=FAST_SCALE, seed=4)
+        loop = SimulationLoop(machine=small_machine, workload=workload,
+                              system=StaticPlacementSystem(), seed=4)
+        result = run_steady_state(loop, min_duration_s=2.0,
+                                  max_duration_s=20.0)
+        assert result.converged
+        assert result.duration_s < 20.0
+        assert result.throughput > 0
+
+    def test_duration_cap_respected(self, small_machine):
+        workload = GupsWorkload(scale=FAST_SCALE, seed=4)
+        loop = SimulationLoop(machine=small_machine, workload=workload,
+                              system=HememSystem(), seed=4)
+        result = run_steady_state(loop, min_duration_s=1.0,
+                                  max_duration_s=3.0, tolerance=1e-6)
+        assert result.duration_s <= 3.0 + 1e-9
+
+    def test_rejects_bad_parameters(self, small_machine):
+        workload = GupsWorkload(scale=FAST_SCALE, seed=4)
+        loop = SimulationLoop(machine=small_machine, workload=workload,
+                              system=StaticPlacementSystem(), seed=4)
+        with pytest.raises(ConfigurationError):
+            run_steady_state(loop, min_duration_s=5.0, max_duration_s=1.0)
+        with pytest.raises(ConfigurationError):
+            run_steady_state(loop, tolerance=0.0)

@@ -1,0 +1,69 @@
+"""Tests for metrics export and repeated-run statistics."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.experiment import repeat_steady_state
+from repro.runtime.export import to_csv, to_json
+from repro.runtime.loop import SimulationLoop
+from repro.runtime.metrics import MetricsRecorder
+from repro.tiering.static import StaticPlacementSystem
+from repro.workloads.gups import GupsWorkload
+from tests.conftest import FAST_SCALE
+
+
+@pytest.fixture
+def metrics(small_machine):
+    workload = GupsWorkload(scale=FAST_SCALE, seed=3)
+    loop = SimulationLoop(machine=small_machine, workload=workload,
+                          system=StaticPlacementSystem(), seed=3)
+    return loop.run(duration_s=0.3)
+
+
+class TestExport:
+    def test_csv_roundtrip(self, metrics, tmp_path):
+        path = to_csv(metrics, tmp_path / "run.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "time_s"
+        assert len(rows) == len(metrics) + 1
+        assert float(rows[1][1]) == pytest.approx(
+            metrics.throughput[0]
+        )
+
+    def test_json_roundtrip(self, metrics, tmp_path):
+        path = to_json(metrics, tmp_path / "run.json")
+        data = json.loads(path.read_text())
+        assert len(data["time_s"]) == len(metrics)
+        assert data["latency_ns_tier1"][0] == pytest.approx(
+            float(metrics.latencies_ns[0, 1])
+        )
+
+    def test_empty_metrics_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            to_csv(MetricsRecorder(), tmp_path / "x.csv")
+
+
+class TestRepeatedRuns:
+    def test_statistics(self, small_machine):
+        def factory(i):
+            workload = GupsWorkload(scale=FAST_SCALE, seed=100 + i)
+            return SimulationLoop(
+                machine=small_machine, workload=workload,
+                system=StaticPlacementSystem(), seed=100 + i,
+            )
+
+        result = repeat_steady_state(factory, n_runs=3,
+                                     min_duration_s=1.0,
+                                     max_duration_s=3.0)
+        assert len(result.runs) == 3
+        assert result.minimum <= result.mean <= result.maximum
+        assert result.spread < 0.3
+
+    def test_rejects_zero_runs(self, small_machine):
+        with pytest.raises(ConfigurationError):
+            repeat_steady_state(lambda i: None, n_runs=0)

@@ -1,0 +1,69 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30.0, lambda: fired.append("c"))
+        sim.schedule(10.0, lambda: fired.append("a"))
+        sim.schedule(20.0, lambda: fired.append("b"))
+        sim.run_until(100.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(5.0, lambda n=name: fired.append(n))
+        sim.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_end(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_events_beyond_horizon_stay_pending(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        sim.run_until(50.0)
+        assert sim.pending_events == 1
+        sim.run_until(150.0)
+        assert sim.pending_events == 0
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                sim.schedule(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run_until(10.0)
+        assert fired == list(range(6))
+
+    def test_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_rejects_running_backwards(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for __ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.events_fired == 7

@@ -1,0 +1,91 @@
+"""Validation of the duplex-link memory model.
+
+The analytic alternate-tier model makes two distinguishing predictions
+(DESIGN.md): latency stays near unloaded until the busier link direction
+nears saturation (small queueing scale), and writeback traffic does not
+delay reads (duplex). These tests check both mechanically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.link import LinkAttachedMemory
+
+
+def run_reads(n_clients: int, reads_per_client: int = 200,
+              link_gbps: float = 75.0, with_writebacks: bool = False,
+              seed: int = 3):
+    """Closed-loop read clients against the link; returns mean latency."""
+    sim = Simulator()
+    link = LinkAttachedMemory(sim, link_bandwidth_gbps=link_gbps,
+                              rng=np.random.default_rng(seed))
+    latencies = []
+
+    def make_client(remaining):
+        state = {"left": remaining}
+
+        def issue():
+            if state["left"] <= 0:
+                return
+            state["left"] -= 1
+            if with_writebacks:
+                link.submit_writeback()
+            link.submit_read(lambda lat: (latencies.append(lat), issue()))
+
+        return issue
+
+    for i in range(n_clients):
+        make_client(reads_per_client)()
+    sim.run_until(5e7)
+    assert len(latencies) == n_clients * reads_per_client
+    return float(np.mean(latencies))
+
+
+class TestLinkLatency:
+    def test_unloaded_latency_near_propagation_plus_service(self):
+        latency = run_reads(n_clients=1)
+        # propagation 100 + remote 15 + serialization ~0.85.
+        assert 110.0 < latency < 130.0
+
+    def test_flat_until_saturation(self):
+        """Latency rises only mildly at moderate load — the analytic
+        model's small queueing scale for link tiers."""
+        light = run_reads(n_clients=2)
+        moderate = run_reads(n_clients=24)
+        assert moderate < light * 1.6
+
+    def test_sharp_rise_near_saturation(self):
+        moderate = run_reads(n_clients=24)
+        saturated = run_reads(n_clients=400)
+        assert saturated > moderate * 2.0
+
+    def test_narrow_link_saturates_sooner(self):
+        wide = run_reads(n_clients=64, link_gbps=75.0)
+        narrow = run_reads(n_clients=64, link_gbps=10.0)
+        assert narrow > wide
+
+
+class TestDuplex:
+    def test_writebacks_do_not_delay_reads(self):
+        """The defining duplex property the analytic tier_load models."""
+        without = run_reads(n_clients=24, with_writebacks=False)
+        with_wb = run_reads(n_clients=24, with_writebacks=True)
+        assert with_wb == pytest.approx(without, rel=0.05)
+
+    def test_writebacks_counted(self):
+        sim = Simulator()
+        link = LinkAttachedMemory(sim)
+        for __ in range(5):
+            link.submit_writeback()
+        assert link.writes_served == 5
+
+
+class TestValidation:
+    def test_rejects_bad_construction(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            LinkAttachedMemory(sim, link_bandwidth_gbps=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkAttachedMemory(sim, propagation_ns=-1.0)

@@ -1,0 +1,35 @@
+"""Tests for tail-latency measurement in the event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sim.harness import run_closed_loop
+
+
+class TestPercentiles:
+    def test_percentile_ordering(self):
+        stats = run_closed_loop(n_cores=12, mlp=8, tier_split=[0.9, 0.1])
+        for tier in range(2):
+            p50, p95, p99 = stats.latency_percentiles_ns[tier]
+            assert p50 <= p95 <= p99
+            # Mean sits between median and tail for right-skewed
+            # queueing distributions.
+            assert p50 <= stats.mean_latency_ns[tier] * 1.05
+
+    def test_tail_grows_faster_than_mean_under_load(self):
+        """Queueing fattens the tail: p99/mean rises with load —
+        an effect the mean-value analytic model cannot express, which is
+        why the event simulator exists."""
+        light = run_closed_loop(n_cores=2, mlp=8, tier_split=[1.0, 0.0])
+        heavy = run_closed_loop(n_cores=28, mlp=8, tier_split=[1.0, 0.0])
+        light_ratio = light.latency_percentiles_ns[0][2] / (
+            light.mean_latency_ns[0]
+        )
+        heavy_ratio = heavy.latency_percentiles_ns[0][2] / (
+            heavy.mean_latency_ns[0]
+        )
+        assert heavy_ratio > light_ratio
+
+    def test_unused_tier_has_nan_percentiles(self):
+        stats = run_closed_loop(n_cores=4, mlp=4, tier_split=[1.0, 0.0])
+        assert np.isnan(stats.latency_percentiles_ns[1][0])

@@ -1,0 +1,136 @@
+"""Cross-validation of the analytic model against the event simulator.
+
+These are the tests that justify the substitution of the paper's physical
+testbed with the analytic model (DESIGN.md §2): Little's Law measurement,
+the closed-loop throughput law, and queueing-driven latency inflation all
+hold mechanically in a request-level simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.harness import run_closed_loop
+from repro.sim.memctrl import BankedMemoryController
+from repro.sim.engine import Simulator
+
+
+class TestLittlesLaw:
+    def test_littles_law_matches_direct_measurement(self):
+        """O/R equals mean latency — the basis of Colloid's measurement."""
+        stats = run_closed_loop(n_cores=8, mlp=8, tier_split=[0.8, 0.2])
+        for tier in range(2):
+            assert stats.littles_latency_ns[tier] == pytest.approx(
+                stats.mean_latency_ns[tier], rel=0.02
+            )
+
+    def test_littles_law_holds_under_heavy_load(self):
+        stats = run_closed_loop(n_cores=24, mlp=10, tier_split=[0.95, 0.05])
+        assert stats.littles_latency_ns[0] == pytest.approx(
+            stats.mean_latency_ns[0], rel=0.02
+        )
+
+
+class TestClosedLoopLaw:
+    def test_per_core_throughput_is_mlp_64_over_latency(self):
+        """T = N * 64 / L (§3.1), the paper's performance model."""
+        stats = run_closed_loop(n_cores=12, mlp=8, tier_split=[0.9, 0.1])
+        predicted = 8 * 64 / stats.app_mean_latency_ns
+        assert stats.per_core_throughput == pytest.approx(
+            predicted, rel=0.03
+        )
+
+    def test_doubling_mlp_raises_throughput_sublinearly_when_loaded(self):
+        low = run_closed_loop(n_cores=16, mlp=4, tier_split=[1.0, 0.0])
+        high = run_closed_loop(n_cores=16, mlp=8, tier_split=[1.0, 0.0])
+        gain = high.throughput_bytes_per_ns / low.throughput_bytes_per_ns
+        assert 1.0 < gain < 2.0
+
+
+class TestLatencyInflation:
+    def test_latency_grows_with_core_count(self):
+        """Queueing at the banks inflates latency well before the wire
+        saturates — §3.1's central claim."""
+        latencies = [
+            run_closed_loop(n_cores=n, mlp=8,
+                            tier_split=[1.0, 0.0]).mean_latency_ns[0]
+            for n in (1, 4, 16, 32)
+        ]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > 2.0 * latencies[0]
+
+    def test_unloaded_latency_near_wire_plus_service(self):
+        stats = run_closed_loop(n_cores=1, mlp=1, tier_split=[1.0, 0.0],
+                                wire_latencies_ns=(50.0, 115.0))
+        # wire 50 + service in [15, 45] -> mean latency in [65, 95].
+        assert 60.0 < stats.mean_latency_ns[0] < 100.0
+
+    def test_offloading_to_second_tier_balances_latency(self):
+        """Moving traffic to the uncontended tier drops tier-0 latency —
+        the mechanism Colloid exploits."""
+        packed = run_closed_loop(n_cores=24, mlp=8, tier_split=[1.0, 0.0])
+        spread = run_closed_loop(n_cores=24, mlp=8, tier_split=[0.5, 0.5])
+        assert spread.mean_latency_ns[0] < packed.mean_latency_ns[0]
+
+    def test_row_locality_reduces_latency(self):
+        random = run_closed_loop(n_cores=16, mlp=8, tier_split=[1.0, 0.0],
+                                 row_hit_probability=0.1)
+        local = run_closed_loop(n_cores=16, mlp=8, tier_split=[1.0, 0.0],
+                                row_hit_probability=0.9)
+        assert local.mean_latency_ns[0] < random.mean_latency_ns[0]
+
+
+class TestMemoryController:
+    def test_rejects_bad_construction(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            BankedMemoryController(sim, n_banks=0)
+        with pytest.raises(ConfigurationError):
+            BankedMemoryController(sim, row_hit_probability=1.5)
+
+    def test_serves_requests_and_tracks_utilization(self):
+        sim = Simulator()
+        ctrl = BankedMemoryController(sim, n_banks=4,
+                                      rng=np.random.default_rng(5))
+        done = []
+        for __ in range(20):
+            ctrl.submit(lambda latency: done.append(latency))
+        sim.run_until(10_000.0)
+        assert len(done) == 20
+        assert ctrl.requests_served == 20
+        assert 0 < ctrl.utilization(10_000.0) < 1
+
+    def test_harness_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            run_closed_loop(n_cores=0, mlp=4, tier_split=[1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            run_closed_loop(n_cores=1, mlp=4, tier_split=[1.0, 0.0],
+                            duration_ns=-5.0)
+
+
+class TestAnalyticAgreement:
+    def test_analytic_curve_shape_matches_simulation(self):
+        """The analytic L(u) = L0 + w*u/(1-u) family fits the simulated
+        latency-vs-load points (moderate load region)."""
+        points = []
+        for n in (2, 6, 12, 20):
+            stats = run_closed_loop(n_cores=n, mlp=8,
+                                    tier_split=[1.0, 0.0],
+                                    duration_ns=150_000.0)
+            rate = stats.arrivals[0] / stats.duration_ns
+            points.append((rate, stats.mean_latency_ns[0]))
+        rates = np.array([p[0] for p in points])
+        lats = np.array([p[1] for p in points])
+        # Fit u = rate / B with B slightly above the max observed rate.
+        best = np.inf
+        for b in np.linspace(rates.max() * 1.02, rates.max() * 1.6, 30):
+            u = rates / b
+            # least-squares w for L = L0 + w * u/(1-u)
+            x = u / (1 - u)
+            l0 = lats.min() * 0.98
+            w = np.dot(x, lats - l0) / np.dot(x, x)
+            if w <= 0:
+                continue
+            err = np.abs(l0 + w * x - lats) / lats
+            best = min(best, err.max())
+        assert best < 0.2  # within 20% across the load range

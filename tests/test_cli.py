@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.system == "hemem+colloid"
+        assert args.workload == "gups"
+        assert args.contention == 0
+
+    def test_figure_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "bogus"])
+
+
+class TestRunCommand:
+    def test_run_prints_summary(self, capsys):
+        code = main([
+            "run", "--system", "hemem", "--workload", "gups",
+            "--contention", "0", "--duration", "1", "--scale", "0.03",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "tier latencies" in out
+
+    def test_run_exports_json(self, tmp_path, capsys):
+        out_path = tmp_path / "run.json"
+        code = main([
+            "run", "--system", "static", "--duration", "0.5",
+            "--scale", "0.03", "--json", str(out_path),
+        ])
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert "throughput_gbps" in data
+
+    @pytest.mark.parametrize("workload", ["gapbs", "silo", "cachelib"])
+    def test_all_workloads_runnable(self, workload, capsys):
+        code = main([
+            "run", "--workload", workload, "--system", "static",
+            "--duration", "0.5", "--scale", "0.03",
+        ])
+        assert code == 0
+
+
+class TestOtherCommands:
+    def test_calibrate(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "antagonist_isolated_share" in out
+
+    def test_figure_fig4(self, capsys):
+        assert main(["figure", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "pstar-jump" in out

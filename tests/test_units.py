@@ -1,0 +1,36 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestCapacity:
+    def test_binary_units(self):
+        assert units.kib(1) == 1024
+        assert units.mib(1) == 1024**2
+        assert units.gib(1) == 1024**3
+        assert units.gib(1.5) == int(1.5 * 1024**3)
+
+
+class TestBandwidth:
+    def test_gbps_identity(self):
+        """1 B/ns == 1 GB/s — the convenient internal convention."""
+        assert units.gbps(205.0) == 205.0
+        assert units.to_gbps(1.0) == 1.0
+
+    def test_request_rate_roundtrip(self):
+        rate = units.requests_per_ns(64.0)
+        assert rate == pytest.approx(1.0)
+        assert units.bandwidth_from_requests(rate) == pytest.approx(64.0)
+
+
+class TestTime:
+    def test_conversions(self):
+        assert units.seconds_to_ns(1.0) == 1e9
+        assert units.ms_to_ns(10.0) == 1e7
+        assert units.us_to_ns(1.0) == 1e3
+        assert units.ns_to_seconds(5e8) == pytest.approx(0.5)
+
+    def test_cacheline(self):
+        assert units.CACHELINE_BYTES == 64

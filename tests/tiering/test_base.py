@@ -1,0 +1,99 @@
+"""Tests for the tiering base interface and the pack-hottest policy."""
+
+import numpy as np
+import pytest
+
+from repro.pages.pagestate import PageArray
+from repro.pages.placement import PlacementState
+from repro.tiering.base import QuantumDecision, pack_hottest_plan
+from repro.tiering.static import StaticPlacementSystem
+
+
+def make_placement(tiers, page_bytes=100, capacities=None):
+    pages = PageArray.uniform(len(tiers), page_bytes)
+    if capacities is None:
+        capacities = [page_bytes * len(tiers)] * 2
+    placement = PlacementState(pages, capacities)
+    arr = np.asarray(tiers)
+    for t in (0, 1):
+        placement.move(np.nonzero(arr == t)[0], t)
+    return placement
+
+
+class TestPackHottestPlan:
+    def test_promotes_hot_alternate_pages_hottest_first(self):
+        placement = make_placement([0, 1, 1, 1])
+        hotness = np.array([1.0, 5.0, 9.0, 0.1])
+        hot = hotness >= 5.0
+        plan = pack_hottest_plan(placement, hotness, hot, max_bytes=10**6)
+        promoted = plan.page_indices[plan.dst_tiers == 0]
+        assert list(promoted) == [2, 1]
+
+    def test_demotes_coldest_when_capacity_needed(self):
+        # Default tier full with capacity 200 (pages 0, 1).
+        placement = make_placement([0, 0, 1, 1], capacities=[200, 400])
+        hotness = np.array([0.5, 0.1, 9.0, 8.0])
+        hot = hotness >= 8.0
+        plan = pack_hottest_plan(placement, hotness, hot, max_bytes=10**6)
+        demoted = plan.page_indices[plan.dst_tiers == 1]
+        # Coldest default page (1) demoted first.
+        assert list(demoted)[0] == 1
+        # Demotions precede promotions in the plan.
+        first_promo = np.argmax(plan.dst_tiers == 0)
+        assert (plan.dst_tiers[:first_promo] == 1).all()
+
+    def test_hot_default_pages_never_demoted(self):
+        placement = make_placement([0, 0, 1, 1], capacities=[200, 400])
+        hotness = np.array([9.0, 8.5, 8.0, 7.0])
+        hot = hotness >= 7.0
+        plan = pack_hottest_plan(placement, hotness, hot, max_bytes=10**6)
+        demoted = set(plan.page_indices[plan.dst_tiers == 1].tolist())
+        assert 0 not in demoted and 1 not in demoted
+
+    def test_max_bytes_caps_promotions(self):
+        placement = make_placement([1, 1, 1, 1])
+        hotness = np.array([4.0, 3.0, 2.0, 1.0])
+        hot = np.ones(4, dtype=bool)
+        plan = pack_hottest_plan(placement, hotness, hot, max_bytes=250)
+        assert len(plan.page_indices[plan.dst_tiers == 0]) == 2
+
+    def test_no_hot_pages_no_plan(self):
+        placement = make_placement([0, 1])
+        plan = pack_hottest_plan(
+            placement, np.zeros(2), np.zeros(2, dtype=bool),
+            max_bytes=10**6,
+        )
+        assert len(plan) == 0
+
+    def test_free_slack_triggers_extra_demotion(self):
+        placement = make_placement([0, 0, 1, 1], capacities=[200, 400])
+        hotness = np.array([1.0, 2.0, 0.0, 0.0])
+        hot = np.zeros(4, dtype=bool)
+        plan = pack_hottest_plan(placement, hotness, hot, max_bytes=10**6,
+                                 free_slack_bytes=100)
+        demoted = plan.page_indices[plan.dst_tiers == 1]
+        assert len(demoted) >= 1
+        assert demoted[0] == 0  # coldest first
+
+
+class TestTieringSystemBase:
+    def test_idle_decision(self):
+        decision = QuantumDecision.idle()
+        assert len(decision.plan) == 0
+        assert decision.budget_bytes is None
+
+    def test_static_system_never_migrates(self):
+        system = StaticPlacementSystem()
+        placement = make_placement([0, 1])
+        system.attach(placement)
+        decision = system.quantum(None)
+        assert len(decision.plan) == 0
+
+    def test_cpu_work_accounting(self):
+        system = StaticPlacementSystem()
+        system.account("things", 3)
+        system.account("things", 2)
+        assert system.cpu_work == {"things": 5}
+
+    def test_throughput_scale_default(self):
+        assert StaticPlacementSystem().throughput_scale() == 1.0

@@ -1,0 +1,67 @@
+"""Tests for the related-work baselines (BATMAN, Carrefour)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.batman import BatmanSystem
+from repro.tiering.carrefour import CarrefourSystem
+from repro.workloads.gups import GupsWorkload
+from tests.conftest import FAST_SCALE
+
+
+def run(system, machine, contention=0, duration=8.0, seed=5):
+    workload = GupsWorkload(scale=FAST_SCALE, seed=seed)
+    loop = SimulationLoop(machine=machine, workload=workload,
+                          system=system, contention=contention, seed=seed)
+    return loop.run(duration_s=duration)
+
+
+class TestBatman:
+    def test_from_bandwidths_target(self):
+        system = BatmanSystem.from_bandwidths(205.0, 75.0)
+        assert system.target_share == pytest.approx(205.0 / 280.0)
+
+    def test_steers_toward_target_share(self, small_machine):
+        system = BatmanSystem(target_share=0.6)
+        metrics = run(system, small_machine)
+        measured = metrics.p_measured[-50:].mean()
+        assert measured == pytest.approx(0.6, abs=0.12)
+
+    def test_rate_target_misreacts_to_antagonist(self, small_machine):
+        """BATMAN's flaw (§6): it balances *rates*, not latencies. The
+        antagonist's default-tier traffic counts toward the measured
+        share, so under contention the controller evicts the entire
+        application from the default tier chasing an unreachable rate
+        target, instead of finding the latency-balanced split."""
+        quiet = run(BatmanSystem(target_share=0.6), small_machine,
+                    contention=0)
+        loud = run(BatmanSystem(target_share=0.6), small_machine,
+                   contention=3, duration=10.0)
+        assert quiet.p_true[-50:].mean() == pytest.approx(0.6, abs=0.15)
+        assert loud.p_true[-50:].mean() < 0.1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BatmanSystem(target_share=0.0)
+        with pytest.raises(ConfigurationError):
+            BatmanSystem(target_share=0.5, gain=0.0)
+
+
+class TestCarrefour:
+    def test_target_is_equal_share(self):
+        assert CarrefourSystem().target_share == pytest.approx(0.5)
+        assert CarrefourSystem(n_tiers=4).target_share == pytest.approx(
+            0.25
+        )
+
+    def test_balances_rates_even_when_suboptimal(self, small_machine):
+        """Carrefour pushes toward 50/50 rates at 0x even though the
+        latency-optimal placement is hot-packed (§6's critique)."""
+        metrics = run(CarrefourSystem(), small_machine, duration=10.0)
+        measured = metrics.p_measured[-50:].mean()
+        assert measured < 0.75  # pushed well below the hot-packed ~0.94
+
+    def test_name(self):
+        assert CarrefourSystem().name == "carrefour"

@@ -1,0 +1,66 @@
+"""Tests for the hardware-managed memory-mode baseline."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.memorymode import MemoryModeSystem
+from repro.workloads.gups import GupsWorkload
+from tests.conftest import FAST_SCALE
+
+
+def run(machine, contention=0, duration=5.0, seed=5):
+    workload = GupsWorkload(scale=FAST_SCALE, seed=seed)
+    system = MemoryModeSystem()
+    loop = SimulationLoop(machine=machine, workload=workload,
+                          system=system, contention=contention, seed=seed)
+    metrics = loop.run(duration_s=duration)
+    return system, metrics
+
+
+class TestMemoryMode:
+    def test_pages_homed_in_alternate_tier(self, small_machine):
+        workload = GupsWorkload(scale=FAST_SCALE, seed=5)
+        system = MemoryModeSystem()
+        loop = SimulationLoop(machine=small_machine, workload=workload,
+                              system=system, seed=5)
+        loop.run(duration_s=1.0)
+        # Every page's home is the alternate tier; the default tier acts
+        # as a cache, visible only through the traffic split.
+        assert (loop.placement.pages.tier == 1).all()
+        assert loop.metrics.p_true[-1] == pytest.approx(system.hit_rate,
+                                                        abs=0.05)
+
+    def test_hit_rate_tracks_hot_set(self, small_machine):
+        """GUPS: the hot set fits in the cache, so the hit rate should
+        approach the hot access fraction plus the cached cold share."""
+        system, metrics = run(small_machine, duration=5.0)
+        assert 0.8 < system.hit_rate < 1.0
+
+    def test_traffic_follows_hit_rate_not_placement(self, small_machine):
+        system, metrics = run(small_machine, duration=5.0)
+        bw = metrics.app_tier_bandwidth[-20:].mean(axis=0)
+        default_share = bw[0] / bw.sum()
+        assert default_share == pytest.approx(system.hit_rate, abs=0.1)
+
+    def test_never_migrates(self, small_machine):
+        __, metrics = run(small_machine, duration=3.0)
+        assert metrics.migration_bytes.sum() == 0
+
+    def test_contention_agnostic_like_software_baselines(self,
+                                                         small_machine):
+        """§6: hardware-managed tiering shares the flaw — hot accesses
+        keep hitting the (contended) default tier."""
+        quiet_sys, quiet = run(small_machine, contention=0)
+        loud_sys, loud = run(small_machine, contention=3, duration=6.0)
+        # Hit rate (and thus default-tier share) barely changes...
+        assert loud_sys.hit_rate == pytest.approx(quiet_sys.hit_rate,
+                                                  abs=0.05)
+        # ...so throughput collapses under contention.
+        assert loud.throughput[-50:].mean() < (
+            0.55 * quiet.throughput[-50:].mean()
+        )
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(Exception):
+            MemoryModeSystem(estimate_decay=1.5)

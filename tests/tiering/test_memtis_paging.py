@@ -1,0 +1,54 @@
+"""Tests for MEMTIS hugepage split/coalesce dynamics."""
+
+import pytest
+
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.memtis import MemtisSystem
+from repro.workloads.gups import GupsWorkload
+from tests.conftest import FAST_SCALE
+
+
+def run(system, machine, duration, seed=5):
+    workload = GupsWorkload(scale=FAST_SCALE, seed=seed)
+    loop = SimulationLoop(machine=machine, workload=workload,
+                          system=system, seed=seed)
+    loop.run(duration_s=duration)
+    return system
+
+
+class TestSplitCoalesce:
+    def test_split_happens_once_after_warmup(self, small_machine):
+        system = run(MemtisSystem(split_warmup_s=0.5), small_machine, 3.0)
+        assert system.cpu_work.get("hugepage_splits", 0) > 0
+        # One-shot: the split count equals the initial split population
+        # plus nothing further.
+        assert system._did_split
+
+    def test_coalescing_is_much_slower_than_splitting(self, small_machine):
+        """§2.2: coalescing 'takes significantly longer than the time it
+        takes for this workload to reach steady-state'."""
+        system = run(
+            MemtisSystem(split_warmup_s=0.5, coalesce_pages_per_s=2.0),
+            small_machine, 5.0,
+        )
+        splits = system.cpu_work.get("hugepage_splits", 0)
+        coalesces = system.cpu_work.get("hugepage_coalesces", 0)
+        assert splits > 0
+        assert coalesces < 0.05 * splits  # barely a dent within the run
+
+    def test_penalty_decays_as_pages_coalesce(self, small_machine):
+        fast = MemtisSystem(split_warmup_s=0.2,
+                            coalesce_pages_per_s=1e6)  # instant repair
+        run(fast, small_machine, 3.0)
+        assert not fast.split_pages.any()
+        assert fast.throughput_scale() == 1.0
+
+    def test_penalty_persists_with_slow_coalescing(self, small_machine):
+        slow = MemtisSystem(split_warmup_s=0.2, coalesce_pages_per_s=0.0)
+        run(slow, small_machine, 3.0)
+        assert slow.split_pages.any()
+        assert slow.throughput_scale() < 1.0
+
+    def test_rejects_negative_coalesce_rate(self):
+        with pytest.raises(Exception):
+            MemtisSystem(coalesce_pages_per_s=-1.0)

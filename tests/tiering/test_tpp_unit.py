@@ -1,0 +1,64 @@
+"""Unit tests for TPP's internal heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.pages.pagestate import PageArray
+from repro.pages.placement import PlacementState
+from repro.tiering.tpp import TppSystem
+
+
+def attached_system(**kwargs) -> TppSystem:
+    system = TppSystem(**kwargs)
+    pages = PageArray.uniform(20, 100)
+    placement = PlacementState(pages, [1000, 2000])
+    placement.move(np.arange(10), 0)
+    placement.move(np.arange(10, 20), 1)
+    system.attach(placement)
+    return system
+
+
+class TestThresholdAdaptation:
+    def test_grows_when_too_few_hot(self):
+        system = attached_system(initial_hot_ttf_ns=1000.0)
+        system._adapt_threshold(n_hot_faults=1, n_faults=10)
+        assert system.hot_ttf_ns > 1000.0
+
+    def test_shrinks_when_too_many_hot(self):
+        system = attached_system(initial_hot_ttf_ns=1000.0)
+        system._adapt_threshold(n_hot_faults=9, n_faults=10)
+        assert system.hot_ttf_ns < 1000.0
+
+    def test_holds_in_band(self):
+        system = attached_system(initial_hot_ttf_ns=1000.0)
+        system._adapt_threshold(n_hot_faults=5, n_faults=10)
+        assert system.hot_ttf_ns == 1000.0
+
+    def test_no_faults_no_change(self):
+        system = attached_system(initial_hot_ttf_ns=1000.0)
+        system._adapt_threshold(n_hot_faults=0, n_faults=0)
+        assert system.hot_ttf_ns == 1000.0
+
+
+class TestKswapd:
+    def test_below_watermark_no_demotion(self):
+        system = attached_system(high_watermark=0.99,
+                                 low_watermark=0.97)
+        placement = system._placement
+        # Tier 0 usage: 10 pages * 100 B = 1000 B == capacity -> above
+        # the 0.99 watermark, so demotions fire.
+        demotions = system.kswapd_demotions(placement)
+        assert demotions.size > 0
+        # Free some space below the watermark.
+        placement.move(demotions, 1)
+        assert system.kswapd_demotions(placement).size == 0
+
+    def test_demotes_coldest_by_time_to_fault(self):
+        system = attached_system()
+        placement = system._placement
+        # Pages 0-4 recently faulted fast (hot), 5-9 slow (cold).
+        system._last_ttf_ns[:5] = 1_000.0
+        system._last_ttf_ns[5:10] = 1_000_000.0
+        demotions = system.kswapd_demotions(placement)
+        assert demotions.size > 0
+        assert set(demotions.tolist()) <= set(range(5, 10))

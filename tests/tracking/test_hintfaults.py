@@ -1,0 +1,94 @@
+"""Tests for the TPP hint-fault tracker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tracking.hintfaults import HintFaultTracker
+
+
+def make_tracker(n_pages=100, scan=10, seed=0):
+    return HintFaultTracker(n_pages, scan,
+                            rng=np.random.default_rng(seed))
+
+
+def drive(tracker, rates, quanta, quantum_ns=1e7):
+    """Run ``quanta`` quanta, returning all fault events."""
+    events = []
+    for q in range(quanta):
+        events.extend(
+            tracker.quantum(rates, now_ns=q * quantum_ns,
+                            quantum_ns=quantum_ns)
+        )
+    return events
+
+
+class TestScanning:
+    def test_scanner_marks_round_robin(self):
+        tracker = make_tracker(n_pages=10, scan=4)
+        rates = np.zeros(10)
+        tracker.quantum(rates, 0.0, 1e6)
+        assert set(tracker.marked_pages) == {0, 1, 2, 3}
+        tracker.quantum(rates, 1e6, 1e6)
+        assert set(tracker.marked_pages) == {0, 1, 2, 3, 4, 5, 6, 7}
+
+    def test_scan_wraps_around(self):
+        tracker = make_tracker(n_pages=6, scan=4)
+        rates = np.zeros(6)
+        tracker.quantum(rates, 0.0, 1e6)
+        tracker.quantum(rates, 1e6, 1e6)
+        assert set(tracker.marked_pages) == set(range(6))
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            HintFaultTracker(0, 1, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            HintFaultTracker(10, 0, np.random.default_rng(0))
+
+    def test_rejects_rate_shape_mismatch(self):
+        tracker = make_tracker(n_pages=10)
+        with pytest.raises(ConfigurationError):
+            tracker.quantum(np.zeros(5), 0.0, 1e6)
+
+
+class TestFaultStatistics:
+    def test_unaccessed_pages_never_fault(self):
+        tracker = make_tracker(n_pages=20, scan=20)
+        events = drive(tracker, np.zeros(20), quanta=10)
+        assert events == []
+
+    def test_hot_pages_fault_quickly(self):
+        """Mean time-to-fault approximates 1/(p*R) — §4.3's relation."""
+        n = 50
+        tracker = make_tracker(n_pages=n, scan=n, seed=3)
+        rates = np.full(n, 1e-4)  # 1/(rate) = 10 us expected ttf
+        events = drive(tracker, rates, quanta=30, quantum_ns=1e6)
+        assert len(events) > 100
+        mean_ttf = np.mean([e.time_to_fault_ns for e in events])
+        assert mean_ttf == pytest.approx(1e4, rel=0.25)
+
+    def test_hotter_pages_fault_faster(self):
+        n = 40
+        tracker = make_tracker(n_pages=n, scan=n, seed=4)
+        rates = np.concatenate([np.full(20, 1e-3), np.full(20, 1e-5)])
+        events = drive(tracker, rates, quanta=50, quantum_ns=1e6)
+        hot_ttf = [e.time_to_fault_ns for e in events if e.page < 20]
+        cold_ttf = [e.time_to_fault_ns for e in events if e.page >= 20]
+        assert hot_ttf and cold_ttf
+        assert np.mean(hot_ttf) < np.mean(cold_ttf) / 10
+
+    def test_fault_clears_mark_until_rescanned(self):
+        tracker = make_tracker(n_pages=4, scan=4, seed=5)
+        rates = np.full(4, 1e-2)  # faults fire almost immediately
+        tracker.quantum(rates, 0.0, 1e6)          # scan all
+        events = tracker.quantum(rates, 1e6, 1e6)  # all fault, rescan
+        assert len(events) == 4
+        # After faulting, pages were re-marked by the same quantum's scan.
+        assert len(tracker.marked_pages) == 4
+
+    def test_faults_are_reproducible(self):
+        a = drive(make_tracker(seed=9), np.full(100, 1e-4), quanta=20)
+        b = drive(make_tracker(seed=9), np.full(100, 1e-4), quanta=20)
+        assert [(e.page, e.time_to_fault_ns) for e in a] == [
+            (e.page, e.time_to_fault_ns) for e in b
+        ]

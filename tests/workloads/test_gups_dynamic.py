@@ -1,0 +1,108 @@
+"""Tests for the GUPS workload and dynamic wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import gib, mib
+from repro.workloads.dynamic import HotSetShiftWorkload
+from repro.workloads.gups import GupsWorkload
+
+
+class TestGups:
+    def test_paper_geometry(self):
+        gups = GupsWorkload()
+        assert gups.working_set_bytes == gib(72)
+        assert gups.hot_bytes == gib(24)
+        assert gups.n_pages == gib(72) // mib(2)
+
+    def test_probabilities_sum_to_one(self):
+        gups = GupsWorkload(scale=0.05)
+        assert gups.access_probabilities().sum() == pytest.approx(1.0)
+
+    def test_hot_set_carries_hot_probability_plus_tail(self):
+        gups = GupsWorkload(scale=0.05, hot_probability=0.9)
+        probs = gups.access_probabilities()
+        hot = gups.hot_mask()
+        # Hot pages get 0.9 plus their share of the uniform 0.1 tail
+        # (the 10% tail is over the full working set, §2.1).
+        hot_share = probs[hot].sum()
+        expected = 0.9 + 0.1 * hot.sum() / gups.n_pages
+        assert hot_share == pytest.approx(expected, rel=1e-9)
+
+    def test_hot_region_is_contiguous(self):
+        gups = GupsWorkload(scale=0.05)
+        hot_idx = np.nonzero(gups.hot_mask())[0]
+        assert (np.diff(hot_idx) == 1).all()
+
+    def test_reshuffle_moves_hot_region(self):
+        gups = GupsWorkload(scale=0.05, seed=3)
+        before = gups.hot_mask().copy()
+        moved = False
+        for __ in range(5):
+            gups.reshuffle_hot_set()
+            if not np.array_equal(before, gups.hot_mask()):
+                moved = True
+                break
+        assert moved
+        assert gups.hot_mask().sum() == before.sum()
+        assert gups.access_probabilities().sum() == pytest.approx(1.0)
+
+    def test_core_group_reflects_object_size(self):
+        small = GupsWorkload(scale=0.05, object_bytes=64).core_group()
+        large = GupsWorkload(scale=0.05, object_bytes=4096).core_group()
+        assert large.mlp > small.mlp
+        assert large.randomness < small.randomness
+
+    def test_scale_shrinks_geometry_proportionally(self):
+        full = GupsWorkload()
+        half = GupsWorkload(scale=0.5)
+        assert half.n_pages == full.n_pages // 2
+        ratio_full = full.hot_bytes / full.working_set_bytes
+        ratio_half = half.hot_bytes / half.working_set_bytes
+        assert ratio_half == pytest.approx(ratio_full, rel=0.01)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GupsWorkload(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            GupsWorkload(hot_bytes=gib(100), working_set_bytes=gib(72))
+        with pytest.raises(ConfigurationError):
+            GupsWorkload(hot_probability=0.0)
+
+
+class TestHotSetShift:
+    def test_shift_fires_at_time(self):
+        base = GupsWorkload(scale=0.05, seed=3)
+        wrapped = HotSetShiftWorkload(base, [5.0])
+        before = base.hot_mask().copy()
+        assert wrapped.advance(4.9) is False
+        assert np.array_equal(before, wrapped.hot_mask())
+        assert wrapped.advance(5.0) is True
+        # Fires exactly once.
+        assert wrapped.advance(6.0) is False
+
+    def test_multiple_shifts(self):
+        base = GupsWorkload(scale=0.05, seed=3)
+        wrapped = HotSetShiftWorkload(base, [2.0, 4.0])
+        assert wrapped.advance(2.5) is True
+        assert wrapped.advance(4.5) is True
+        assert wrapped.advance(9.0) is False
+
+    def test_late_advance_fires_all_pending(self):
+        base = GupsWorkload(scale=0.05, seed=3)
+        wrapped = HotSetShiftWorkload(base, [1.0, 2.0, 3.0])
+        assert wrapped.advance(10.0) is True
+        assert wrapped.advance(11.0) is False
+
+    def test_delegates_interface(self):
+        base = GupsWorkload(scale=0.05)
+        wrapped = HotSetShiftWorkload(base, [])
+        assert wrapped.n_pages == base.n_pages
+        assert wrapped.page_bytes == base.page_bytes
+        assert wrapped.core_group().n_cores == base.core_group().n_cores
+
+    def test_rejects_negative_times(self):
+        base = GupsWorkload(scale=0.05)
+        with pytest.raises(ConfigurationError):
+            HotSetShiftWorkload(base, [-1.0])

@@ -1,0 +1,100 @@
+"""Tests for trace-driven workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.trace import TraceEpoch, TraceWorkload
+
+
+def epoch(end_s, probs):
+    return TraceEpoch(end_s=end_s, probabilities=np.asarray(probs,
+                                                            dtype=float))
+
+
+class TestConstruction:
+    def test_normalizes_epochs(self):
+        workload = TraceWorkload([epoch(1.0, [2.0, 2.0])])
+        np.testing.assert_allclose(workload.access_probabilities(),
+                                   [0.5, 0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            TraceWorkload([])
+
+    def test_rejects_mismatched_pages(self):
+        with pytest.raises(ConfigurationError):
+            TraceWorkload([epoch(1.0, [1.0, 1.0]),
+                           epoch(2.0, [1.0, 1.0, 1.0])])
+
+    def test_rejects_unordered_epochs(self):
+        with pytest.raises(ConfigurationError):
+            TraceWorkload([epoch(2.0, [1.0, 1.0]),
+                           epoch(1.0, [1.0, 1.0])])
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            TraceWorkload([epoch(1.0, [-1.0, 2.0])])
+
+
+class TestAdvance:
+    def test_epoch_switching(self):
+        workload = TraceWorkload([
+            epoch(1.0, [1.0, 0.0]),
+            epoch(2.0, [0.0, 1.0]),
+        ])
+        assert workload.access_probabilities()[0] == 1.0
+        assert workload.advance(0.5) is False
+        assert workload.advance(1.0) is True
+        assert workload.access_probabilities()[1] == 1.0
+
+    def test_last_epoch_persists(self):
+        workload = TraceWorkload([epoch(1.0, [1.0, 0.0])])
+        workload.advance(100.0)
+        assert workload.access_probabilities()[0] == 1.0
+
+    def test_skipping_multiple_epochs(self):
+        workload = TraceWorkload([
+            epoch(1.0, [1.0, 0.0]),
+            epoch(2.0, [0.5, 0.5]),
+            epoch(3.0, [0.0, 1.0]),
+        ])
+        assert workload.advance(2.5) is True
+        assert workload.access_probabilities()[1] == 1.0
+
+
+class TestFromPageStream:
+    def test_bins_stream_into_epochs(self):
+        ids = [0, 0, 1, 1, 1, 2]
+        times = [0.1, 0.2, 1.1, 1.2, 1.3, 2.5]
+        workload = TraceWorkload.from_page_stream(
+            ids, times, n_pages=3, epoch_s=1.0
+        )
+        assert workload.n_epochs == 3
+        assert workload.access_probabilities()[0] == 1.0
+        workload.advance(1.5)
+        assert workload.access_probabilities()[1] == 1.0
+
+    def test_runs_in_the_loop(self, small_machine):
+        from repro.runtime.loop import SimulationLoop
+        from repro.tiering.hemem import HememSystem
+
+        rng = np.random.default_rng(0)
+        n_pages = small_machine.tiers[0].capacity_bytes // (2 * 2**20)
+        ids = rng.integers(0, n_pages, size=5000)
+        times = np.sort(rng.uniform(0, 5.0, size=5000))
+        workload = TraceWorkload.from_page_stream(
+            ids, times, n_pages=int(n_pages), epoch_s=1.0,
+        )
+        loop = SimulationLoop(machine=small_machine, workload=workload,
+                              system=HememSystem(), seed=0)
+        metrics = loop.run(duration_s=2.0)
+        assert metrics.throughput.min() > 0
+
+    def test_rejects_bad_streams(self):
+        with pytest.raises(ConfigurationError):
+            TraceWorkload.from_page_stream([], [], n_pages=2)
+        with pytest.raises(ConfigurationError):
+            TraceWorkload.from_page_stream([5], [0.0], n_pages=2)
+        with pytest.raises(ConfigurationError):
+            TraceWorkload.from_page_stream([0, 1], [1.0, 0.5], n_pages=2)

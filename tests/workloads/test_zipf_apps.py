@@ -1,0 +1,149 @@
+"""Tests for the Zipf utilities and the §5.3 application workloads."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.workloads.cachelib import CacheLibWorkload
+from repro.workloads.graph import GraphWorkload
+from repro.workloads.silo import SiloYcsbWorkload
+from repro.workloads.zipf import harmonic_partial, zipf_page_probabilities
+
+
+class TestZipf:
+    def test_harmonic_matches_explicit_sum(self):
+        for theta in (0.5, 0.99, 1.3):
+            for x in (10, 100, 1000):
+                explicit = sum(k ** -theta for k in range(1, x + 1))
+                approx = float(harmonic_partial(np.array([x]), theta)[0])
+                assert approx == pytest.approx(explicit, rel=0.01), (
+                    theta, x,
+                )
+
+    def test_page_probabilities_normalized(self):
+        probs = zipf_page_probabilities(10**6, 0.99, 1000)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()
+
+    def test_rank_order_without_shuffle(self):
+        probs = zipf_page_probabilities(10**6, 0.99, 100,
+                                        shuffle_seed=None)
+        assert probs[0] == probs.max()
+        assert (np.diff(probs) <= 1e-12).all()
+
+    def test_shuffle_scatters_hot_pages(self):
+        probs = zipf_page_probabilities(10**6, 0.99, 1000, shuffle_seed=1)
+        assert int(np.argmax(probs)) != 0 or probs[0] != probs.max()
+
+    def test_matches_exact_small_case(self):
+        """Aggregated masses equal explicit per-item sums for small n."""
+        n_items, n_pages = 1000, 10
+        probs = zipf_page_probabilities(n_items, 0.99, n_pages,
+                                        shuffle_seed=None)
+        items = np.arange(1, n_items + 1, dtype=float) ** -0.99
+        exact = items.reshape(n_pages, -1).sum(axis=1)
+        exact = exact / exact.sum()
+        np.testing.assert_allclose(probs, exact, rtol=0.02)
+
+    def test_skew_increases_with_theta(self):
+        flat = zipf_page_probabilities(10**6, 0.2, 100, shuffle_seed=None)
+        skewed = zipf_page_probabilities(10**6, 1.2, 100,
+                                         shuffle_seed=None)
+        assert skewed[0] > flat[0]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            zipf_page_probabilities(0, 0.99, 10)
+        with pytest.raises(ConfigurationError):
+            zipf_page_probabilities(5, 0.99, 10)
+        with pytest.raises(ConfigurationError):
+            zipf_page_probabilities(100, -0.5, 10)
+
+
+class TestGraphWorkload:
+    def test_synthetic_is_skewed(self):
+        workload = GraphWorkload.synthetic(scale=0.05)
+        probs = workload.access_probabilities()
+        assert probs.sum() == pytest.approx(1.0)
+        top_1pct = np.sort(probs)[::-1][:max(1, len(probs) // 100)].sum()
+        assert top_1pct > 0.02  # heavy-tail mass in the hottest pages
+
+    def test_from_networkx(self):
+        graph = nx.barabasi_albert_graph(2000, 3, seed=1)
+        workload = GraphWorkload.from_networkx(graph, page_bytes=4096,
+                                               bytes_per_vertex=16)
+        probs = workload.access_probabilities()
+        assert probs.sum() == pytest.approx(1.0)
+        assert workload.n_pages == int(np.ceil(2000 / (4096 // 16)))
+
+    def test_hub_pages_hotter_in_real_graph(self):
+        graph = nx.barabasi_albert_graph(4096, 2, seed=2)
+        workload = GraphWorkload.from_networkx(graph, page_bytes=1024,
+                                               bytes_per_vertex=16)
+        probs = workload.access_probabilities()
+        # BA graphs put the hubs among the earliest nodes.
+        assert probs[0] > np.median(probs)
+
+    def test_rejects_degenerate_mass(self):
+        with pytest.raises(ConfigurationError):
+            GraphWorkload(np.array([1.0]), 4096)
+        with pytest.raises(ConfigurationError):
+            GraphWorkload(np.array([-1.0, 1.0]), 4096)
+
+    def test_read_heavy_core_group(self):
+        workload = GraphWorkload.synthetic(scale=0.05)
+        assert workload.core_group().read_fraction > 0.7
+
+
+class TestSiloWorkload:
+    def test_geometry(self):
+        workload = SiloYcsbWorkload(scale=0.05)
+        assert workload.access_probabilities().sum() == pytest.approx(1.0)
+        assert workload.n_pages >= 2
+
+    def test_read_only(self):
+        assert SiloYcsbWorkload(scale=0.05).core_group(
+        ).read_fraction == 1.0
+
+    def test_zipfian_skew_visible(self):
+        probs = SiloYcsbWorkload(scale=0.05).access_probabilities()
+        assert probs.max() > 3 * probs.mean()
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            SiloYcsbWorkload(scale=0.0)
+
+
+class TestCacheLibWorkload:
+    def test_geometry(self):
+        workload = CacheLibWorkload(scale=0.05)
+        probs = workload.access_probabilities()
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_get_update_mix(self):
+        group = CacheLibWorkload(scale=0.05).core_group()
+        assert group.read_fraction == pytest.approx(0.9)
+
+    def test_large_values_boost_parallelism(self):
+        """4 KB values put CacheLib in the Figure 8 large-object regime."""
+        cachelib = CacheLibWorkload(scale=0.05).core_group()
+        assert cachelib.mlp > 7.0
+        assert cachelib.randomness < 1.0
+
+    def test_hot_slab_mask(self):
+        workload = CacheLibWorkload(scale=0.05)
+        mask = workload.hot_mask()
+        assert mask is not None
+        # ~20% of pages hold the clustered hot slabs.
+        assert 0.1 < mask.mean() < 0.3
+        probs = workload.access_probabilities()
+        # Hot slabs carry most of the access mass (clustered 0.9 * 0.85).
+        assert probs[mask].sum() > 0.6
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CacheLibWorkload(hot_key_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            CacheLibWorkload(hot_probability=1.5)
