@@ -6,7 +6,6 @@ and its steady-state migration traffic is a negligible fraction of
 application throughput.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments import fig10

@@ -1,0 +1,101 @@
+"""Overhead guard for the observability hooks.
+
+The contract the obs subsystem makes with the hot path is that every
+instrumentation site is guarded by a single ``enabled`` attribute check
+(null tracer / disabled profiler), so a run without tracing costs the
+same as the seed loop did. This benchmark enforces it two ways:
+
+1. *Hook budget*: the measured cost of all per-step guard checks (null
+   emits plus disabled profiler laps, counted from the instrumented
+   sources) must stay under 5% of the measured ``SimulationLoop.step``
+   wall time — i.e. the hooks could not have added more than the 5%
+   guard relative to the pre-instrumentation (seed) loop.
+2. *Attribute-check shape*: the null tracer and disabled profiler expose
+   exactly the no-op fast paths the loop relies on.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.experiments.common import scaled_machine
+from repro.obs.profile import PhaseProfiler
+from repro.obs.tracer import NULL_TRACER
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.hemem import HememSystem
+from repro.workloads.gups import GupsWorkload
+
+#: Upper bound on per-step guard sites in the instrumented hot path:
+#: loop (tracer.enabled x3, profiler start + 4 laps, profiler.enabled),
+#: executor (tracer.enabled), controller/shift (tracer.enabled x2),
+#: tiering system emit guards (x3) — 15 sites, padded for slack.
+GUARD_SITES_PER_STEP = 32
+
+#: The ISSUE's overhead budget for disabled observability.
+MAX_OVERHEAD_FRACTION = 0.05
+
+_SCALE = 0.03
+
+
+def _make_loop() -> SimulationLoop:
+    return SimulationLoop(
+        machine=scaled_machine(_SCALE),
+        workload=GupsWorkload(scale=_SCALE, seed=21),
+        system=HememSystem(),
+        contention=1,
+        seed=21,
+    )
+
+
+def _measure_step_seconds(n_steps: int = 40) -> float:
+    loop = _make_loop()
+    for __ in range(5):  # warm caches and the solver
+        loop.step()
+    start = perf_counter()
+    for __ in range(n_steps):
+        loop.step()
+    return (perf_counter() - start) / n_steps
+
+
+def _measure_guard_seconds(n_calls: int = 200_000) -> float:
+    """Mean cost of one disabled instrumentation site.
+
+    Measures the *worst* shape a guard site takes: reading
+    ``tracer.enabled`` and branching, plus a disabled ``profiler.lap``
+    method call (the loop's profiler sites call into the object even
+    when disabled).
+    """
+    tracer = NULL_TRACER
+    profiler = PhaseProfiler(enabled=False)
+    lap = profiler.lap
+    start = perf_counter()
+    for __ in range(n_calls):
+        if tracer.enabled:
+            raise AssertionError("null tracer must be disabled")
+        lap("phase")
+    return (perf_counter() - start) / n_calls
+
+
+class TestNullTracerOverhead:
+    def test_disabled_hooks_fit_the_overhead_budget(self):
+        step_s = _measure_step_seconds()
+        guard_s = _measure_guard_seconds()
+        hook_cost_per_step = GUARD_SITES_PER_STEP * guard_s
+        overhead = hook_cost_per_step / step_s
+        assert overhead < MAX_OVERHEAD_FRACTION, (
+            f"disabled observability hooks cost {overhead:.2%} of a "
+            f"{step_s * 1e6:.0f} us step ({guard_s * 1e9:.0f} ns per "
+            f"guard x {GUARD_SITES_PER_STEP} sites); budget is "
+            f"{MAX_OVERHEAD_FRACTION:.0%}"
+        )
+
+    def test_loop_defaults_to_disabled_observability(self):
+        loop = _make_loop()
+        assert loop.tracer.enabled is False
+        assert loop.profiler.enabled is False
+        assert loop.executor.tracer.enabled is False
+
+    def test_null_tracer_emit_is_noop(self):
+        before = NULL_TRACER.events()
+        NULL_TRACER.emit("phase_timing", phases={})
+        assert NULL_TRACER.events() == before == []

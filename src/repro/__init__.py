@@ -13,6 +13,8 @@ Public API quick map:
 * Workloads: :mod:`repro.workloads` (GUPS, GAPBS, Silo, CacheLib,
   dynamics).
 * Runtime: :mod:`repro.runtime` (simulation loop, steady-state runner).
+* Observability: :mod:`repro.obs` (decision tracing, phase profiling,
+  trace reports).
 * Experiments: :mod:`repro.experiments` (one module per paper figure).
 
 Minimal example (machine and workload scaled together so the hot set

@@ -56,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="export the time series to this CSV path")
     run.add_argument("--json", type=str, default=None,
                      help="export the time series to this JSON path")
+    run.add_argument("--trace", type=str, default=None, metavar="PATH",
+                     help="write a JSONL event trace (decision tracing; "
+                          "read it back with 'repro report PATH')")
+    run.add_argument("--profile", action="store_true",
+                     help="profile the loop's phases and print the "
+                          "wall-time breakdown")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=FIGURES)
@@ -66,9 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report the hardware model's calibration targets")
 
     report = sub.add_parser(
-        "report", help="run the full evaluation and write a markdown "
-                       "report of measured tables"
+        "report", help="summarize a recorded JSONL trace, or (without a "
+                       "trace argument) run the full evaluation and "
+                       "write a markdown report of measured tables"
     )
+    report.add_argument("trace", nargs="?", default=None, metavar="TRACE",
+                        help="JSONL trace from 'repro run --trace'; when "
+                             "given, print its run report instead of "
+                             "running the evaluation")
     report.add_argument("--out", type=str, default="results.md")
     report.add_argument("--scale", type=float, default=0.0625)
     report.add_argument("--seed", type=int, default=42)
@@ -119,18 +130,26 @@ def _build_system(name: str):
 def cmd_run(args) -> int:
     """Handle ``repro run``: one simulation, printed summary."""
     from repro.experiments.common import scaled_machine
+    from repro.obs.tracer import Tracer
     from repro.runtime.export import to_csv, to_json
     from repro.runtime.loop import SimulationLoop
 
     workload = _build_workload(args)
+    tracer = Tracer(jsonl_path=args.trace) if args.trace else None
     loop = SimulationLoop(
         machine=scaled_machine(args.scale),
         workload=workload,
         system=_build_system(args.system),
         contention=args.contention,
         seed=args.seed,
+        tracer=tracer,
+        profile=args.profile,
     )
-    metrics = loop.run(duration_s=args.duration)
+    try:
+        metrics = loop.run(duration_s=args.duration)
+    finally:
+        if tracer is not None:
+            tracer.close()
     tail = max(1, len(metrics) // 4)
     latency = metrics.latencies_ns[-tail:].mean(axis=0)
     print(f"system        : {args.system}")
@@ -145,6 +164,12 @@ def cmd_run(args) -> int:
         print(f"wrote {to_csv(metrics, args.csv)}")
     if args.json:
         print(f"wrote {to_json(metrics, args.json)}")
+    if args.trace:
+        events = sum(tracer.counts.values())
+        print(f"wrote {args.trace} ({events} events)")
+    if args.profile:
+        print("phase profile :")
+        print(loop.profiler.format_summary())
     return 0
 
 
@@ -179,7 +204,14 @@ def cmd_calibrate() -> int:
 
 
 def cmd_report(args) -> int:
-    """Handle ``repro report``: run the evaluation, write markdown."""
+    """Handle ``repro report``: summarize a trace, or run the evaluation
+    and write the markdown report."""
+    if args.trace is not None:
+        from repro.obs.report import report_from_file
+
+        print(report_from_file(args.trace))
+        return 0
+
     from repro.experiments.common import ExperimentConfig
     from repro.experiments.report import write
 

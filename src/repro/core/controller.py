@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.limit import dynamic_migration_limit
 from repro.core.measurement import LatencyMonitor
-from repro.core.shift import ShiftComputer
+from repro.core.shift import ShiftComputer, trace_shift
 from repro.errors import ConfigurationError
 from repro.pages.migration import MigrationPlan
 from repro.pages.placement import PlacementState
@@ -121,6 +121,8 @@ class ColloidController:
         l_a = float(latencies[1:].min())
         p = self.monitor.measured_p()
         dp = self.shift.compute(p, l_d, l_a)
+        if ctx.tracer.enabled:
+            trace_shift(ctx.tracer, self.shift, p, dp, l_d, l_a)
         if dp <= 0:
             return ColloidDecision.hold(p, l_d, l_a)
 
@@ -149,6 +151,14 @@ class ColloidController:
         )
         if mode == "promotion":
             moves = self._with_make_room(ctx.placement, moves, coldness)
+        if ctx.tracer.enabled:
+            ctx.tracer.emit(
+                "colloid_decision",
+                mode=mode,
+                dp=dp,
+                budget_bytes=int(budget),
+                n_moves=len(moves),
+            )
         return ColloidDecision(
             plan=moves,
             budget_bytes=budget,

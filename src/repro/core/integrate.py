@@ -16,10 +16,14 @@ import numpy as np
 from repro.core.controller import ColloidController, ColloidDecision
 from repro.core.finder import BinnedPageFinder, HotListPageFinder
 from repro.core.measurement import DEFAULT_EWMA_ALPHA, LatencyMonitor
-from repro.core.shift import DEFAULT_DELTA, DEFAULT_EPSILON, ShiftComputer
+from repro.core.shift import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    ShiftComputer,
+    trace_shift,
+)
 from repro.errors import ConfigurationError
 from repro.pages.migration import MigrationPlan
-from repro.pages.selection import select_pages_by_probability
 from repro.tiering.base import QuantumContext, QuantumDecision
 from repro.tiering.hemem import HememSystem
 from repro.tiering.memtis import MemtisSystem
@@ -183,6 +187,8 @@ class TppColloidSystem(_ColloidMixin, TppSystem):
         l_d, l_a = float(latencies[0]), float(latencies[1:].min())
         p = monitor.measured_p()
         dp = controller.shift.compute(p, l_d, l_a)
+        if ctx.tracer.enabled:
+            trace_shift(ctx.tracer, controller.shift, p, dp, l_d, l_a)
 
         placement = ctx.placement
         tier = placement.pages.tier
@@ -213,6 +219,15 @@ class TppColloidSystem(_ColloidMixin, TppSystem):
                 moves.append((page, dst))
                 acc_p += estimate
                 acc_b += size
+        if ctx.tracer.enabled and events:
+            ctx.tracer.emit(
+                "tpp_promotion",
+                n_faults=len(events),
+                n_hot=sum(1 for e in events
+                          if e.time_to_fault_ns <= self.hot_ttf_ns),
+                n_promoted=sum(1 for __, d in moves if d == 0),
+                hot_ttf_ns=self.hot_ttf_ns,
+            )
         # kswapd capacity demotion continues as in vanilla TPP; it also
         # provides make-room space for synchronous promotions.
         demotions = self.kswapd_demotions(placement)

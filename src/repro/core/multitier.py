@@ -17,7 +17,7 @@ as a :class:`repro.tiering.base.TieringSystem` via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

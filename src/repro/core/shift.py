@@ -53,6 +53,13 @@ class ShiftComputer:
         self.p_lo = 0.0
         self.p_hi = 1.0
         self.resets = 0
+        #: Which watermark the most recent :meth:`compute` call reset
+        #: ("hi" or "lo"), or None if it reset nothing — read by the
+        #: tracing helpers to attribute resets to quanta.
+        self.last_reset_side: "str | None" = None
+        #: Whether tracing has announced this bracket's initialization
+        #: (the [0, 1] state is itself a reset of both watermarks).
+        self.init_traced = False
 
     def compute(self, p: float, latency_default: float,
                 latency_alternate: float) -> float:
@@ -67,6 +74,7 @@ class ShiftComputer:
             raise ConfigurationError(f"p must be in [0, 1], got {p}")
         if latency_default <= 0 or latency_alternate <= 0:
             raise ConfigurationError("latencies must be positive")
+        self.last_reset_side = None
         if abs(latency_default - latency_alternate) < (
                 self.delta * latency_default):
             return 0.0
@@ -80,8 +88,10 @@ class ShiftComputer:
             # side (Figure 4c).
             if latency_default < latency_alternate:
                 self.p_hi = 1.0
+                self.last_reset_side = "hi"
             else:
                 self.p_lo = 0.0
+                self.last_reset_side = "lo"
             self.resets += 1
         return abs((self.p_lo + self.p_hi) / 2.0 - p)
 
@@ -93,3 +103,43 @@ class ShiftComputer:
         """Reinitialize the bracket to [0, 1]."""
         self.p_lo = 0.0
         self.p_hi = 1.0
+        self.last_reset_side = None
+        self.init_traced = False
+
+
+def trace_shift(tracer, shift: ShiftComputer, p: float, dp: float,
+                latency_default_ns: float,
+                latency_alternate_ns: float) -> None:
+    """Emit the ``compute_shift`` (and, if one fired, ``watermark_reset``)
+    events for one :meth:`ShiftComputer.compute` call.
+
+    Shared by :class:`~repro.core.controller.ColloidController` and the
+    TPP integration, which drives the shift computer directly. Callers
+    guard with ``tracer.enabled`` so the disabled cost stays one check.
+
+    The first traced call announces the bracket's [0, 1] initialization
+    as a ``watermark_reset`` with ``side="init"`` — the initial state is
+    both watermarks at their reset values, and recording it lets the
+    report distinguish "never reset" from "not traced".
+    """
+    if not shift.init_traced:
+        shift.init_traced = True
+        tracer.emit(
+            "watermark_reset", side="init", p=p, resets=shift.resets,
+        )
+    tracer.emit(
+        "compute_shift",
+        p=p,
+        p_lo=shift.p_lo,
+        p_hi=shift.p_hi,
+        dp=dp,
+        latency_default_ns=latency_default_ns,
+        latency_alternate_ns=latency_alternate_ns,
+    )
+    if shift.last_reset_side is not None:
+        tracer.emit(
+            "watermark_reset",
+            side=shift.last_reset_side,
+            p=p,
+            resets=shift.resets,
+        )

@@ -15,7 +15,7 @@ the stack, exactly like the paper's conceptual figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.shift import ShiftComputer
 from repro.errors import ConfigurationError

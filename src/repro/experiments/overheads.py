@@ -14,7 +14,7 @@ Algorithm 1/2 arithmetic per quantum, plus the dedicated core for TPP.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.experiments.common import (
     BASELINE_SYSTEMS,

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.analysis.convergence import convergence_time_s
 from repro.experiments.common import (

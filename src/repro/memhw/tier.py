@@ -28,8 +28,7 @@ The latency parameters deserve explanation (they encode §3.1 of the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 

@@ -1,0 +1,47 @@
+"""Observability: structured tracing, counters, phase profiling, reports.
+
+The simulation hot path is instrumented with guarded emit sites
+(``if tracer.enabled: tracer.emit(...)``); with the default
+:data:`~repro.obs.tracer.NULL_TRACER` each site costs one attribute
+check. A real :class:`~repro.obs.tracer.Tracer` records schema-validated
+events (see :mod:`repro.obs.events`) into a ring buffer and optionally a
+JSONL file that ``repro report trace.jsonl`` turns into a run report.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMAS,
+    TRACE_SCHEMA_VERSION,
+    describe_schema,
+)
+from repro.obs.profile import Counters, PhaseProfiler, merge_phase_events
+from repro.obs.report import (
+    TraceSummary,
+    format_summary,
+    report_from_file,
+    summarize_events,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    iter_events,
+    load_events,
+)
+
+__all__ = [
+    "Counters",
+    "EVENT_SCHEMAS",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseProfiler",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSummary",
+    "Tracer",
+    "describe_schema",
+    "format_summary",
+    "iter_events",
+    "load_events",
+    "merge_phase_events",
+    "report_from_file",
+    "summarize_events",
+]

@@ -1,0 +1,97 @@
+"""Trace event schema.
+
+Every event a :class:`~repro.obs.tracer.Tracer` emits has a ``type`` drawn
+from :data:`EVENT_SCHEMAS` plus the common fields ``time_s`` (simulated
+time, stamped by the tracer) — additional fields are per-type and
+documented here. The schema is the contract between the instrumented
+hot path and the offline report (``repro report trace.jsonl``): renaming
+a field is a breaking change to recorded traces and must bump
+:data:`TRACE_SCHEMA_VERSION`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Bumped whenever an event type or field is renamed or removed.
+TRACE_SCHEMA_VERSION = 1
+
+#: Event type -> {field name -> description}. ``type`` and ``time_s`` are
+#: implicit on every event.
+EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
+    "run_start": {
+        "schema_version": "trace schema version (TRACE_SCHEMA_VERSION)",
+        "system": "tiering system name",
+        "workload": "workload name",
+        "n_tiers": "number of memory tiers",
+        "quantum_ms": "runtime quantum in milliseconds",
+        "migration_limit_bytes": "static per-quantum migration budget",
+    },
+    "solver_converged": {
+        "iterations": "fixed-point iterations the equilibrium solve took",
+        "latencies_ns": "per-tier loaded latency at the fixed point",
+        "app_read_rate": "application demand-read bandwidth (bytes/ns)",
+        "measured_p": "CHA-visible default-tier request share",
+    },
+    "compute_shift": {
+        "p": "measured default-tier access-probability share",
+        "p_lo": "lower watermark after this quantum's update",
+        "p_hi": "upper watermark after this quantum's update",
+        "dp": "desired |shift| in p chosen by Algorithm 2 (0 = hold)",
+        "latency_default_ns": "measured default-tier latency L_D",
+        "latency_alternate_ns": "measured alternate-tier latency L_A",
+    },
+    "watermark_reset": {
+        "side": "'hi' (p_hi reset to 1), 'lo' (p_lo reset to 0), or "
+                "'init' (bracket initialized to [0, 1], emitted once on "
+                "the first traced ComputeShift call and again after an "
+                "explicit ShiftComputer.reset())",
+        "p": "measured p at the reset",
+        "resets": "cumulative dynamic (Fig. 4c) reset count",
+    },
+    "colloid_decision": {
+        "mode": "'promotion' or 'demotion'",
+        "dp": "desired shift driving the decision",
+        "budget_bytes": "dynamic migration limit for the plan",
+        "n_moves": "length of the migration plan",
+    },
+    "migration_executed": {
+        "planned_moves": "page moves requested by the tiering system",
+        "planned_bytes": "bytes the full plan would move",
+        "executed_bytes": "bytes actually migrated this call",
+        "budget_bytes": "effective byte budget (tokens and dynamic cap)",
+        "moves_applied": "moves applied",
+        "moves_skipped": "moves dropped for capacity reasons",
+        "moves_deferred": "moves dropped because the budget ran out",
+    },
+    "phase_timing": {
+        "phases": "mapping of loop phase name -> wall-clock nanoseconds",
+    },
+    "hemem_cooling": {
+        "coolings": "halving passes triggered this quantum",
+        "total_coolings": "cumulative halving passes this run",
+    },
+    "memtis_threshold": {
+        "threshold": "capacity-fitted hot threshold over current counts",
+        "n_hot": "pages at or above the threshold",
+    },
+    "memtis_split": {
+        "n_split": "hugepages split by the one-shot early split",
+    },
+    "tpp_promotion": {
+        "n_faults": "hint faults observed this quantum",
+        "n_hot": "faults classified hot (ttf <= hot_ttf_ns)",
+        "n_promoted": "pages promoted this quantum",
+        "hot_ttf_ns": "hot time-to-fault threshold after adaptation",
+    },
+}
+
+
+def describe_schema() -> str:
+    """Human-readable schema listing (used by documentation tests)."""
+    lines = [f"trace schema v{TRACE_SCHEMA_VERSION}"]
+    for etype in sorted(EVENT_SCHEMAS):
+        lines.append(etype)
+        for field_name, doc in EVENT_SCHEMAS[etype].items():
+            lines.append(f"  {field_name}: {doc}")
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Counters and monotonic-clock phase profiling.
+
+:class:`Counters` is a tiny named-counter registry (the tiering systems'
+``account`` calls cover per-system CPU work; this one is for runtime-wide
+totals). :class:`PhaseProfiler` measures wall time spent in each phase of
+the simulation loop with ``time.perf_counter_ns`` — a monotonic clock —
+using a lap-style interface so one quantum costs one clock read per
+phase boundary. A disabled profiler's ``start``/``lap`` return
+immediately after a single attribute check, mirroring the null tracer.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+class Counters:
+    """Named monotonically-increasing integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to counter ``name``."""
+        self._counts[name] = self._counts.get(name, 0) + int(amount)
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of all counters."""
+        return dict(self._counts)
+
+
+class PhaseProfiler:
+    """Lap-timer over the loop's phases.
+
+    Usage::
+
+        prof.start()                  # once per quantum
+        ...workload advance...
+        prof.lap("workload_advance")  # returns ns since start/last lap
+        ...solve...
+        prof.lap("equilibrium_solve")
+
+    Per-phase totals and call counts accumulate across quanta;
+    :meth:`summary` renders them for the end-of-run report.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._totals: Dict[str, list] = {}
+        self._mark = 0
+
+    def start(self) -> None:
+        """Begin a measurement window (call at the top of each quantum)."""
+        if not self.enabled:
+            return
+        self._mark = perf_counter_ns()
+
+    def lap(self, phase: str) -> int:
+        """Close the current phase; returns its duration in ns (0 when
+        disabled)."""
+        if not self.enabled:
+            return 0
+        now = perf_counter_ns()
+        elapsed = now - self._mark
+        self._mark = now
+        entry = self._totals.get(phase)
+        if entry is None:
+            self._totals[phase] = [elapsed, 1]
+        else:
+            entry[0] += elapsed
+            entry[1] += 1
+        return elapsed
+
+    @property
+    def phases(self) -> Dict[str, int]:
+        """Total ns per phase so far."""
+        return {name: entry[0] for name, entry in self._totals.items()}
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase totals: ``{phase: {total_ns, count, mean_ns}}``."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, (total, count) in self._totals.items():
+            out[name] = {
+                "total_ns": int(total),
+                "count": int(count),
+                "mean_ns": total / count if count else 0.0,
+            }
+        return out
+
+    def format_summary(self) -> str:
+        """Fixed-width text table of the phase breakdown."""
+        summary = self.summary()
+        if not summary:
+            return "no phases profiled"
+        grand_total = sum(s["total_ns"] for s in summary.values())
+        lines = [f"{'phase':<20} {'total ms':>10} {'mean us':>10} "
+                 f"{'share':>7}"]
+        order = sorted(summary, key=lambda k: -summary[k]["total_ns"])
+        for name in order:
+            s = summary[name]
+            share = s["total_ns"] / grand_total if grand_total else 0.0
+            lines.append(
+                f"{name:<20} {s['total_ns'] / 1e6:>10.2f} "
+                f"{s['mean_ns'] / 1e3:>10.2f} {share:>6.1%}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Clear all accumulated phase totals."""
+        self._totals.clear()
+        self._mark = 0
+
+
+def merge_phase_events(phase_events) -> Dict[str, int]:
+    """Sum per-phase ns across ``phase_timing`` trace events.
+
+    Args:
+        phase_events: Iterable of event dicts with a ``phases`` mapping.
+
+    Raises:
+        ConfigurationError: If an event has no ``phases`` mapping.
+    """
+    totals: Dict[str, int] = {}
+    for event in phase_events:
+        phases = event.get("phases")
+        if not isinstance(phases, dict):
+            raise ConfigurationError(
+                "phase_timing event without a 'phases' mapping"
+            )
+        for name, ns in phases.items():
+            totals[name] = totals.get(name, 0) + int(ns)
+    return totals
+
+
+__all__ = ["Counters", "PhaseProfiler", "merge_phase_events"]

@@ -11,13 +11,14 @@ hardware model should charge for the quantum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.memhw.latency import TrafficClass
+from repro.obs.tracer import NULL_TRACER
 from repro.pages.placement import PlacementState
 
 #: Page copies stream sequentially within a page but jump between pages.
@@ -102,7 +103,8 @@ class MigrationExecutor:
 
     def __init__(self, placement: PlacementState,
                  limit_bytes_per_quantum: int,
-                 burst_quanta: int = 100) -> None:
+                 burst_quanta: int = 100,
+                 tracer=None) -> None:
         if limit_bytes_per_quantum <= 0:
             raise ConfigurationError("migration limit must be positive")
         if burst_quanta < 1:
@@ -113,6 +115,7 @@ class MigrationExecutor:
         # Accrual happens at the start of each execute() call, so starting
         # from zero gives the first quantum exactly one quantum's budget.
         self._tokens = 0
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     @property
     def limit_bytes_per_quantum(self) -> int:
@@ -193,6 +196,20 @@ class MigrationExecutor:
                         read_fraction=0.0,
                     )
                 )
+        if self.tracer.enabled and len(plan) > 0:
+            planned_bytes = int(
+                pages.sizes_bytes[plan.page_indices].sum()
+            )
+            self.tracer.emit(
+                "migration_executed",
+                planned_moves=len(plan),
+                planned_bytes=planned_bytes,
+                executed_bytes=bytes_moved,
+                budget_bytes=int(budget),
+                moves_applied=applied,
+                moves_skipped=skipped,
+                moves_deferred=deferred,
+            )
         return MigrationResult(
             bytes_moved=bytes_moved,
             moves_applied=applied,

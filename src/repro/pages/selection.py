@@ -9,7 +9,6 @@ within a budget and whose summed size stays within a byte budget.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

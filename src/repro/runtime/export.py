@@ -33,10 +33,12 @@ def _rows(metrics: MetricsRecorder):
     )
     yield header
     for r in records:
+        # Every scalar is cast to a plain Python type: QuantumRecord
+        # fields can arrive as numpy scalars, which json.dump rejects.
         yield (
-            [r.time_s, r.throughput]
+            [float(r.time_s), float(r.throughput)]
             + [float(x) for x in r.latencies_ns]
-            + [r.p_true, r.p_measured]
+            + [float(r.p_true), float(r.p_measured)]
             + [float(x) for x in r.app_tier_bandwidth]
             + [int(r.migration_bytes), int(r.antagonist_intensity)]
         )

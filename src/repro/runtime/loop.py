@@ -21,7 +21,7 @@ application traffic of quantum k+1.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.memhw.cha import ChaCounters
 from repro.memhw.fixedpoint import EquilibriumSolver
 from repro.memhw.mbm import MbmMonitor
 from repro.memhw.topology import Machine
+from repro.obs.events import TRACE_SCHEMA_VERSION
+from repro.obs.profile import PhaseProfiler
+from repro.obs.tracer import NULL_TRACER
 from repro.pages.migration import MigrationExecutor
 from repro.pages.pagestate import PageArray
 from repro.pages.placement import PlacementState, fill_default_first
@@ -61,12 +64,16 @@ class SimulationLoop:
         migration_limit_bytes: int = DEFAULT_MIGRATION_LIMIT_PER_QUANTUM,
         initial_placement: Optional[np.ndarray] = None,
         seed: int = 1234,
+        tracer=None,
+        profile: bool = False,
     ) -> None:
         if quantum_ms <= 0:
             raise ConfigurationError("quantum must be positive")
         self.machine = machine
         self.workload = workload
         self.system = system
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.profiler = PhaseProfiler(enabled=profile)
         self.quantum_ns = ms_to_ns(quantum_ms)
         self.quantum_s = quantum_ms / 1e3
         if callable(contention):
@@ -111,6 +118,7 @@ class SimulationLoop:
         self.executor = MigrationExecutor(
             self.placement, migration_limit_bytes,
             burst_quanta=burst_quanta,
+            tracer=self.tracer,
         )
         self.metrics = MetricsRecorder()
         self.time_s = 0.0
@@ -125,6 +133,16 @@ class SimulationLoop:
 
         system.attach(self.placement)
         system.on_configure(machine, migration_limit_bytes, self.quantum_ns)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "run_start",
+                schema_version=TRACE_SCHEMA_VERSION,
+                system=system.name,
+                workload=workload.name,
+                n_tiers=len(machine.tiers),
+                quantum_ms=quantum_ms,
+                migration_limit_bytes=int(migration_limit_bytes),
+            )
 
     @property
     def app_core_group(self):
@@ -177,6 +195,11 @@ class SimulationLoop:
     def step(self) -> QuantumRecord:
         """Advance the simulation by one quantum."""
         t = self.time_s
+        tracer = self.tracer
+        profiler = self.profiler
+        if tracer.enabled:
+            tracer.time_s = t
+        profiler.start()
         self.workload.advance(t)
         probs = self.workload.access_probabilities()
         split = self.placement.tier_probabilities(probs)
@@ -191,6 +214,7 @@ class SimulationLoop:
         antagonist = antagonist_core_group(intensity,
                                            self.machine.antagonist)
         app = self.app_core_group
+        dt_workload = profiler.lap("workload_advance")
         migration_traffic, charged_bytes = self._drain_copy_debt()
         equilibrium = self.solver.solve(
             app=app,
@@ -200,6 +224,15 @@ class SimulationLoop:
         )
         self.cha.observe(equilibrium, self.quantum_ns)
         self.mbm.observe(equilibrium, self.quantum_ns)
+        dt_solve = profiler.lap("equilibrium_solve")
+        if tracer.enabled:
+            tracer.emit(
+                "solver_converged",
+                iterations=equilibrium.iterations,
+                latencies_ns=equilibrium.latencies_ns,
+                app_read_rate=equilibrium.app_read_rate,
+                measured_p=equilibrium.measured_p,
+            )
 
         feed = AccessFeed(
             access_probs=probs,
@@ -215,14 +248,27 @@ class SimulationLoop:
             mbm=self.mbm.sample_and_reset(),
             feed=feed,
             rng=self._rng,
+            tracer=tracer,
         )
         decision = self.system.quantum(ctx)
+        dt_decide = profiler.lap("tiering_decision")
         result = self.executor.execute(
             decision.plan, self.quantum_ns, decision.budget_bytes
         )
         if result.bytes_moved > 0:
             self._copy_read_debt += result.read_bytes_per_tier
             self._copy_write_debt += result.write_bytes_per_tier
+        dt_migrate = profiler.lap("migration_execute")
+        if profiler.enabled and tracer.enabled:
+            tracer.emit(
+                "phase_timing",
+                phases={
+                    "workload_advance": dt_workload,
+                    "equilibrium_solve": dt_solve,
+                    "tiering_decision": dt_decide,
+                    "migration_execute": dt_migrate,
+                },
+            )
 
         record = QuantumRecord(
             time_s=t,

@@ -102,7 +102,17 @@ class MetricsRecorder:
         return self.migration_bytes / quantum_s
 
     def steady_state_throughput(self, tail_fraction: float = 0.25) -> float:
-        """Mean throughput over the last ``tail_fraction`` of the run."""
+        """Mean throughput over the last ``tail_fraction`` of the run.
+
+        Raises:
+            ConfigurationError: If ``tail_fraction`` is outside ``(0, 1]``
+                — 0 would silently average the whole series and negative
+                values would slice nonsense.
+        """
+        if not 0.0 < tail_fraction <= 1.0:
+            raise ConfigurationError(
+                f"tail_fraction must be in (0, 1], got {tail_fraction}"
+            )
         series = self.throughput
         start = int(len(series) * (1 - tail_fraction))
         return float(series[start:].mean())

@@ -9,7 +9,7 @@ law — so tests can cross-validate the analytic model's assumptions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -74,7 +74,6 @@ def run_closed_loop(
     if duration_ns <= 0 or warmup_ns < 0:
         raise ConfigurationError("invalid durations")
     sim = Simulator()
-    rng = np.random.default_rng(seed)
     controllers = [
         BankedMemoryController(
             sim,

@@ -11,14 +11,14 @@ limit; baselines use the static limit).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
 from repro.memhw.cha import ChaSample
 from repro.memhw.mbm import MbmSample
+from repro.obs.tracer import NULL_TRACER
 from repro.pages.migration import MigrationPlan
 from repro.pages.placement import PlacementState
 from repro.tracking.feed import AccessFeed
@@ -26,7 +26,13 @@ from repro.tracking.feed import AccessFeed
 
 @dataclass
 class QuantumContext:
-    """Everything a tiering system may observe during one quantum."""
+    """Everything a tiering system may observe during one quantum.
+
+    ``tracer`` carries the runtime's observability hook; it defaults to
+    the shared null tracer, so systems emit decision events with
+    ``if ctx.tracer.enabled:`` guards and pay one attribute check when
+    tracing is off.
+    """
 
     time_s: float
     quantum_ns: float
@@ -35,6 +41,7 @@ class QuantumContext:
     mbm: MbmSample
     feed: AccessFeed
     rng: np.random.Generator
+    tracer: object = NULL_TRACER
 
 
 @dataclass

@@ -73,8 +73,15 @@ class HememSystem(TieringSystem):
     def update_tracking(self, ctx: QuantumContext) -> None:
         """Fold this quantum's PEBS samples into the frequency counters."""
         samples = self._sampler.collect(ctx.feed)
+        coolings_before = self.counters.coolings
         self.counters.add_samples(samples)
         self.account("pebs_samples", int(samples.sum()))
+        if ctx.tracer.enabled and self.counters.coolings > coolings_before:
+            ctx.tracer.emit(
+                "hemem_cooling",
+                coolings=self.counters.coolings - coolings_before,
+                total_coolings=self.counters.coolings,
+            )
 
     def hot_mask(self) -> np.ndarray:
         """Pages currently classified hot (count >= threshold)."""

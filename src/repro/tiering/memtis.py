@@ -135,6 +135,8 @@ class MemtisSystem(TieringSystem):
         n_split = int(self.split_fraction * len(order))
         self._split[order[:n_split]] = True
         self.account("hugepage_splits", n_split)
+        if ctx.tracer.enabled:
+            ctx.tracer.emit("memtis_split", n_split=n_split)
 
     def _coalesce(self, ctx: QuantumContext) -> None:
         """Slowly repair split pages, modelling MEMTIS's VA-space scan."""
@@ -166,6 +168,13 @@ class MemtisSystem(TieringSystem):
         hot = self.counts >= threshold if np.isfinite(threshold) else (
             np.zeros(len(self.counts), dtype=bool)
         )
+        if ctx.tracer.enabled:
+            ctx.tracer.emit(
+                "memtis_threshold",
+                threshold=float(threshold) if np.isfinite(threshold)
+                else None,
+                n_hot=int(hot.sum()),
+            )
         slack = int(self.demotion_watermark * placement.capacity_bytes(0))
         plan = pack_hottest_plan(
             placement=placement,

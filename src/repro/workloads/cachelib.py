@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.memhw.corestate import CoreGroup
-from repro.units import gib, mib
+from repro.units import mib
 from repro.workloads.base import Workload
 
 #: Effective per-item footprint: 64 B key + 4 KB value + allocator/cache

@@ -19,7 +19,6 @@ Two constructors are provided:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -40,7 +40,6 @@ class TestHitRate:
 
     def test_skew_raises_hit_rate(self):
         uniform = np.full(100, 1.0)
-        rng = np.random.default_rng(1)
         zipfy = 1.0 / np.arange(1, 101) ** 1.1
         flat_hit, __ = lru_hit_rate(uniform, 20)
         skew_hit, __ = lru_hit_rate(zipfy, 20)

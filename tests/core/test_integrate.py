@@ -5,7 +5,6 @@ stack: parity at 0x contention, large gains at 3x, and the mechanism —
 placement adapted until tier latencies balance (or the boundary is hit).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.integrate import (

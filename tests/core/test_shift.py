@@ -5,8 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.shift import DEFAULT_DELTA, DEFAULT_EPSILON, ShiftComputer
+from repro.core.shift import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    ShiftComputer,
+    trace_shift,
+)
 from repro.errors import ConfigurationError
+from repro.obs.tracer import Tracer
 
 
 class TestAlgorithmSemantics:
@@ -82,6 +88,52 @@ class TestAlgorithmSemantics:
             shift.compute(1.5, 100.0, 200.0)
         with pytest.raises(ConfigurationError):
             shift.compute(0.5, -1.0, 200.0)
+
+
+class TestShiftTracing:
+    def test_reset_side_recorded(self):
+        shift = ShiftComputer(epsilon=0.05)
+        shift.p_lo, shift.p_hi = 0.60, 0.62
+        shift.compute(0.61, 100.0, 200.0)
+        assert shift.last_reset_side == "hi"
+        shift.compute(0.61, 103.0, 100.0)  # dead band: no reset
+        assert shift.last_reset_side is None
+
+    def test_trace_shift_emits_init_once(self):
+        tracer = Tracer()
+        shift = ShiftComputer()
+        for __ in range(3):
+            dp = shift.compute(0.5, 100.0, 200.0)
+            trace_shift(tracer, shift, 0.5, dp, 100.0, 200.0)
+        resets = tracer.events("watermark_reset")
+        assert len(resets) == 1
+        assert resets[0]["side"] == "init"
+        assert len(tracer.events("compute_shift")) == 3
+
+    def test_trace_shift_emits_dynamic_reset(self):
+        tracer = Tracer()
+        shift = ShiftComputer(epsilon=0.05)
+        shift.init_traced = True  # skip the init announcement
+        shift.p_lo, shift.p_hi = 0.60, 0.62
+        dp = shift.compute(0.61, 300.0, 100.0)
+        trace_shift(tracer, shift, 0.61, dp, 300.0, 100.0)
+        (reset,) = tracer.events("watermark_reset")
+        assert reset["side"] == "lo"
+        assert reset["resets"] == 1
+        (event,) = tracer.events("compute_shift")
+        assert event["p_lo"] == 0.0
+        assert event["dp"] == pytest.approx(dp)
+
+    def test_manual_reset_reannounces_init(self):
+        tracer = Tracer()
+        shift = ShiftComputer()
+        dp = shift.compute(0.5, 100.0, 200.0)
+        trace_shift(tracer, shift, 0.5, dp, 100.0, 200.0)
+        shift.reset()
+        dp = shift.compute(0.5, 100.0, 200.0)
+        trace_shift(tracer, shift, 0.5, dp, 100.0, 200.0)
+        sides = [e["side"] for e in tracer.events("watermark_reset")]
+        assert sides == ["init", "init"]
 
 
 def converge(shift: ShiftComputer, p_star: float, p0: float,

@@ -1,7 +1,6 @@
 """Unit-level tests of the TPP+Colloid per-fault logic (§4.3)."""
 
 import numpy as np
-import pytest
 
 from repro.core.integrate import TppColloidSystem
 from repro.memhw.cha import ChaSample

@@ -1,6 +1,5 @@
 """Tests for the experiment harnesses (small grids)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

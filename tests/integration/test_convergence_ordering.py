@@ -10,7 +10,6 @@ shrink, but the *ordering* — the paper's point — must hold.
 """
 
 import numpy as np
-import pytest
 
 from repro.runtime.loop import SimulationLoop
 from repro.tiering.hemem import HememSystem

@@ -1,6 +1,5 @@
 """Tests for latency-load curves and traffic-mix effective bandwidth."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

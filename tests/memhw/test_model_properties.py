@@ -7,7 +7,6 @@ closed-loop throughput law couples them consistently.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

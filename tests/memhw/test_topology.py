@@ -8,7 +8,6 @@ from repro.memhw.antagonist import (
     antagonist_core_group,
     cores_for_intensity,
 )
-from repro.memhw.tier import MemoryTierSpec
 from repro.memhw.topology import Machine, cxl_testbed, paper_testbed
 from repro.units import gib
 

@@ -1,0 +1,149 @@
+"""Tests for the trace-report subsystem."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.report import (
+    format_summary,
+    report_from_file,
+    summarize_events,
+)
+
+
+def shift_event(time_s, dp, l_d=300.0, l_a=150.0, p_lo=0.0, p_hi=1.0,
+                p=0.5):
+    return {"type": "compute_shift", "time_s": time_s, "p": p,
+            "p_lo": p_lo, "p_hi": p_hi, "dp": dp,
+            "latency_default_ns": l_d, "latency_alternate_ns": l_a}
+
+
+def migration_event(time_s, planned, executed, deferred=0, skipped=0):
+    return {"type": "migration_executed", "time_s": time_s,
+            "planned_moves": 4, "planned_bytes": planned,
+            "executed_bytes": executed, "budget_bytes": executed,
+            "moves_applied": 2, "moves_skipped": skipped,
+            "moves_deferred": deferred}
+
+
+META = {"type": "run_start", "time_s": 0.0, "system": "hemem+colloid",
+        "workload": "gups", "n_tiers": 2, "quantum_ms": 10.0,
+        "migration_limit_bytes": 1 << 20}
+
+
+class TestSummarize:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_events([])
+
+    def test_convergence_time_and_quantum(self):
+        events = [META,
+                  shift_event(0.00, dp=0.2),
+                  shift_event(0.01, dp=0.1),
+                  shift_event(0.02, dp=0.0, l_d=150.0),
+                  shift_event(0.03, dp=0.0, l_d=150.0)]
+        summary = summarize_events(events)
+        assert summary.convergence_time_s == pytest.approx(0.02)
+        assert summary.convergence_quantum == 2
+
+    def test_never_converged(self):
+        events = [META, shift_event(0.0, dp=0.1), shift_event(0.01, dp=0.1)]
+        summary = summarize_events(events)
+        assert summary.convergence_time_s is None
+        assert summary.convergence_quantum is None
+
+    def test_always_balanced_converges_immediately(self):
+        events = [META, shift_event(0.05, dp=0.0), shift_event(0.06, dp=0.0)]
+        summary = summarize_events(events)
+        assert summary.convergence_time_s == pytest.approx(0.05)
+
+    def test_latency_balance_error_uses_tail(self):
+        # Tail = last quarter of 8 events = the last 2 (l_d=200, l_a=100).
+        events = [META]
+        events += [shift_event(i / 100, dp=0.1, l_d=1000.0, l_a=100.0)
+                   for i in range(6)]
+        events += [shift_event((6 + i) / 100, dp=0.1, l_d=200.0,
+                               l_a=100.0) for i in range(2)]
+        summary = summarize_events(events)
+        assert summary.latency_balance_error == pytest.approx(0.5)
+
+    def test_migration_efficiency(self):
+        events = [META,
+                  migration_event(0.0, planned=100, executed=60,
+                                  deferred=2),
+                  migration_event(0.01, planned=100, executed=100)]
+        summary = summarize_events(events)
+        assert summary.planned_bytes == 200
+        assert summary.executed_bytes == 160
+        assert summary.migration_efficiency == pytest.approx(0.8)
+        assert summary.clipped_quanta == 1
+        assert summary.moves_deferred == 2
+
+    def test_init_resets_not_counted_as_dynamic(self):
+        events = [META,
+                  {"type": "watermark_reset", "time_s": 0.0,
+                   "side": "init", "p": 0.5, "resets": 0},
+                  {"type": "watermark_reset", "time_s": 0.5,
+                   "side": "hi", "p": 0.2, "resets": 1}]
+        summary = summarize_events(events)
+        assert summary.watermark_resets == 1
+        assert summary.event_counts["watermark_reset"] == 2
+
+    def test_phase_totals_merged(self):
+        events = [META,
+                  {"type": "phase_timing", "time_s": 0.0,
+                   "phases": {"equilibrium_solve": 100, "other": 10}},
+                  {"type": "phase_timing", "time_s": 0.01,
+                   "phases": {"equilibrium_solve": 50}}]
+        summary = summarize_events(events)
+        assert summary.phase_totals_ns["equilibrium_solve"] == 150
+
+
+class TestFormat:
+    def test_report_sections_present(self):
+        events = [META,
+                  shift_event(0.00, dp=0.2),
+                  shift_event(0.01, dp=0.0, l_d=150.0),
+                  migration_event(0.0, planned=100, executed=80,
+                                  deferred=1),
+                  {"type": "phase_timing", "time_s": 0.0,
+                   "phases": {"equilibrium_solve": 1000}}]
+        text = format_summary(summarize_events(events))
+        assert "convergence" in text
+        assert "converged at  : 0.010 s (quantum 1)" in text
+        assert "migration efficiency" in text
+        assert "80.0% of planned" in text
+        assert "phase-time breakdown" in text
+        assert "equilibrium_solve" in text
+
+    def test_report_without_optional_sections(self):
+        text = format_summary(summarize_events([META]))
+        assert "no compute_shift events" in text
+        assert "no migrations planned" in text
+        assert "--profile" in text
+
+
+class TestEndToEnd:
+    def test_traced_loop_report(self, small_machine, tmp_path):
+        from repro.core.integrate import HememColloidSystem
+        from repro.obs.tracer import Tracer
+        from repro.runtime.loop import SimulationLoop
+        from repro.workloads.gups import GupsWorkload
+        from tests.conftest import FAST_SCALE
+
+        path = tmp_path / "trace.jsonl"
+        with Tracer(jsonl_path=path) as tracer:
+            loop = SimulationLoop(
+                machine=small_machine,
+                workload=GupsWorkload(scale=FAST_SCALE, seed=11),
+                system=HememColloidSystem(),
+                contention=3,
+                seed=11,
+                tracer=tracer,
+                profile=True,
+            )
+            loop.run(duration_s=0.5)
+        text = report_from_file(path)
+        assert "hemem+colloid / gups" in text
+        assert "phase-time breakdown" in text
+        assert "equilibrium_solve" in text
+        assert "migration efficiency" in text

@@ -1,0 +1,134 @@
+"""Edge-case tests for MetricsRecorder and the CSV/JSON exporters."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.export import to_csv, to_json
+from repro.runtime.metrics import MetricsRecorder, QuantumRecord
+
+
+def make_record(i=0, n_tiers=2):
+    """A synthetic record built from numpy scalars, as the loop produces."""
+    return QuantumRecord(
+        time_s=np.float64(i * 0.01),
+        throughput=np.float64(50.0 + i),
+        latencies_ns=np.linspace(100.0, 300.0, n_tiers),
+        p_true=np.float64(0.5),
+        p_measured=np.float64(0.6),
+        app_tier_bandwidth=np.full(n_tiers, 10.0),
+        migration_bytes=np.int64(4096),
+        antagonist_intensity=np.int64(2),
+    )
+
+
+def make_recorder(n=3, n_tiers=2):
+    recorder = MetricsRecorder()
+    for i in range(n):
+        recorder.record(make_record(i, n_tiers))
+    return recorder
+
+
+class TestSteadyStateThroughput:
+    @pytest.mark.parametrize("bad", [0.0, -0.25, 1.5, -1.0])
+    def test_rejects_out_of_range_tail_fraction(self, bad):
+        recorder = make_recorder()
+        with pytest.raises(ConfigurationError):
+            recorder.steady_state_throughput(tail_fraction=bad)
+
+    def test_full_tail_averages_everything(self):
+        recorder = make_recorder(4)
+        assert recorder.steady_state_throughput(tail_fraction=1.0) == (
+            pytest.approx(np.mean([50.0, 51.0, 52.0, 53.0]))
+        )
+
+    def test_single_record(self):
+        recorder = make_recorder(1)
+        assert recorder.steady_state_throughput() == pytest.approx(50.0)
+        assert recorder.steady_state_throughput(0.01) == pytest.approx(50.0)
+
+
+class TestRecorderEdges:
+    def test_single_record_views(self):
+        recorder = make_recorder(1)
+        assert recorder.latencies_ns.shape == (1, 2)
+        assert recorder.app_tier_bandwidth.shape == (1, 2)
+        assert len(recorder) == 1
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5])
+    def test_migration_rate_rejects_bad_quantum(self, bad):
+        recorder = make_recorder()
+        with pytest.raises(ConfigurationError):
+            recorder.migration_rate_bytes_per_s(bad)
+
+    def test_migration_rate_scales(self):
+        recorder = make_recorder(2)
+        rate = recorder.migration_rate_bytes_per_s(0.01)
+        assert rate.tolist() == [409600.0, 409600.0]
+
+    def test_empty_recorder_properties_raise(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRecorder().throughput
+
+
+EXPECTED_HEADER_2TIER = [
+    "time_s", "throughput_gbps",
+    "latency_ns_tier0", "latency_ns_tier1",
+    "p_true", "p_measured",
+    "app_bandwidth_gbps_tier0", "app_bandwidth_gbps_tier1",
+    "migration_bytes", "antagonist_intensity",
+]
+
+
+class TestExportRoundTrip:
+    def test_csv_header_is_stable(self, tmp_path):
+        path = to_csv(make_recorder(), tmp_path / "out.csv")
+        with path.open() as handle:
+            header = next(csv.reader(handle))
+        assert header == EXPECTED_HEADER_2TIER
+
+    def test_json_emits_plain_python_scalars(self, tmp_path):
+        """Numpy scalar types must never leak into json.dump."""
+        recorder = make_recorder()
+        path = to_json(recorder, tmp_path / "out.json")
+        data = json.loads(path.read_text())
+        assert set(data) == set(EXPECTED_HEADER_2TIER)
+        for column, values in data.items():
+            for value in values:
+                assert isinstance(value, (int, float)), column
+        assert data["time_s"] == [0.0, 0.01, 0.02]
+        assert data["migration_bytes"] == [4096, 4096, 4096]
+
+    def test_three_tier_roundtrip(self, tmp_path):
+        recorder = make_recorder(2, n_tiers=3)
+        csv_path = to_csv(recorder, tmp_path / "o.csv")
+        json_path = to_json(recorder, tmp_path / "o.json")
+        with csv_path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert "latency_ns_tier2" in rows[0]
+        assert len(rows) == 3
+        data = json.loads(json_path.read_text())
+        assert "app_bandwidth_gbps_tier2" in data
+        assert len(data["latency_ns_tier2"]) == 2
+
+    def test_csv_json_values_agree(self, tmp_path):
+        recorder = make_recorder()
+        with to_csv(recorder, tmp_path / "o.csv").open() as handle:
+            rows = list(csv.reader(handle))
+        data = json.loads(
+            to_json(recorder, tmp_path / "o.json").read_text()
+        )
+        for i, name in enumerate(rows[0]):
+            csv_column = [float(row[i]) for row in rows[1:]]
+            assert csv_column == pytest.approx(
+                [float(v) for v in data[name]]
+            )
+
+    def test_empty_recorder_rejected_by_both(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            to_csv(MetricsRecorder(), tmp_path / "x.csv")
+        with pytest.raises(ConfigurationError):
+            to_json(MetricsRecorder(), tmp_path / "x.json")

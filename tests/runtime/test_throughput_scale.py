@@ -1,9 +1,7 @@
 """Integration of TieringSystem.throughput_scale with the loop."""
 
-import pytest
 
 from repro.runtime.loop import SimulationLoop
-from repro.tiering.base import QuantumDecision
 from repro.tiering.static import StaticPlacementSystem
 from repro.workloads.gups import GupsWorkload
 from tests.conftest import FAST_SCALE

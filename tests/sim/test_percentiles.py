@@ -1,7 +1,6 @@
 """Tests for tail-latency measurement in the event simulator."""
 
 import numpy as np
-import pytest
 
 from repro.sim.harness import run_closed_loop
 

@@ -53,6 +53,41 @@ class TestRunCommand:
         assert code == 0
 
 
+class TestTracing:
+    def test_trace_and_profile_flags(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        code = main([
+            "run", "--system", "hemem+colloid", "--duration", "0.5",
+            "--scale", "0.03", "--trace", str(trace_path), "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase profile" in out
+        assert "equilibrium_solve" in out
+        events = [json.loads(line)
+                  for line in trace_path.read_text().splitlines()]
+        types = {e["type"] for e in events}
+        assert {"run_start", "compute_shift", "watermark_reset",
+                "migration_executed", "phase_timing"} <= types
+
+    def test_report_renders_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert main([
+            "run", "--system", "hemem+colloid", "--duration", "0.5",
+            "--scale", "0.03", "--trace", str(trace_path), "--profile",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "convergence" in out
+        assert "migration efficiency" in out
+        assert "phase-time breakdown" in out
+
+    def test_report_missing_trace_errors(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "missing.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_calibrate(self, capsys):
         assert main(["calibrate"]) == 0

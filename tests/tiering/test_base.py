@@ -1,7 +1,6 @@
 """Tests for the tiering base interface and the pack-hottest policy."""
 
 import numpy as np
-import pytest
 
 from repro.pages.pagestate import PageArray
 from repro.pages.placement import PlacementState

@@ -1,6 +1,5 @@
 """Tests for the related-work baselines (BATMAN, Carrefour)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -1,6 +1,5 @@
 """Tests for the hardware-managed memory-mode baseline."""
 
-import numpy as np
 import pytest
 
 from repro.runtime.loop import SimulationLoop

@@ -5,7 +5,6 @@ claims about the baselines: they identify the hot set, pack it into the
 default tier, and keep it there regardless of contention.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.integrate import with_colloid

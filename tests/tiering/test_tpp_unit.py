@@ -1,7 +1,6 @@
 """Unit tests for TPP's internal heuristics."""
 
 import numpy as np
-import pytest
 
 from repro.pages.pagestate import PageArray
 from repro.pages.placement import PlacementState

@@ -32,7 +32,6 @@ class TestAccessFeed:
         assert hot_share == pytest.approx(0.9, abs=0.03)
 
     def test_longer_period_fewer_samples(self):
-        feed = make_feed()
         few = make_feed(seed=2).pebs_counts(sample_period=1000).sum()
         many = make_feed(seed=2).pebs_counts(sample_period=100).sum()
         assert many == 10 * few
