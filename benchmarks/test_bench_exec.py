@@ -1,0 +1,55 @@
+"""Benchmark: the exec layer's cache and dedup overheads.
+
+Two measurements on a reduced Figure 5 grid:
+
+* a warm-cache re-run, which must execute zero new cells and complete in
+  pure-read time (the whole grid comes from ``.repro-cache``-style
+  storage under a temp directory);
+* the Runner's dedup hit rate across the figure grids that share cells
+  (fig2/fig5/fig6 reuse identical steady-state and best-case cells), a
+  proxy for the cross-section savings ``repro report`` sees.
+"""
+
+from benchmarks.conftest import run_once
+from repro.exec.cache import ResultCache
+from repro.exec.runner import Runner
+from repro.experiments import fig2, fig5, fig6
+
+
+def test_bench_cached_rerun(benchmark, config, tmp_path):
+    intensities = (0, 3)
+    warm = Runner(cache=ResultCache(tmp_path))
+    fig5.run(config, intensities=intensities, runner=warm)
+    assert warm.stats.executed > 0
+
+    cold = Runner(cache=ResultCache(tmp_path))
+    result = run_once(
+        benchmark,
+        lambda: fig5.run(config, intensities=intensities, runner=cold),
+    )
+    print("\nWarm-cache Figure 5 re-run")
+    print(cold.stats.summary())
+    assert cold.stats.executed == 0
+    assert cold.stats.cache_hits == warm.stats.executed
+    for intensity in intensities:
+        assert result.best_case[intensity] > 0
+
+
+def test_bench_cross_figure_sharing(benchmark, config, tmp_path):
+    intensities = (0, 3)
+    runner = Runner(cache=ResultCache(tmp_path))
+
+    def evaluate():
+        fig2.run(config, intensities=intensities, runner=runner)
+        fig5.run(config, intensities=intensities, runner=runner)
+        fig6.run(config, intensities=intensities, runner=runner)
+        return runner.stats
+
+    stats = run_once(benchmark, evaluate)
+    print("\nShared cells across fig2/fig5/fig6")
+    print(stats.summary())
+    # fig5 contains fig2's baseline grid and fig6's colloid grid, and
+    # all three share the best-case sweep: over half the submitted
+    # cells must come back from cache or dedup.
+    reused = stats.cache_hits + stats.deduped
+    assert reused >= stats.executed

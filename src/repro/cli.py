@@ -2,14 +2,22 @@
 
 ``python -m repro run`` drives a single simulation and prints (or
 exports) the results; ``python -m repro figure`` regenerates one of the
-paper's figures. Examples::
+paper's figures (or all of them). Examples::
 
     python -m repro run --system hemem+colloid --workload gups \\
         --contention 3 --duration 10 --scale 0.125
     python -m repro run --system memtis --workload cachelib \\
         --csv out.csv
-    python -m repro figure fig5 --scale 0.0625
+    python -m repro figure fig5 --scale 0.0625 --jobs 4
+    python -m repro figure all --jobs 4 --cache
+    python -m repro report --out results.md --jobs 2 --cache
     python -m repro calibrate
+
+``--jobs N`` fans simulation cells out over N worker processes; results
+are bit-identical to a serial run. ``--cache`` keeps results in an
+on-disk content-addressed cache (``.repro-cache/`` or ``--cache-dir``/
+``REPRO_CACHE_DIR``), so repeated invocations skip already-computed
+cells.
 """
 
 from __future__ import annotations
@@ -22,13 +30,30 @@ from typing import Optional, Sequence
 from repro.errors import ReproError
 
 FIGURES = ("fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
-           "fig9", "fig10", "fig11", "overheads", "sensitivity")
+           "fig9", "fig10", "fig11", "overheads", "sensitivity",
+           "appendix")
 
 WORKLOADS = ("gups", "gapbs", "silo", "cachelib")
 
 SYSTEMS = ("hemem", "tpp", "memtis", "hemem+colloid", "tpp+colloid",
            "memtis+colloid", "static", "batman", "carrefour",
            "multitier-colloid")
+
+
+def _add_exec_options(parser: argparse.ArgumentParser) -> None:
+    """Batch-execution flags shared by ``figure`` and ``report``."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for simulation cells "
+                             "(results are identical to --jobs 1)")
+    parser.add_argument("--cache", action="store_true",
+                        help="cache cell results on disk keyed by their "
+                             "content hash")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="cache directory (implies --cache; default "
+                             ".repro-cache or $REPRO_CACHE_DIR)")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="drop all cached results first (implies "
+                             "--cache)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,8 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="antagonist intensity (0-3+)")
     run.add_argument("--duration", type=float, default=10.0,
                      help="simulated seconds")
-    run.add_argument("--scale", type=float, default=0.125,
-                     help="geometry scale relative to the paper's 72 GB")
+    run.add_argument("--scale", type=float, default=None,
+                     help="geometry scale relative to the paper's 72 GB "
+                          "(default: DEFAULT_SCALE or $REPRO_SCALE)")
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--object-bytes", type=int, default=64,
                      help="GUPS object size")
@@ -64,9 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "wall-time breakdown")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
-    figure.add_argument("name", choices=FIGURES)
-    figure.add_argument("--scale", type=float, default=0.0625)
+    figure.add_argument("name", choices=FIGURES + ("all",))
+    figure.add_argument("--scale", type=float, default=None,
+                        help="geometry scale (default: DEFAULT_SCALE or "
+                             "$REPRO_SCALE)")
     figure.add_argument("--seed", type=int, default=42)
+    _add_exec_options(figure)
 
     sub.add_parser("calibrate",
                    help="report the hardware model's calibration targets")
@@ -81,28 +110,50 @@ def build_parser() -> argparse.ArgumentParser:
                              "given, print its run report instead of "
                              "running the evaluation")
     report.add_argument("--out", type=str, default="results.md")
-    report.add_argument("--scale", type=float, default=0.0625)
+    report.add_argument("--scale", type=float, default=None,
+                        help="geometry scale (default: DEFAULT_SCALE or "
+                             "$REPRO_SCALE)")
     report.add_argument("--seed", type=int, default=42)
     report.add_argument("--section", action="append", default=None,
                         help="run only sections whose title starts with "
                              "this (repeatable)")
+    _add_exec_options(report)
     return parser
 
 
-def _build_workload(args):
+def _resolved_scale(args) -> float:
+    from repro.experiments.common import default_scale
+
+    return args.scale if args.scale is not None else default_scale()
+
+
+def _build_runner(args):
+    """Build the batch Runner from ``figure``/``report`` flags."""
+    from repro.exec.cache import ResultCache
+    from repro.exec.runner import Runner
+
+    cache = None
+    if args.cache or args.cache_dir or args.clear_cache:
+        cache = ResultCache(args.cache_dir)
+        if args.clear_cache:
+            cache.clear()
+    return Runner(jobs=args.jobs, cache=cache)
+
+
+def _build_workload(args, scale: float):
     from repro.workloads.cachelib import CacheLibWorkload
     from repro.workloads.graph import GraphWorkload
     from repro.workloads.gups import GupsWorkload
     from repro.workloads.silo import SiloYcsbWorkload
 
     if args.workload == "gups":
-        return GupsWorkload(scale=args.scale, seed=args.seed,
+        return GupsWorkload(scale=scale, seed=args.seed,
                             object_bytes=args.object_bytes)
     if args.workload == "gapbs":
-        return GraphWorkload.synthetic(scale=args.scale, seed=args.seed)
+        return GraphWorkload.synthetic(scale=scale, seed=args.seed)
     if args.workload == "silo":
-        return SiloYcsbWorkload(scale=args.scale, seed=args.seed)
-    return CacheLibWorkload(scale=args.scale, seed=args.seed)
+        return SiloYcsbWorkload(scale=scale, seed=args.seed)
+    return CacheLibWorkload(scale=scale, seed=args.seed)
 
 
 def _build_system(name: str):
@@ -134,10 +185,11 @@ def cmd_run(args) -> int:
     from repro.runtime.export import to_csv, to_json
     from repro.runtime.loop import SimulationLoop
 
-    workload = _build_workload(args)
+    scale = _resolved_scale(args)
+    workload = _build_workload(args, scale)
     tracer = Tracer(jsonl_path=args.trace) if args.trace else None
     loop = SimulationLoop(
-        machine=scaled_machine(args.scale),
+        machine=scaled_machine(scale),
         workload=workload,
         system=_build_system(args.system),
         contention=args.contention,
@@ -174,15 +226,23 @@ def cmd_run(args) -> int:
 
 
 def cmd_figure(args) -> int:
-    """Handle ``repro figure``: regenerate one paper figure."""
+    """Handle ``repro figure``: regenerate one paper figure (or all)."""
     from repro.experiments.common import ExperimentConfig
 
-    module = importlib.import_module(f"repro.experiments.{args.name}")
-    if args.name == "fig4":
-        print(module.format_rows(module.run()))
-        return 0
-    config = ExperimentConfig(scale=args.scale, seed=args.seed)
-    print(module.format_rows(module.run(config)))
+    config = ExperimentConfig(scale=_resolved_scale(args), seed=args.seed)
+    runner = _build_runner(args)
+    names = FIGURES if args.name == "all" else (args.name,)
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        if len(names) > 1:
+            print(f"== {name} ==")
+        if name == "fig4":
+            print(module.format_rows(module.run()))
+        else:
+            print(module.format_rows(module.run(config, runner=runner)))
+        if len(names) > 1:
+            print()
+    print(runner.stats.summary())
     return 0
 
 
@@ -216,12 +276,15 @@ def cmd_report(args) -> int:
     from repro.experiments.report import write
 
     config = ExperimentConfig(
-        scale=args.scale, seed=args.seed,
+        scale=_resolved_scale(args), seed=args.seed,
         migration_limit_bytes=8 * 1024 * 1024,
         duration_caps={"hemem": 12.0, "memtis": 20.0, "tpp": 45.0},
     )
+    runner = _build_runner(args)
     path = write(args.out, config, sections=args.section,
-                 progress=lambda title: print(f"running: {title}"))
+                 progress=lambda title: print(f"running: {title}"),
+                 runner=runner)
+    print(runner.stats.summary())
     print(f"wrote {path}")
     return 0
 

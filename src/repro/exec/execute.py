@@ -1,0 +1,151 @@
+"""Spec execution — the worker side of the experiment layer.
+
+:func:`execute_spec` turns one :class:`~repro.exec.spec.RunSpec` into a
+:class:`~repro.exec.result.CellResult`. It is a module-level function of
+one picklable argument so the :class:`~repro.exec.runner.Runner` can
+fan it out over a :class:`concurrent.futures.ProcessPoolExecutor`; all
+randomness is seeded from the spec, so a cell's result is a pure
+function of the spec regardless of which process (or how many
+neighbors) computed it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exec.factories import make_system
+from repro.exec.result import CellResult, TraceSeries
+from repro.exec.spec import RunSpec
+from repro.memhw.antagonist import antagonist_core_group
+from repro.memhw.fixedpoint import EquilibriumSolver
+from repro.memhw.topology import Machine
+from repro.pages.oracle import BestCaseResult, best_case_sweep
+from repro.runtime.experiment import SteadyStateResult, run_steady_state
+from repro.runtime.loop import SimulationLoop
+from repro.workloads.base import Workload
+
+
+def build_loop(spec: RunSpec) -> SimulationLoop:
+    """Construct the simulation loop a spec describes."""
+    workload = spec.workload.build()
+    machine = spec.machine.build(workload)
+    return SimulationLoop(
+        machine=machine,
+        workload=workload,
+        system=make_system(spec.system, **dict(spec.system_kwargs)),
+        quantum_ms=spec.quantum_ms,
+        contention=spec.contention_input(),
+        cha_noise_sigma=spec.cha_noise_sigma,
+        migration_limit_bytes=spec.migration_limit_bytes,
+        seed=spec.seed,
+    )
+
+
+def run_spec_steady(spec: RunSpec) -> SteadyStateResult:
+    """Run a steady-mode spec and return the full steady-state result
+    (with metrics) — the spec-native form of ``run_gups_steady_state``."""
+    loop = build_loop(spec)
+    return run_steady_state(
+        loop,
+        min_duration_s=spec.resolved_min_duration_s(),
+        max_duration_s=spec.max_duration_s,
+    )
+
+
+def best_case_result(workload: Workload, machine: Machine,
+                     intensity: int, seed: int) -> BestCaseResult:
+    """The paper's §2.2 best-case sweep for one contention level."""
+    solver = EquilibriumSolver(machine.tiers)
+    antagonist = antagonist_core_group(intensity, machine.antagonist)
+    return best_case_sweep(
+        solver=solver,
+        app=workload.core_group(),
+        access_probs=workload.access_probabilities(),
+        hot_mask=workload.effective_hot_mask(),
+        page_sizes=np.full(workload.n_pages, workload.page_bytes,
+                           dtype=np.int64),
+        default_capacity=machine.tiers[0].capacity_bytes,
+        pinned=[(antagonist, 0)],
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _tail_stats(metrics) -> Tuple[Tuple[float, ...], float]:
+    """(per-tier tail-mean latency, default tier's tail bandwidth share)
+    over the last quarter of the run — the figures' common reduction."""
+    tail = max(1, len(metrics) // 4)
+    latencies = metrics.latencies_ns[-tail:].mean(axis=0)
+    bandwidth = metrics.app_tier_bandwidth[-tail:].mean(axis=0)
+    total = float(bandwidth.sum())
+    share = float(bandwidth[0]) / total if total else 0.0
+    return tuple(float(x) for x in latencies), share
+
+
+def _cpu_work(system) -> dict:
+    return {key: float(value) for key, value in system.cpu_work.items()}
+
+
+def _execute_best_case(spec: RunSpec) -> CellResult:
+    workload = spec.workload.build()
+    machine = spec.machine.build(workload)
+    best = best_case_result(workload, machine, spec.initial_contention(),
+                            spec.seed)
+    rates = best.best.equilibrium.app_tier_read_rate
+    total = float(rates.sum())
+    share = float(rates[0]) / total if total else 0.0
+    return CellResult(
+        mode=spec.mode,
+        throughput=float(best.throughput),
+        converged=None,
+        duration_s=0.0,
+        tail_latencies_ns=(),
+        tail_default_share=share,
+        cpu_work={},
+    )
+
+
+def _execute_steady(spec: RunSpec) -> CellResult:
+    loop = build_loop(spec)
+    result = run_steady_state(
+        loop,
+        min_duration_s=spec.resolved_min_duration_s(),
+        max_duration_s=spec.max_duration_s,
+    )
+    latencies, share = _tail_stats(result.metrics)
+    return CellResult(
+        mode=spec.mode,
+        throughput=float(result.throughput),
+        converged=bool(result.converged),
+        duration_s=float(result.duration_s),
+        tail_latencies_ns=latencies,
+        tail_default_share=share,
+        cpu_work=_cpu_work(loop.system),
+    )
+
+
+def _execute_trace(spec: RunSpec) -> CellResult:
+    loop = build_loop(spec)
+    metrics = loop.run(duration_s=spec.duration_s)
+    latencies, share = _tail_stats(metrics)
+    tail = max(1, len(metrics) // 4)
+    return CellResult(
+        mode=spec.mode,
+        throughput=float(metrics.throughput[-tail:].mean()),
+        converged=None,
+        duration_s=float(spec.duration_s),
+        tail_latencies_ns=latencies,
+        tail_default_share=share,
+        cpu_work=_cpu_work(loop.system),
+        series=TraceSeries.from_metrics(metrics),
+    )
+
+
+def execute_spec(spec: RunSpec) -> CellResult:
+    """Execute one spec to completion (the Runner's worker function)."""
+    if spec.mode == "best_case":
+        return _execute_best_case(spec)
+    if spec.mode == "steady":
+        return _execute_steady(spec)
+    return _execute_trace(spec)

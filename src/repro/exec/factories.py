@@ -1,0 +1,47 @@
+"""System factory shared by the experiment and execution layers.
+
+Lives below :mod:`repro.experiments` so that :mod:`repro.exec` can
+instantiate tiering systems from a :class:`~repro.exec.spec.RunSpec`
+without importing the experiment harnesses (which themselves import the
+execution layer).
+"""
+
+from __future__ import annotations
+
+from repro.core.integrate import (
+    HememColloidSystem,
+    MemtisColloidSystem,
+    TppColloidSystem,
+)
+from repro.errors import ConfigurationError
+from repro.tiering.base import TieringSystem
+from repro.tiering.hemem import HememSystem
+from repro.tiering.memtis import MemtisSystem
+from repro.tiering.tpp import TppSystem
+
+_FACTORIES = {
+    "hemem": HememSystem,
+    "memtis": MemtisSystem,
+    "tpp": TppSystem,
+    "hemem+colloid": HememColloidSystem,
+    "memtis+colloid": MemtisColloidSystem,
+    "tpp+colloid": TppColloidSystem,
+}
+
+
+def make_system(name: str, **kwargs) -> TieringSystem:
+    """Instantiate a tiering system by experiment name.
+
+    Names: ``hemem``, ``memtis``, ``tpp`` and their ``+colloid``
+    variants.
+    """
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown system {name!r}; expected one of {sorted(_FACTORIES)}"
+        )
+    return _FACTORIES[name](**kwargs)
+
+
+def base_system_of(name: str) -> str:
+    """Strip a ``+colloid`` suffix."""
+    return name.split("+")[0]

@@ -1,0 +1,191 @@
+"""Batch execution of run specs — serial or process-parallel.
+
+The :class:`Runner` is the single entry point the figure harnesses
+submit their spec lists to. It deduplicates identical specs within a
+batch, consults the optional :class:`~repro.exec.cache.ResultCache`,
+executes the remainder either inline or over a
+``ProcessPoolExecutor`` (``jobs > 1``), and returns a spec → result
+map. Because each spec seeds all of its own randomness, parallel
+results are bit-identical to serial ones.
+
+Repetition (the paper's mean-of-3 with min/max bars, Figure 1) is
+first-class: :meth:`Runner.run_grid` expands every repeatable spec into
+seed-varied copies and aggregates them into :class:`AggregatedCell`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.execute import execute_spec
+from repro.exec.result import CellResult
+from repro.exec.spec import RunSpec
+
+
+def expand_seeds(spec: RunSpec, n_runs: int) -> Tuple[RunSpec, ...]:
+    """``n_runs`` seed-varied copies (seed, seed+1, ...) of a spec."""
+    if n_runs < 1:
+        raise ConfigurationError("need at least one run")
+    return tuple(spec.with_seed(spec.seed + i) for i in range(n_runs))
+
+
+@dataclass(frozen=True)
+class AggregatedCell:
+    """Statistics over a cell's repeated runs.
+
+    With a single run, the mean equals the run and the range collapses.
+    Latency/share tails are averaged component-wise across runs.
+    """
+
+    throughput: float
+    minimum: float
+    maximum: float
+    tail_latencies_ns: Tuple[float, ...]
+    tail_default_share: float
+    runs: Tuple[CellResult, ...]
+
+    @property
+    def throughput_range(self) -> Tuple[float, float]:
+        """(min, max) error bars across runs."""
+        return (self.minimum, self.maximum)
+
+    @property
+    def spread(self) -> float:
+        """(max - min) / mean — the error-bar width."""
+        if self.throughput == 0:
+            return 0.0
+        return (self.maximum - self.minimum) / self.throughput
+
+
+def aggregate(results: Sequence[CellResult]) -> AggregatedCell:
+    """Fold repeated runs of one cell into an :class:`AggregatedCell`."""
+    if not results:
+        raise ConfigurationError("cannot aggregate zero results")
+    throughputs = [r.throughput for r in results]
+    n_tiers = len(results[0].tail_latencies_ns)
+    latencies = tuple(
+        sum(r.tail_latencies_ns[i] for r in results) / len(results)
+        for i in range(n_tiers)
+    )
+    share = sum(r.tail_default_share for r in results) / len(results)
+    return AggregatedCell(
+        throughput=sum(throughputs) / len(throughputs),
+        minimum=min(throughputs),
+        maximum=max(throughputs),
+        tail_latencies_ns=latencies,
+        tail_default_share=share,
+        runs=tuple(results),
+    )
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative accounting across a Runner's lifetime."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    deduped: int = 0
+    per_mode: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line summary (the CLI prints this after figure runs)."""
+        return (f"cells: {self.cache_hits} cache hits, "
+                f"{self.deduped} deduplicated, "
+                f"new cells executed: {self.executed}")
+
+
+class Runner:
+    """Executes batches of :class:`RunSpec`, optionally in parallel.
+
+    Args:
+        jobs: Worker processes; 1 executes inline. Parallel execution
+            is deterministic — results are keyed by spec and every spec
+            seeds its own randomness.
+        cache: Optional on-disk result cache (opt-in).
+        progress: Optional callback receiving a short message as cells
+            complete.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[Callable[[str], None]] = None) -> None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.stats = RunnerStats()
+
+    # -- core batch API --------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> Dict[RunSpec, CellResult]:
+        """Execute a batch; returns a result per *distinct* spec."""
+        unique = list(dict.fromkeys(specs))
+        self.stats.deduped += len(specs) - len(unique)
+        results: Dict[RunSpec, CellResult] = {}
+        todo = []
+        for spec in unique:
+            cached = (self.cache.get(spec)
+                      if self.cache is not None else None)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self._note(f"cache hit  {spec.describe()}")
+                results[spec] = cached
+                continue
+            if self.cache is not None:
+                self.stats.cache_misses += 1
+            todo.append(spec)
+        total = len(todo)
+        for index, (spec, result) in enumerate(self._execute(todo), 1):
+            self.stats.executed += 1
+            mode_counts = self.stats.per_mode
+            mode_counts[spec.mode] = mode_counts.get(spec.mode, 0) + 1
+            if self.cache is not None:
+                self.cache.put(spec, result)
+            self._note(f"[{index}/{total}] {spec.describe()}")
+            results[spec] = result
+        return results
+
+    def run_one(self, spec: RunSpec) -> CellResult:
+        """Execute (or fetch) a single spec."""
+        return self.run([spec])[spec]
+
+    def run_grid(self, cells: Mapping[Hashable, RunSpec],
+                 n_runs: int = 1) -> Dict[Hashable, AggregatedCell]:
+        """Run a keyed grid with uniform repetition.
+
+        Every *repeatable* (steady-mode) spec is expanded into
+        ``n_runs`` seed-varied copies; best-case and trace cells run
+        once — repetition is a measurement concept and those cells are
+        deterministic solves or explicit time series.
+        """
+        expanded: Dict[Hashable, Tuple[RunSpec, ...]] = {}
+        for key, spec in cells.items():
+            copies = n_runs if spec.repeatable else 1
+            expanded[key] = expand_seeds(spec, max(1, copies))
+        batch = [spec for specs in expanded.values() for spec in specs]
+        results = self.run(batch)
+        return {
+            key: aggregate([results[spec] for spec in specs])
+            for key, specs in expanded.items()
+        }
+
+    # -- internals -------------------------------------------------------
+
+    def _execute(self, todo):
+        if self.jobs > 1 and len(todo) > 1:
+            workers = min(self.jobs, len(todo))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                yield from zip(todo, pool.map(execute_spec, todo))
+        else:
+            for spec in todo:
+                yield spec, execute_spec(spec)
+
+    def _note(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)

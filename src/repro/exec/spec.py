@@ -1,0 +1,362 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` captures *everything* that determines a simulation's
+outcome — the tiering system and its kwargs, the workload, the machine
+geometry, the contention schedule, the loop knobs, the duration policy
+and the seed — as a frozen, hashable value object. Two specs that are
+equal produce bit-identical results; the content hash is the key of the
+on-disk result cache (:mod:`repro.exec.cache`) and the unit of dedup in
+the :class:`~repro.exec.runner.Runner`.
+
+Specs are built by the figure harnesses (usually via the helpers in
+:mod:`repro.experiments.common`) and executed by
+:func:`repro.exec.execute.execute_spec`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.memhw.topology import Machine, paper_testbed
+from repro.runtime.loop import DEFAULT_MIGRATION_LIMIT_PER_QUANTUM
+from repro.workloads.base import Workload
+
+#: Bump when the meaning of any spec field changes; the hash is salted
+#: with this so stale cache entries can never be confused for current
+#: ones.
+SPEC_SCHEMA_VERSION = 1
+
+#: Valid workload kinds (mirrors the CLI's ``--workload`` choices).
+WORKLOAD_KINDS = ("gups", "gapbs", "silo", "cachelib")
+
+#: Valid run modes.
+RUN_MODES = ("steady", "trace", "best_case")
+
+#: Conventional system name for best-case (oracle placement) cells.
+BEST_CASE_SYSTEM = "best-case"
+
+Params = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_params(params: Dict[str, Any]) -> Params:
+    """Sort a kwargs dict into a canonical hashable tuple of pairs."""
+    for key, value in params.items():
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            raise ConfigurationError(
+                f"spec parameter {key!r} must be a scalar, got "
+                f"{type(value).__name__}"
+            )
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative workload description.
+
+    Attributes:
+        kind: One of :data:`WORKLOAD_KINDS`.
+        params: Canonical (sorted) constructor kwargs.
+        hot_shift_times_s: When non-empty, the built workload is wrapped
+            in :class:`~repro.workloads.dynamic.HotSetShiftWorkload`
+            with these shift times (GUPS only).
+    """
+
+    kind: str
+    params: Params = ()
+    hot_shift_times_s: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ConfigurationError(
+                f"unknown workload kind {self.kind!r}; expected one of "
+                f"{WORKLOAD_KINDS}"
+            )
+        if self.hot_shift_times_s and self.kind != "gups":
+            raise ConfigurationError(
+                "hot-set shifts are only defined for the gups workload"
+            )
+
+    @classmethod
+    def make(cls, kind: str, hot_shift_times_s=(), **params) -> "WorkloadSpec":
+        """Build a spec from plain kwargs (canonicalizes ordering)."""
+        return cls(
+            kind=kind,
+            params=_freeze_params(params),
+            hot_shift_times_s=tuple(float(t) for t in hot_shift_times_s),
+        )
+
+    def build(self) -> Workload:
+        """Instantiate the described workload."""
+        from repro.workloads.cachelib import CacheLibWorkload
+        from repro.workloads.dynamic import HotSetShiftWorkload
+        from repro.workloads.graph import GraphWorkload
+        from repro.workloads.gups import GupsWorkload
+        from repro.workloads.silo import SiloYcsbWorkload
+
+        params = dict(self.params)
+        if self.kind == "gups":
+            workload: Workload = GupsWorkload(**params)
+        elif self.kind == "gapbs":
+            workload = GraphWorkload.synthetic(**params)
+        elif self.kind == "silo":
+            workload = SiloYcsbWorkload(**params)
+        else:
+            workload = CacheLibWorkload(**params)
+        if self.hot_shift_times_s:
+            workload = HotSetShiftWorkload(workload,
+                                           list(self.hot_shift_times_s))
+        return workload
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "hot_shift_times_s": list(self.hot_shift_times_s),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        return cls.make(data["kind"],
+                        hot_shift_times_s=data.get("hot_shift_times_s", ()),
+                        **data.get("params", {}))
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Declarative machine geometry: the paper testbed plus transforms.
+
+    Attributes:
+        scale: Tier capacities scaled by this factor (geometry-
+            preserving, as in ``experiments.common.scaled_machine``).
+        alt_latency_ratio: When set, raise the alternate tier's unloaded
+            latency so the *CPU-observed* unloaded ratio L_A/L_D equals
+            this (the Figure 7 sweep).
+        default_tier_ws_divisor: When set, size the default tier to
+            ``working_set // divisor`` (at least two pages) and grow the
+            alternate tier to hold the whole working set — the §5.3
+            real-application sizing (divisor 3 = "one third").
+    """
+
+    scale: float = 1.0
+    alt_latency_ratio: Optional[float] = None
+    default_tier_ws_divisor: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError("machine scale must be positive")
+        if (self.default_tier_ws_divisor is not None
+                and self.default_tier_ws_divisor < 1):
+            raise ConfigurationError("working-set divisor must be >= 1")
+
+    def build(self, workload: Optional[Workload] = None) -> Machine:
+        """Instantiate the machine (``workload`` needed for ws sizing)."""
+        import dataclasses
+
+        machine = paper_testbed()
+        machine = machine.with_tiers(
+            tuple(t.scaled_capacity(self.scale) for t in machine.tiers)
+        )
+        if self.alt_latency_ratio is not None:
+            cpu_hop = machine.cpu_to_cha_ns
+            default_cpu_l0 = machine.tiers[0].unloaded_latency_ns + cpu_hop
+            machine = machine.with_alternate_latency(
+                default_cpu_l0 * self.alt_latency_ratio - cpu_hop
+            )
+        if self.default_tier_ws_divisor is not None:
+            if workload is None:
+                raise ConfigurationError(
+                    "working-set tier sizing requires the workload"
+                )
+            third = max(workload.page_bytes * 2,
+                        workload.working_set_bytes
+                        // self.default_tier_ws_divisor)
+            default = dataclasses.replace(machine.tiers[0],
+                                          capacity_bytes=third)
+            alternate = dataclasses.replace(
+                machine.tiers[1],
+                capacity_bytes=max(machine.tiers[1].capacity_bytes,
+                                   workload.working_set_bytes),
+            )
+            machine = machine.with_tiers((default, alternate))
+        return machine
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "alt_latency_ratio": self.alt_latency_ratio,
+            "default_tier_ws_divisor": self.default_tier_ws_divisor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineSpec":
+        return cls(scale=data["scale"],
+                   alt_latency_ratio=data.get("alt_latency_ratio"),
+                   default_tier_ws_divisor=data.get(
+                       "default_tier_ws_divisor"))
+
+
+def static_contention(level: int) -> Tuple[Tuple[float, int], ...]:
+    """A constant-contention schedule."""
+    return ((0.0, int(level)),)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that determines one simulation cell's outcome.
+
+    Modes:
+
+    * ``steady`` — run to steady state (``max_duration_s`` cap,
+      ``min_duration_s`` floor defaulting to ``max(3, 0.7 * cap)``) and
+      report the settled tail.
+    * ``trace`` — run for exactly ``duration_s`` and keep the time
+      series (convergence/migration figures).
+    * ``best_case`` — no simulation: solve the §2.2 oracle placement
+      sweep for the contention level; ``system`` is ignored by
+      convention (:data:`BEST_CASE_SYSTEM`).
+
+    The contention schedule is a tuple of ``(start_time_s, level)``
+    steps, first entry at t=0; a single entry means constant contention.
+    """
+
+    system: str
+    workload: WorkloadSpec
+    machine: MachineSpec
+    mode: str = "steady"
+    contention: Tuple[Tuple[float, int], ...] = ((0.0, 0),)
+    quantum_ms: float = 10.0
+    cha_noise_sigma: float = 0.01
+    migration_limit_bytes: int = DEFAULT_MIGRATION_LIMIT_PER_QUANTUM
+    seed: int = 42
+    system_kwargs: Params = ()
+    min_duration_s: Optional[float] = None
+    max_duration_s: Optional[float] = None
+    duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in RUN_MODES:
+            raise ConfigurationError(
+                f"unknown run mode {self.mode!r}; expected one of "
+                f"{RUN_MODES}"
+            )
+        if self.quantum_ms <= 0:
+            raise ConfigurationError("quantum must be positive")
+        if not self.contention or self.contention[0][0] != 0.0:
+            raise ConfigurationError(
+                "contention schedule must start at t=0"
+            )
+        times = [t for t, __ in self.contention]
+        if times != sorted(times):
+            raise ConfigurationError(
+                "contention schedule must be time-ordered"
+            )
+        if self.mode == "steady" and (self.max_duration_s is None
+                                      or self.max_duration_s <= 0):
+            raise ConfigurationError(
+                "steady mode requires a positive max_duration_s"
+            )
+        if self.mode == "trace" and (self.duration_s is None
+                                     or self.duration_s <= 0):
+            raise ConfigurationError(
+                "trace mode requires a positive duration_s"
+            )
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def repeatable(self) -> bool:
+        """Whether n_runs repetition applies (measured steady cells)."""
+        return self.mode == "steady"
+
+    def initial_contention(self) -> int:
+        """The contention level at t=0."""
+        return int(self.contention[0][1])
+
+    def contention_input(self):
+        """The loop's contention argument: an int when constant, else a
+        step function over the schedule."""
+        if len(self.contention) == 1:
+            return int(self.contention[0][1])
+        schedule = self.contention
+
+        def level(t: float) -> int:
+            current = schedule[0][1]
+            for start, lvl in schedule:
+                if t >= start:
+                    current = lvl
+                else:
+                    break
+            return int(current)
+
+        return level
+
+    def resolved_min_duration_s(self) -> float:
+        """Steady-mode settling floor (see ``run_gups_steady_state``:
+        placement convergence is rate-limited, so insist on most of the
+        cap before accepting steady state)."""
+        if self.min_duration_s is not None:
+            return self.min_duration_s
+        return max(3.0, 0.7 * float(self.max_duration_s))
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        """Copy with a different seed (repetition expansion)."""
+        return replace(self, seed=int(seed))
+
+    def describe(self) -> str:
+        """Short human label for progress output."""
+        return (f"{self.mode}:{self.system} "
+                f"{self.workload.kind}@{self.initial_contention()}x "
+                f"seed={self.seed}")
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "workload": self.workload.to_dict(),
+            "machine": self.machine.to_dict(),
+            "mode": self.mode,
+            "contention": [[t, level] for t, level in self.contention],
+            "quantum_ms": self.quantum_ms,
+            "cha_noise_sigma": self.cha_noise_sigma,
+            "migration_limit_bytes": self.migration_limit_bytes,
+            "seed": self.seed,
+            "system_kwargs": dict(self.system_kwargs),
+            "min_duration_s": self.min_duration_s,
+            "max_duration_s": self.max_duration_s,
+            "duration_s": self.duration_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        return cls(
+            system=data["system"],
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            machine=MachineSpec.from_dict(data["machine"]),
+            mode=data["mode"],
+            contention=tuple((float(t), int(level))
+                             for t, level in data["contention"]),
+            quantum_ms=data["quantum_ms"],
+            cha_noise_sigma=data["cha_noise_sigma"],
+            migration_limit_bytes=data["migration_limit_bytes"],
+            seed=data["seed"],
+            system_kwargs=_freeze_params(data.get("system_kwargs", {})),
+            min_duration_s=data.get("min_duration_s"),
+            max_duration_s=data.get("max_duration_s"),
+            duration_s=data.get("duration_s"),
+        )
+
+    def content_hash(self) -> str:
+        """Stable content address of this spec.
+
+        Salted with :data:`SPEC_SCHEMA_VERSION` so schema changes
+        invalidate every previously cached result.
+        """
+        payload = {"schema": SPEC_SCHEMA_VERSION, "spec": self.to_dict()}
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()

@@ -17,11 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
-    make_gups,
-    run_gups_steady_state,
+    gups_spec,
+    steady_cell_spec,
 )
 
 DEFAULT_CORE_COUNTS = (5, 10, 15, 25)
@@ -40,37 +42,56 @@ class AppendixResult:
     by_read_fraction: Dict[Tuple[float, int], float]
 
 
-def _improvement(config: ExperimentConfig, intensity: int,
-                 **gups_overrides) -> float:
-    base = run_gups_steady_state(
-        "hemem", intensity, config,
-        workload=make_gups(config, **gups_overrides),
-    )
-    colloid = run_gups_steady_state(
-        "hemem+colloid", intensity, config,
-        workload=make_gups(config, **gups_overrides),
-    )
-    return colloid.throughput / base.throughput
+def build_cells(config: ExperimentConfig,
+                core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+                read_fractions: Sequence[float] = DEFAULT_READ_FRACTIONS,
+                intensities: Sequence[int] = DEFAULT_INTENSITIES
+                ) -> Dict[Tuple, RunSpec]:
+    """Both sweeps' cells, keyed (sweep, value, system, intensity)."""
+    cells: Dict[Tuple, RunSpec] = {}
+    for intensity in intensities:
+        for cores in core_counts:
+            workload = gups_spec(config, n_cores=cores)
+            for name in ("hemem", "hemem+colloid"):
+                cells[("cores", cores, name, intensity)] = steady_cell_spec(
+                    name, intensity, config, workload=workload
+                )
+        for rf in read_fractions:
+            workload = gups_spec(config, read_fraction=rf)
+            for name in ("hemem", "hemem+colloid"):
+                cells[("rf", rf, name, intensity)] = steady_cell_spec(
+                    name, intensity, config, workload=workload
+                )
+    return cells
 
 
 def run(config: Optional[ExperimentConfig] = None,
         core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
         read_fractions: Sequence[float] = DEFAULT_READ_FRACTIONS,
-        intensities: Sequence[int] = DEFAULT_INTENSITIES
-        ) -> AppendixResult:
+        intensities: Sequence[int] = DEFAULT_INTENSITIES,
+        runner: Optional[Runner] = None) -> AppendixResult:
     """Run both extended-version sweeps."""
     if config is None:
         config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = runner.run_grid(
+        build_cells(config, core_counts, read_fractions, intensities),
+        n_runs=max(1, config.n_runs),
+    )
     by_cores: Dict[Tuple[int, int], float] = {}
     by_rf: Dict[Tuple[float, int], float] = {}
     for intensity in intensities:
         for cores in core_counts:
-            by_cores[(cores, intensity)] = _improvement(
-                config, intensity, n_cores=cores
+            by_cores[(cores, intensity)] = (
+                cells[("cores", cores, "hemem+colloid",
+                       intensity)].throughput
+                / cells[("cores", cores, "hemem", intensity)].throughput
             )
         for rf in read_fractions:
-            by_rf[(rf, intensity)] = _improvement(
-                config, intensity, read_fraction=rf
+            by_rf[(rf, intensity)] = (
+                cells[("rf", rf, "hemem+colloid", intensity)].throughput
+                / cells[("rf", rf, "hemem", intensity)].throughput
             )
     return AppendixResult(
         core_counts=tuple(core_counts),

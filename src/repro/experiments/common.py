@@ -4,8 +4,14 @@ Experiments run the paper's geometry at a configurable ``scale``: tier
 capacities and working sets shrink together, leaving every ratio (hot set
 vs default tier, watermarks, probabilities) unchanged. ``scale=1.0``
 reproduces the paper's 72 GB working set at 2 MiB bookkeeping granularity
-(36 864 pages); the default 0.125 keeps full-grid runs tractable while
-preserving every reported shape.
+(36 864 pages); the default :data:`DEFAULT_SCALE` keeps full-grid runs
+tractable while preserving every reported shape.
+
+This module is also where :class:`ExperimentConfig` is lowered into the
+declarative :mod:`repro.exec` layer: :func:`steady_cell_spec` /
+:func:`best_case_spec` / :func:`gups_spec` build the frozen
+:class:`~repro.exec.spec.RunSpec` values that the figure harnesses
+submit to a :class:`~repro.exec.runner.Runner`.
 """
 
 from __future__ import annotations
@@ -14,26 +20,40 @@ import os
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence
 
-import numpy as np
-
-from repro.core.integrate import (
-    HememColloidSystem,
-    MemtisColloidSystem,
-    TppColloidSystem,
-)
 from repro.errors import ConfigurationError
-from repro.memhw.antagonist import antagonist_core_group
-from repro.memhw.fixedpoint import EquilibriumSolver
+from repro.exec.factories import base_system_of, make_system
+from repro.exec.spec import MachineSpec, RunSpec, WorkloadSpec
 from repro.memhw.topology import Machine, paper_testbed
-from repro.pages.oracle import BestCaseResult, best_case_sweep
+from repro.pages.oracle import BestCaseResult
 from repro.runtime.experiment import SteadyStateResult, run_steady_state
 from repro.runtime.loop import SimulationLoop
-from repro.tiering.base import TieringSystem
-from repro.tiering.hemem import HememSystem
-from repro.tiering.memtis import MemtisSystem
-from repro.tiering.tpp import TppSystem
 from repro.workloads.base import Workload
 from repro.workloads.gups import GupsWorkload
+
+__all__ = [
+    "BASELINE_SYSTEMS",
+    "DEFAULT_SCALE",
+    "ExperimentConfig",
+    "MAX_DURATION_S",
+    "SCALE_ENV_VAR",
+    "base_system_of",
+    "best_case_for",
+    "best_case_spec",
+    "default_scale",
+    "format_table",
+    "gups_spec",
+    "machine_spec",
+    "make_gups",
+    "make_system",
+    "run_gups_steady_state",
+    "scaled_machine",
+    "steady_cell_spec",
+    "trace_cell_spec",
+]
+
+#: The one experiment scale default, shared by ``ExperimentConfig``,
+#: ``repro run``, ``repro figure`` and ``repro report``.
+DEFAULT_SCALE = 0.125
 
 #: Environment variable overriding the experiment scale.
 SCALE_ENV_VAR = "REPRO_SCALE"
@@ -51,10 +71,11 @@ MAX_DURATION_S: Dict[str, float] = {
 
 
 def default_scale() -> float:
-    """Experiment scale: 0.125 unless overridden via ``REPRO_SCALE``."""
+    """Experiment scale: :data:`DEFAULT_SCALE` unless ``REPRO_SCALE``
+    overrides it."""
     value = os.environ.get(SCALE_ENV_VAR)
     if value is None:
-        return 0.125
+        return DEFAULT_SCALE
     scale = float(value)
     if scale <= 0:
         raise ConfigurationError(f"{SCALE_ENV_VAR} must be positive")
@@ -70,7 +91,7 @@ class ExperimentConfig:
     paper's regardless of the experiment scale.
     """
 
-    scale: float = 0.125
+    scale: float = DEFAULT_SCALE
     quantum_ms: float = 10.0
     seed: int = 42
     cha_noise_sigma: float = 0.01
@@ -108,38 +129,111 @@ def scaled_machine(scale: float, base: Optional[Machine] = None) -> Machine:
     )
 
 
-def make_system(name: str, **kwargs) -> TieringSystem:
-    """Instantiate a tiering system by experiment name.
-
-    Names: ``hemem``, ``memtis``, ``tpp`` and their ``+colloid``
-    variants.
-    """
-    factories = {
-        "hemem": HememSystem,
-        "memtis": MemtisSystem,
-        "tpp": TppSystem,
-        "hemem+colloid": HememColloidSystem,
-        "memtis+colloid": MemtisColloidSystem,
-        "tpp+colloid": TppColloidSystem,
-    }
-    if name not in factories:
-        raise ConfigurationError(
-            f"unknown system {name!r}; expected one of {sorted(factories)}"
-        )
-    return factories[name](**kwargs)
-
-
-def base_system_of(name: str) -> str:
-    """Strip a ``+colloid`` suffix."""
-    return name.split("+")[0]
-
-
 def make_gups(config: ExperimentConfig, **overrides) -> GupsWorkload:
     """The §2.1 GUPS workload at the experiment scale."""
     kwargs = dict(scale=config.scale, seed=config.seed)
     kwargs.update(overrides)
     return GupsWorkload(**kwargs)
 
+
+# -- RunSpec builders ----------------------------------------------------
+
+def gups_spec(config: ExperimentConfig,
+              hot_shift_times_s: Sequence[float] = (),
+              **overrides) -> WorkloadSpec:
+    """Workload spec mirroring :func:`make_gups` (plus optional hot-set
+    shift times, wrapping the workload in ``HotSetShiftWorkload``)."""
+    params = dict(scale=config.scale, seed=config.seed)
+    params.update(overrides)
+    return WorkloadSpec.make("gups", hot_shift_times_s=hot_shift_times_s,
+                             **params)
+
+
+def machine_spec(config: ExperimentConfig, **overrides) -> MachineSpec:
+    """Machine spec at the experiment scale."""
+    return MachineSpec(scale=config.scale, **overrides)
+
+
+def steady_cell_spec(
+    system_name: str,
+    intensity: int,
+    config: ExperimentConfig,
+    workload: Optional[WorkloadSpec] = None,
+    machine: Optional[MachineSpec] = None,
+    max_duration_s: Optional[float] = None,
+    system_kwargs: Optional[dict] = None,
+) -> RunSpec:
+    """One declarative (system, intensity) steady-state cell."""
+    if max_duration_s is None:
+        max_duration_s = config.duration_cap(base_system_of(system_name))
+    return RunSpec(
+        system=system_name,
+        workload=workload if workload is not None else gups_spec(config),
+        machine=machine if machine is not None else machine_spec(config),
+        mode="steady",
+        contention=((0.0, int(intensity)),),
+        quantum_ms=config.quantum_ms,
+        cha_noise_sigma=config.cha_noise_sigma,
+        migration_limit_bytes=config.resolved_migration_limit(),
+        seed=config.seed,
+        system_kwargs=tuple(sorted((system_kwargs or {}).items())),
+        max_duration_s=max_duration_s,
+    )
+
+
+def best_case_spec(
+    intensity: int,
+    config: ExperimentConfig,
+    workload: Optional[WorkloadSpec] = None,
+    machine: Optional[MachineSpec] = None,
+) -> RunSpec:
+    """A declarative best-case (oracle placement) cell.
+
+    Loop knobs stay at their defaults — the oracle sweep never runs the
+    simulation loop — so equal grids hash identically across figures.
+    """
+    from repro.exec.spec import BEST_CASE_SYSTEM
+
+    return RunSpec(
+        system=BEST_CASE_SYSTEM,
+        workload=workload if workload is not None else gups_spec(config),
+        machine=machine if machine is not None else machine_spec(config),
+        mode="best_case",
+        contention=((0.0, int(intensity)),),
+        seed=config.seed,
+    )
+
+
+def trace_cell_spec(
+    system_name: str,
+    config: ExperimentConfig,
+    duration_s: float,
+    contention: Sequence = ((0.0, 0),),
+    workload: Optional[WorkloadSpec] = None,
+    machine: Optional[MachineSpec] = None,
+    system_kwargs: Optional[dict] = None,
+    migration_limit_bytes: Optional[int] = None,
+) -> RunSpec:
+    """One declarative fixed-duration (time series) cell."""
+    return RunSpec(
+        system=system_name,
+        workload=workload if workload is not None else gups_spec(config),
+        machine=machine if machine is not None else machine_spec(config),
+        mode="trace",
+        contention=tuple((float(t), int(level)) for t, level in contention),
+        quantum_ms=config.quantum_ms,
+        cha_noise_sigma=config.cha_noise_sigma,
+        migration_limit_bytes=(
+            migration_limit_bytes if migration_limit_bytes is not None
+            else config.resolved_migration_limit()
+        ),
+        seed=config.seed,
+        system_kwargs=tuple(sorted((system_kwargs or {}).items())),
+        duration_s=duration_s,
+    )
+
+
+# -- direct (non-batched) execution helpers ------------------------------
 
 def run_gups_steady_state(
     system_name: str,
@@ -150,7 +244,21 @@ def run_gups_steady_state(
     max_duration_s: Optional[float] = None,
     system_kwargs: Optional[dict] = None,
 ) -> SteadyStateResult:
-    """Run one (system, intensity) cell to steady state."""
+    """Run one (system, intensity) cell to steady state.
+
+    The default path lowers to a :class:`RunSpec` and executes through
+    :func:`repro.exec.execute.run_spec_steady`, so it is bit-identical
+    to what a Runner batch produces for the same cell. Passing concrete
+    ``machine``/``workload`` objects takes the legacy direct path.
+    """
+    if machine is None and workload is None:
+        from repro.exec.execute import run_spec_steady
+
+        return run_spec_steady(steady_cell_spec(
+            system_name, intensity, config,
+            max_duration_s=max_duration_s,
+            system_kwargs=system_kwargs,
+        ))
     if machine is None:
         machine = scaled_machine(config.scale)
     if workload is None:
@@ -183,23 +291,13 @@ def best_case_for(
     workload: Optional[Workload] = None,
 ) -> BestCaseResult:
     """The paper's best-case sweep for one contention level."""
+    from repro.exec.execute import best_case_result
+
     if machine is None:
         machine = scaled_machine(config.scale)
     if workload is None:
         workload = make_gups(config)
-    solver = EquilibriumSolver(machine.tiers)
-    antagonist = antagonist_core_group(intensity, machine.antagonist)
-    return best_case_sweep(
-        solver=solver,
-        app=workload.core_group(),
-        access_probs=workload.access_probabilities(),
-        hot_mask=workload.effective_hot_mask(),
-        page_sizes=np.full(workload.n_pages, workload.page_bytes,
-                           dtype=np.int64),
-        default_capacity=machine.tiers[0].capacity_bytes,
-        pinned=[(antagonist, 0)],
-        rng=np.random.default_rng(config.seed),
-    )
+    return best_case_result(workload, machine, intensity, config.seed)
 
 
 def format_table(headers: Sequence[str],

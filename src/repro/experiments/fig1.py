@@ -10,15 +10,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     BASELINE_SYSTEMS,
     ExperimentConfig,
-    best_case_for,
+    best_case_spec,
     format_table,
-    run_gups_steady_state,
+    steady_cell_spec,
 )
 
 DEFAULT_INTENSITIES = (0, 1, 2, 3)
+
+#: Grid key for the best-case cell at one intensity.
+BEST = "best-case"
 
 
 @dataclass(frozen=True)
@@ -42,28 +47,41 @@ class Fig1Result:
                                                             intensity)]
 
 
+def build_cells(config: ExperimentConfig,
+                intensities: Sequence[int] = DEFAULT_INTENSITIES,
+                systems: Sequence[str] = BASELINE_SYSTEMS
+                ) -> Dict[Tuple[str, int], RunSpec]:
+    """The Figure 1 grid as declarative cells."""
+    cells: Dict[Tuple[str, int], RunSpec] = {}
+    for intensity in intensities:
+        cells[(BEST, intensity)] = best_case_spec(intensity, config)
+        for system in systems:
+            cells[(system, intensity)] = steady_cell_spec(
+                system, intensity, config
+            )
+    return cells
+
+
 def run(config: Optional[ExperimentConfig] = None,
         intensities: Sequence[int] = DEFAULT_INTENSITIES,
-        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig1Result:
+        systems: Sequence[str] = BASELINE_SYSTEMS,
+        runner: Optional[Runner] = None) -> Fig1Result:
     """Run the Figure 1 grid (``config.n_runs`` repetitions per cell)."""
     if config is None:
         config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = runner.run_grid(build_cells(config, intensities, systems),
+                            n_runs=max(1, config.n_runs))
     throughput: Dict[Tuple[str, int], float] = {}
     ranges: Dict[Tuple[str, int], Tuple[float, float]] = {}
     best: Dict[int, float] = {}
     for intensity in intensities:
-        best[intensity] = best_case_for(intensity, config).throughput
+        best[intensity] = cells[(BEST, intensity)].throughput
         for system in systems:
-            values = []
-            for run_idx in range(max(1, config.n_runs)):
-                from dataclasses import replace
-
-                cell_config = replace(config, seed=config.seed + run_idx)
-                result = run_gups_steady_state(system, intensity,
-                                               cell_config)
-                values.append(result.throughput)
-            throughput[(system, intensity)] = sum(values) / len(values)
-            ranges[(system, intensity)] = (min(values), max(values))
+            cell = cells[(system, intensity)]
+            throughput[(system, intensity)] = cell.throughput
+            ranges[(system, intensity)] = cell.throughput_range
     return Fig1Result(
         intensities=tuple(intensities),
         systems=tuple(systems),

@@ -15,15 +15,14 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
-    make_gups,
-    make_system,
-    scaled_machine,
+    gups_spec,
+    trace_cell_spec,
 )
-from repro.runtime.loop import SimulationLoop
-from repro.workloads.dynamic import HotSetShiftWorkload
 
 DEFAULT_SCENARIOS = ("hotshift-0x", "contention")
 
@@ -58,53 +57,58 @@ class Fig10Result:
     traces: Dict[Tuple[str, str], MigrationTrace]
 
 
+def scenario_spec(system_name: str, scenario: str,
+                  config: ExperimentConfig,
+                  shift_s: float = 10.0,
+                  duration_s: float = 25.0) -> RunSpec:
+    """Lower one (system, scenario) to a fixed-duration trace spec."""
+    if scenario == "contention":
+        workload = gups_spec(config)
+        contention = ((0.0, 0), (shift_s, 3))
+    else:
+        workload = gups_spec(config, hot_shift_times_s=(shift_s,))
+        level = 3 if scenario == "hotshift-3x" else 0
+        contention = ((0.0, level),)
+    return trace_cell_spec(system_name, config, duration_s,
+                           contention=contention, workload=workload)
+
+
+def _trace_from_cell(cell) -> MigrationTrace:
+    return MigrationTrace(
+        times_s=np.asarray(cell.series.times_s, dtype=float),
+        migration_rate=np.asarray(cell.series.migration_bytes,
+                                  dtype=float),
+        throughput=np.asarray(cell.series.throughput, dtype=float),
+    )
+
+
 def run_one(system_name: str, scenario: str,
             config: ExperimentConfig,
             shift_s: float = 10.0,
             duration_s: float = 25.0) -> MigrationTrace:
-    machine = scaled_machine(config.scale)
-    gups = make_gups(config)
-    if scenario == "contention":
-        workload = gups
-        contention = lambda t: 3 if t >= shift_s else 0
-    elif scenario == "hotshift-3x":
-        workload = HotSetShiftWorkload(gups, [shift_s])
-        contention = 3
-    else:
-        workload = HotSetShiftWorkload(gups, [shift_s])
-        contention = 0
-    loop = SimulationLoop(
-        machine=machine,
-        workload=workload,
-        system=make_system(system_name),
-        quantum_ms=config.quantum_ms,
-        contention=contention,
-        cha_noise_sigma=config.cha_noise_sigma,
-        migration_limit_bytes=config.resolved_migration_limit(),
-        seed=config.seed,
-    )
-    metrics = loop.run(duration_s=duration_s)
-    seconds = np.floor(metrics.time_s).astype(int)
-    unique = np.unique(seconds)
-    mig = np.array([
-        metrics.migration_bytes[seconds == s].sum() for s in unique
-    ], dtype=float)
-    thr = np.array([
-        metrics.throughput[seconds == s].mean() for s in unique
-    ])
-    return MigrationTrace(times_s=unique.astype(float),
-                          migration_rate=mig, throughput=thr)
+    spec = scenario_spec(system_name, scenario, config,
+                         shift_s=shift_s, duration_s=duration_s)
+    return _trace_from_cell(Runner().run_one(spec))
 
 
 def run(config: Optional[ExperimentConfig] = None,
-        scenarios: Sequence[str] = DEFAULT_SCENARIOS) -> Fig10Result:
+        scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+        runner: Optional[Runner] = None) -> Fig10Result:
     if config is None:
         config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
     systems = ("hemem", "hemem+colloid")
-    traces: Dict[Tuple[str, str], MigrationTrace] = {}
+    cells: Dict[Tuple[str, str], RunSpec] = {}
     for scenario in scenarios:
         for system in systems:
-            traces[(system, scenario)] = run_one(system, scenario, config)
+            cells[(system, scenario)] = scenario_spec(system, scenario,
+                                                      config)
+    results = runner.run(list(cells.values()))
+    traces = {
+        key: _trace_from_cell(results[spec])
+        for key, spec in cells.items()
+    }
     return Fig10Result(scenarios=tuple(scenarios), systems=systems,
                        traces=traces)
 

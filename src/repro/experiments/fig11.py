@@ -22,50 +22,41 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.exec.runner import Runner
+from repro.exec.spec import MachineSpec, RunSpec, WorkloadSpec
 from repro.experiments.common import (
     BASELINE_SYSTEMS,
     ExperimentConfig,
     format_table,
-    make_system,
-    scaled_machine,
+    steady_cell_spec,
 )
-from repro.runtime.experiment import run_steady_state
-from repro.runtime.loop import SimulationLoop
 from repro.workloads.base import Workload
-from repro.workloads.cachelib import CacheLibWorkload
-from repro.workloads.graph import GraphWorkload
-from repro.workloads.silo import SiloYcsbWorkload
 
 APPLICATIONS = ("gapbs", "silo", "cachelib")
 DEFAULT_INTENSITIES = (0, 1, 2, 3)
 
+#: §5.3 sizing: default tier holds one third of the working set.
+WS_DIVISOR = 3
+
+
+def application_spec(name: str, config: ExperimentConfig) -> WorkloadSpec:
+    """Declarative spec for one of the §5.3 application workloads."""
+    if name not in APPLICATIONS:
+        raise ConfigurationError(f"unknown application {name!r}")
+    return WorkloadSpec.make(name, scale=config.scale, seed=config.seed)
+
 
 def make_application(name: str, config: ExperimentConfig) -> Workload:
     """Build one of the §5.3 application workloads at experiment scale."""
-    if name == "gapbs":
-        return GraphWorkload.synthetic(scale=config.scale, seed=config.seed)
-    if name == "silo":
-        return SiloYcsbWorkload(scale=config.scale, seed=config.seed)
-    if name == "cachelib":
-        return CacheLibWorkload(scale=config.scale, seed=config.seed)
-    raise ConfigurationError(f"unknown application {name!r}")
+    return application_spec(name, config).build()
 
 
 def machine_for(workload: Workload, config: ExperimentConfig):
     """The testbed with the default tier sized to one third of the
     working set, per §5.3."""
-    import dataclasses
-
-    machine = scaled_machine(config.scale)
-    third = max(workload.page_bytes * 2, workload.working_set_bytes // 3)
-    default = dataclasses.replace(machine.tiers[0], capacity_bytes=third)
-    # Keep the alternate tier large enough for the spillover.
-    alternate = dataclasses.replace(
-        machine.tiers[1],
-        capacity_bytes=max(machine.tiers[1].capacity_bytes,
-                           workload.working_set_bytes),
-    )
-    return machine.with_tiers((default, alternate))
+    return MachineSpec(
+        scale=config.scale, default_tier_ws_divisor=WS_DIVISOR
+    ).build(workload)
 
 
 @dataclass(frozen=True)
@@ -84,40 +75,41 @@ class Fig11Result:
         )
 
 
-def run(config: Optional[ExperimentConfig] = None,
-        applications: Sequence[str] = APPLICATIONS,
-        intensities: Sequence[int] = DEFAULT_INTENSITIES,
-        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig11Result:
-    if config is None:
-        config = ExperimentConfig.from_env()
-    throughput: Dict[Tuple[str, str, int], float] = {}
+def build_cells(config: ExperimentConfig,
+                applications: Sequence[str] = APPLICATIONS,
+                intensities: Sequence[int] = DEFAULT_INTENSITIES,
+                systems: Sequence[str] = BASELINE_SYSTEMS
+                ) -> Dict[Tuple[str, str, int], RunSpec]:
+    """The Figure 11 grid: every app x system x intensity cell."""
+    machine = MachineSpec(scale=config.scale,
+                          default_tier_ws_divisor=WS_DIVISOR)
+    cells: Dict[Tuple[str, str, int], RunSpec] = {}
     for app in applications:
+        workload = application_spec(app, config)
         for intensity in intensities:
             for base in systems:
                 for name in (base, f"{base}+colloid"):
-                    workload = make_application(app, config)
-                    machine = machine_for(workload, config)
-                    loop = SimulationLoop(
-                        machine=machine,
-                        workload=workload,
-                        system=make_system(name),
-                        quantum_ms=config.quantum_ms,
-                        contention=intensity,
-                        cha_noise_sigma=config.cha_noise_sigma,
-                        migration_limit_bytes=(
-                            config.resolved_migration_limit()
-                        ),
-                        seed=config.seed,
+                    cells[(app, name, intensity)] = steady_cell_spec(
+                        name, intensity, config,
+                        workload=workload, machine=machine,
                     )
-                    from repro.experiments.common import base_system_of
+    return cells
 
-                    cap = config.duration_cap(base_system_of(name))
-                    result = run_steady_state(
-                        loop,
-                        min_duration_s=max(3.0, 0.7 * cap),
-                        max_duration_s=cap,
-                    )
-                    throughput[(app, name, intensity)] = result.throughput
+
+def run(config: Optional[ExperimentConfig] = None,
+        applications: Sequence[str] = APPLICATIONS,
+        intensities: Sequence[int] = DEFAULT_INTENSITIES,
+        systems: Sequence[str] = BASELINE_SYSTEMS,
+        runner: Optional[Runner] = None) -> Fig11Result:
+    if config is None:
+        config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = runner.run_grid(
+        build_cells(config, applications, intensities, systems),
+        n_runs=max(1, config.n_runs),
+    )
+    throughput = {key: cell.throughput for key, cell in cells.items()}
     return Fig11Result(
         applications=tuple(applications),
         base_systems=tuple(systems),

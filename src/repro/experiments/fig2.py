@@ -12,16 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     BASELINE_SYSTEMS,
     ExperimentConfig,
-    best_case_for,
+    best_case_spec,
     format_table,
-    run_gups_steady_state,
+    steady_cell_spec,
 )
 
 DEFAULT_INTENSITIES = (0, 1, 2, 3)
+
+BEST = "best-case"
 
 
 @dataclass(frozen=True)
@@ -46,32 +49,42 @@ class Fig2Result:
         )
 
 
+def build_cells(config: ExperimentConfig,
+                intensities: Sequence[int] = DEFAULT_INTENSITIES,
+                systems: Sequence[str] = BASELINE_SYSTEMS
+                ) -> Dict[Tuple[str, int], RunSpec]:
+    """The Figure 2 grid (baselines only, as in the paper)."""
+    cells: Dict[Tuple[str, int], RunSpec] = {}
+    for intensity in intensities:
+        cells[(BEST, intensity)] = best_case_spec(intensity, config)
+        for system in systems:
+            cells[(system, intensity)] = steady_cell_spec(
+                system, intensity, config
+            )
+    return cells
+
+
 def run(config: Optional[ExperimentConfig] = None,
         intensities: Sequence[int] = DEFAULT_INTENSITIES,
-        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig2Result:
+        systems: Sequence[str] = BASELINE_SYSTEMS,
+        runner: Optional[Runner] = None) -> Fig2Result:
     """Run the Figure 2 grid (baselines only, as in the paper)."""
     if config is None:
         config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = runner.run_grid(build_cells(config, intensities, systems),
+                            n_runs=max(1, config.n_runs))
     latencies: Dict[Tuple[str, int], Tuple[float, float]] = {}
     share: Dict[Tuple[str, int], float] = {}
     best_share: Dict[int, float] = {}
     for intensity in intensities:
-        best = best_case_for(intensity, config)
-        eq = best.best.equilibrium
-        app_bw = eq.app_tier_read_rate
-        total = float(app_bw.sum())
-        best_share[intensity] = float(app_bw[0]) / total if total else 0.0
+        best_share[intensity] = cells[(BEST, intensity)].tail_default_share
         for system in systems:
-            result = run_gups_steady_state(system, intensity, config)
-            metrics = result.metrics
-            tail = max(1, len(metrics) // 4)
-            lat = metrics.latencies_ns[-tail:].mean(axis=0)
-            latencies[(system, intensity)] = (float(lat[0]), float(lat[1]))
-            bw = metrics.app_tier_bandwidth[-tail:].mean(axis=0)
-            total_bw = float(bw.sum())
-            share[(system, intensity)] = (
-                float(bw[0]) / total_bw if total_bw else 0.0
-            )
+            cell = cells[(system, intensity)]
+            l_d, l_a = cell.tail_latencies_ns[:2]
+            latencies[(system, intensity)] = (l_d, l_a)
+            share[(system, intensity)] = cell.tail_default_share
     return Fig2Result(
         intensities=tuple(intensities),
         systems=tuple(systems),

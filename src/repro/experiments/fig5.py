@@ -10,15 +10,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     BASELINE_SYSTEMS,
     ExperimentConfig,
-    best_case_for,
+    best_case_spec,
     format_table,
-    run_gups_steady_state,
+    steady_cell_spec,
 )
 
 DEFAULT_INTENSITIES = (0, 1, 2, 3)
+
+BEST = "best-case"
 
 
 @dataclass(frozen=True)
@@ -44,20 +48,42 @@ class Fig5Result:
         )
 
 
+def build_cells(config: ExperimentConfig,
+                intensities: Sequence[int] = DEFAULT_INTENSITIES,
+                systems: Sequence[str] = BASELINE_SYSTEMS
+                ) -> Dict[Tuple[str, int], RunSpec]:
+    """The Figure 5 grid: every system with and without Colloid."""
+    cells: Dict[Tuple[str, int], RunSpec] = {}
+    for intensity in intensities:
+        cells[(BEST, intensity)] = best_case_spec(intensity, config)
+        for base in systems:
+            for name in (base, f"{base}+colloid"):
+                cells[(name, intensity)] = steady_cell_spec(
+                    name, intensity, config
+                )
+    return cells
+
+
 def run(config: Optional[ExperimentConfig] = None,
         intensities: Sequence[int] = DEFAULT_INTENSITIES,
-        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig5Result:
+        systems: Sequence[str] = BASELINE_SYSTEMS,
+        runner: Optional[Runner] = None) -> Fig5Result:
     """Run the Figure 5 grid: every system with and without Colloid."""
     if config is None:
         config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = runner.run_grid(build_cells(config, intensities, systems),
+                            n_runs=max(1, config.n_runs))
     throughput: Dict[Tuple[str, int], float] = {}
     best: Dict[int, float] = {}
     for intensity in intensities:
-        best[intensity] = best_case_for(intensity, config).throughput
+        best[intensity] = cells[(BEST, intensity)].throughput
         for base in systems:
             for name in (base, f"{base}+colloid"):
-                result = run_gups_steady_state(name, intensity, config)
-                throughput[(name, intensity)] = result.throughput
+                throughput[(name, intensity)] = (
+                    cells[(name, intensity)].throughput
+                )
     return Fig5Result(
         intensities=tuple(intensities),
         base_systems=tuple(systems),

@@ -12,15 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     BASELINE_SYSTEMS,
     ExperimentConfig,
-    best_case_for,
+    best_case_spec,
     format_table,
-    run_gups_steady_state,
+    steady_cell_spec,
 )
 
 DEFAULT_INTENSITIES = (0, 1, 2, 3)
+
+BEST = "best-case"
 
 
 @dataclass(frozen=True)
@@ -41,32 +45,41 @@ class Fig6Result:
         return l_d / l_a
 
 
+def build_cells(config: ExperimentConfig,
+                intensities: Sequence[int] = DEFAULT_INTENSITIES,
+                systems: Sequence[str] = BASELINE_SYSTEMS
+                ) -> Dict[Tuple[str, int], RunSpec]:
+    """The Figure 6 grid: each base system's +colloid variant."""
+    cells: Dict[Tuple[str, int], RunSpec] = {}
+    for intensity in intensities:
+        cells[(BEST, intensity)] = best_case_spec(intensity, config)
+        for base in systems:
+            cells[(base, intensity)] = steady_cell_spec(
+                f"{base}+colloid", intensity, config
+            )
+    return cells
+
+
 def run(config: Optional[ExperimentConfig] = None,
         intensities: Sequence[int] = DEFAULT_INTENSITIES,
-        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig6Result:
+        systems: Sequence[str] = BASELINE_SYSTEMS,
+        runner: Optional[Runner] = None) -> Fig6Result:
     if config is None:
         config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = runner.run_grid(build_cells(config, intensities, systems),
+                            n_runs=max(1, config.n_runs))
     share: Dict[Tuple[str, int], float] = {}
     best_share: Dict[int, float] = {}
     latencies: Dict[Tuple[str, int], Tuple[float, float]] = {}
     for intensity in intensities:
-        best = best_case_for(intensity, config)
-        bw = best.best.equilibrium.app_tier_read_rate
-        total = float(bw.sum())
-        best_share[intensity] = float(bw[0]) / total if total else 0.0
+        best_share[intensity] = cells[(BEST, intensity)].tail_default_share
         for base in systems:
-            result = run_gups_steady_state(
-                f"{base}+colloid", intensity, config
-            )
-            metrics = result.metrics
-            tail = max(1, len(metrics) // 4)
-            app_bw = metrics.app_tier_bandwidth[-tail:].mean(axis=0)
-            total_bw = float(app_bw.sum())
-            share[(base, intensity)] = (
-                float(app_bw[0]) / total_bw if total_bw else 0.0
-            )
-            lat = metrics.latencies_ns[-tail:].mean(axis=0)
-            latencies[(base, intensity)] = (float(lat[0]), float(lat[1]))
+            cell = cells[(base, intensity)]
+            share[(base, intensity)] = cell.tail_default_share
+            l_d, l_a = cell.tail_latencies_ns[:2]
+            latencies[(base, intensity)] = (l_d, l_a)
     return Fig6Result(
         intensities=tuple(intensities),
         base_systems=tuple(systems),

@@ -12,13 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     BASELINE_SYSTEMS,
     ExperimentConfig,
     format_table,
-    make_gups,
-    run_gups_steady_state,
-    scaled_machine,
+    machine_spec,
+    steady_cell_spec,
 )
 
 #: Alternate-tier unloaded latency as a multiple of the 70 ns default
@@ -37,31 +38,44 @@ class Fig7Result:
     improvement: Dict[Tuple[str, float, int], float]
 
 
+def build_cells(config: ExperimentConfig,
+                latency_ratios: Sequence[float] = DEFAULT_LATENCY_RATIOS,
+                intensities: Sequence[int] = DEFAULT_INTENSITIES,
+                systems: Sequence[str] = BASELINE_SYSTEMS
+                ) -> Dict[Tuple[str, float, int], RunSpec]:
+    """The Figure 7 grid: both variants at every latency ratio."""
+    cells: Dict[Tuple[str, float, int], RunSpec] = {}
+    for ratio in latency_ratios:
+        machine = machine_spec(config, alt_latency_ratio=ratio)
+        for intensity in intensities:
+            for base in systems:
+                for name in (base, f"{base}+colloid"):
+                    cells[(name, ratio, intensity)] = steady_cell_spec(
+                        name, intensity, config, machine=machine
+                    )
+    return cells
+
+
 def run(config: Optional[ExperimentConfig] = None,
         latency_ratios: Sequence[float] = DEFAULT_LATENCY_RATIOS,
         intensities: Sequence[int] = DEFAULT_INTENSITIES,
-        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig7Result:
+        systems: Sequence[str] = BASELINE_SYSTEMS,
+        runner: Optional[Runner] = None) -> Fig7Result:
     if config is None:
         config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = runner.run_grid(
+        build_cells(config, latency_ratios, intensities, systems),
+        n_runs=max(1, config.n_runs),
+    )
     improvement: Dict[Tuple[str, float, int], float] = {}
-    base_machine = scaled_machine(config.scale)
-    cpu_hop = base_machine.cpu_to_cha_ns
-    default_cpu_l0 = base_machine.tiers[0].unloaded_latency_ns + cpu_hop
     for ratio in latency_ratios:
-        alt_cha_l0 = default_cpu_l0 * ratio - cpu_hop
-        machine = base_machine.with_alternate_latency(alt_cha_l0)
         for intensity in intensities:
             for base in systems:
-                baseline = run_gups_steady_state(
-                    base, intensity, config, machine=machine,
-                    workload=make_gups(config),
-                )
-                colloid = run_gups_steady_state(
-                    f"{base}+colloid", intensity, config, machine=machine,
-                    workload=make_gups(config),
-                )
                 improvement[(base, ratio, intensity)] = (
-                    colloid.throughput / baseline.throughput
+                    cells[(f"{base}+colloid", ratio, intensity)].throughput
+                    / cells[(base, ratio, intensity)].throughput
                 )
     return Fig7Result(
         latency_ratios=tuple(latency_ratios),

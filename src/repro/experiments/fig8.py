@@ -14,12 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     BASELINE_SYSTEMS,
     ExperimentConfig,
     format_table,
-    make_gups,
-    run_gups_steady_state,
+    gups_spec,
+    steady_cell_spec,
 )
 
 DEFAULT_OBJECT_SIZES = (64, 256, 1024, 4096)
@@ -36,26 +38,44 @@ class Fig8Result:
     improvement: Dict[Tuple[str, int, int], float]
 
 
+def build_cells(config: ExperimentConfig,
+                object_sizes: Sequence[int] = DEFAULT_OBJECT_SIZES,
+                intensities: Sequence[int] = DEFAULT_INTENSITIES,
+                systems: Sequence[str] = BASELINE_SYSTEMS
+                ) -> Dict[Tuple[str, int, int], RunSpec]:
+    """The Figure 8 grid: both variants at every object size."""
+    cells: Dict[Tuple[str, int, int], RunSpec] = {}
+    for size in object_sizes:
+        workload = gups_spec(config, object_bytes=size)
+        for intensity in intensities:
+            for base in systems:
+                for name in (base, f"{base}+colloid"):
+                    cells[(name, size, intensity)] = steady_cell_spec(
+                        name, intensity, config, workload=workload
+                    )
+    return cells
+
+
 def run(config: Optional[ExperimentConfig] = None,
         object_sizes: Sequence[int] = DEFAULT_OBJECT_SIZES,
         intensities: Sequence[int] = DEFAULT_INTENSITIES,
-        systems: Sequence[str] = BASELINE_SYSTEMS) -> Fig8Result:
+        systems: Sequence[str] = BASELINE_SYSTEMS,
+        runner: Optional[Runner] = None) -> Fig8Result:
     if config is None:
         config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = runner.run_grid(
+        build_cells(config, object_sizes, intensities, systems),
+        n_runs=max(1, config.n_runs),
+    )
     improvement: Dict[Tuple[str, int, int], float] = {}
     for size in object_sizes:
         for intensity in intensities:
             for base in systems:
-                baseline = run_gups_steady_state(
-                    base, intensity, config,
-                    workload=make_gups(config, object_bytes=size),
-                )
-                colloid = run_gups_steady_state(
-                    f"{base}+colloid", intensity, config,
-                    workload=make_gups(config, object_bytes=size),
-                )
                 improvement[(base, size, intensity)] = (
-                    colloid.throughput / baseline.throughput
+                    cells[(f"{base}+colloid", size, intensity)].throughput
+                    / cells[(base, size, intensity)].throughput
                 )
     return Fig8Result(
         object_sizes=tuple(object_sizes),

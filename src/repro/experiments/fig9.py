@@ -24,15 +24,14 @@ import numpy as np
 
 from repro.analysis.convergence import convergence_time_s
 from repro.errors import ConfigurationError
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
-    make_gups,
-    make_system,
-    scaled_machine,
+    gups_spec,
+    trace_cell_spec,
 )
-from repro.runtime.loop import SimulationLoop
-from repro.workloads.dynamic import HotSetShiftWorkload
 
 SCENARIOS = ("hotshift-0x", "hotshift-3x", "contention")
 
@@ -70,62 +69,68 @@ class Fig9Result:
     traces: Dict[Tuple[str, str], Trace]
 
 
-def _per_second(times_s: np.ndarray, values: np.ndarray
-                ) -> Tuple[np.ndarray, np.ndarray]:
-    """Aggregate a per-quantum series into per-second means."""
-    seconds = np.floor(times_s).astype(int)
-    unique = np.unique(seconds)
-    means = np.array([values[seconds == s].mean() for s in unique])
-    return unique.astype(float), means
-
-
-def run_one(system_name: str, scenario: str,
-            config: ExperimentConfig,
-            timeline: Optional[Tuple[float, float]] = None) -> Trace:
-    """Run one (system, scenario) trace."""
+def scenario_spec(system_name: str, scenario: str,
+                  config: ExperimentConfig,
+                  timeline: Optional[Tuple[float, float]] = None
+                  ) -> Tuple[RunSpec, float]:
+    """Lower one (system, scenario) to a trace spec plus its shift time."""
     if scenario not in SCENARIOS:
         raise ConfigurationError(f"unknown scenario {scenario!r}")
     base = system_name.split("+")[0]
     if timeline is None:
         timeline = DEFAULT_TIMELINE[base]
     shift_s, duration_s = timeline
-    machine = scaled_machine(config.scale)
-    gups = make_gups(config)
     if scenario == "contention":
-        workload = gups
-        contention = lambda t: 3 if t >= shift_s else 0
+        workload = gups_spec(config)
+        contention = ((0.0, 0), (shift_s, 3))
     else:
-        workload = HotSetShiftWorkload(gups, [shift_s])
-        contention = 3 if scenario == "hotshift-3x" else 0
-    loop = SimulationLoop(
-        machine=machine,
-        workload=workload,
-        system=make_system(system_name),
-        quantum_ms=config.quantum_ms,
-        contention=contention,
-        cha_noise_sigma=config.cha_noise_sigma,
-        migration_limit_bytes=config.resolved_migration_limit(),
-        seed=config.seed,
+        workload = gups_spec(config, hot_shift_times_s=(shift_s,))
+        level = 3 if scenario == "hotshift-3x" else 0
+        contention = ((0.0, level),)
+    spec = trace_cell_spec(system_name, config, duration_s,
+                           contention=contention, workload=workload)
+    return spec, shift_s
+
+
+def _trace_from_cell(cell, shift_s: float) -> Trace:
+    return Trace(
+        times_s=np.asarray(cell.series.times_s, dtype=float),
+        throughput=np.asarray(cell.series.throughput, dtype=float),
+        disturbance_time_s=shift_s,
     )
-    metrics = loop.run(duration_s=duration_s)
-    times, series = _per_second(metrics.time_s, metrics.throughput)
-    return Trace(times_s=times, throughput=series,
-                 disturbance_time_s=shift_s)
+
+
+def run_one(system_name: str, scenario: str,
+            config: ExperimentConfig,
+            timeline: Optional[Tuple[float, float]] = None) -> Trace:
+    """Run one (system, scenario) trace."""
+    spec, shift_s = scenario_spec(system_name, scenario, config, timeline)
+    return _trace_from_cell(Runner().run_one(spec), shift_s)
 
 
 def run(config: Optional[ExperimentConfig] = None,
         scenarios: Sequence[str] = SCENARIOS,
-        base_systems: Sequence[str] = ("hemem", "tpp", "memtis")
-        ) -> Fig9Result:
+        base_systems: Sequence[str] = ("hemem", "tpp", "memtis"),
+        runner: Optional[Runner] = None) -> Fig9Result:
     if config is None:
         config = ExperimentConfig.from_env()
-    traces: Dict[Tuple[str, str], Trace] = {}
+    if runner is None:
+        runner = Runner()
+    cells: Dict[Tuple[str, str], RunSpec] = {}
+    shifts: Dict[Tuple[str, str], float] = {}
     systems = []
     for base in base_systems:
         for name in (base, f"{base}+colloid"):
             systems.append(name)
             for scenario in scenarios:
-                traces[(name, scenario)] = run_one(name, scenario, config)
+                spec, shift_s = scenario_spec(name, scenario, config)
+                cells[(name, scenario)] = spec
+                shifts[(name, scenario)] = shift_s
+    results = runner.run(list(cells.values()))
+    traces = {
+        key: _trace_from_cell(results[spec], shifts[key])
+        for key, spec in cells.items()
+    }
     return Fig9Result(
         scenarios=tuple(scenarios),
         systems=tuple(systems),

@@ -16,11 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     BASELINE_SYSTEMS,
     ExperimentConfig,
     format_table,
+    trace_cell_spec,
 )
+from repro.runtime.loop import DEFAULT_MIGRATION_LIMIT_PER_QUANTUM
 
 #: Cycle cost model (order-of-magnitude, per event).
 CYCLES_PER_PEBS_SAMPLE = 200.0
@@ -33,6 +37,9 @@ CYCLES_PER_COLLOID_QUANTUM = 3000.0
 
 CPU_FREQUENCY_HZ = 2.8e9
 APPLICATION_CORES = 16
+
+#: Length of the counter-sampling run (simulated seconds).
+SAMPLE_DURATION_S = 5.0
 
 
 @dataclass(frozen=True)
@@ -65,42 +72,43 @@ def _overhead_fraction(system_name: str, cpu_work: Dict[str, int],
     return fraction
 
 
-def run(config: Optional[ExperimentConfig] = None,
-        intensity: int = 1) -> OverheadResult:
-    if config is None:
-        config = ExperimentConfig.from_env()
-    overheads: Dict[str, float] = {}
+def build_cells(config: ExperimentConfig,
+                intensity: int = 1) -> Dict[str, RunSpec]:
+    """One short fixed-duration counter-sampling cell per system.
+
+    The sampling loop intentionally keeps the loop's *unscaled* default
+    migration limit: overhead rates are compared against a fixed cycle
+    budget, not against the scaled convergence-time geometry.
+    """
+    cells: Dict[str, RunSpec] = {}
     for base in BASELINE_SYSTEMS:
         for name in (base, f"{base}+colloid"):
-            # _collect_cpu_work returns per-second work rates, so the
-            # duration basis for the fraction is one second.
-            overheads[name] = _overhead_fraction(
-                name, _collect_cpu_work(name, intensity, config),
-                duration_s=1.0,
+            cells[name] = trace_cell_spec(
+                name, config, SAMPLE_DURATION_S,
+                contention=((0.0, int(intensity)),),
+                migration_limit_bytes=DEFAULT_MIGRATION_LIMIT_PER_QUANTUM,
             )
+    return cells
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        intensity: int = 1,
+        runner: Optional[Runner] = None) -> OverheadResult:
+    if config is None:
+        config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = build_cells(config, intensity)
+    results = runner.run(list(cells.values()))
+    overheads: Dict[str, float] = {}
+    for name, spec in cells.items():
+        # cpu_work counters cover the whole SAMPLE_DURATION_S run;
+        # normalize to per-second rates (duration basis 1 s) — overhead
+        # fractions are rate-based anyway.
+        work = {k: v / SAMPLE_DURATION_S
+                for k, v in results[spec].cpu_work.items()}
+        overheads[name] = _overhead_fraction(name, work, duration_s=1.0)
     return OverheadResult(overheads=overheads)
-
-
-def _collect_cpu_work(name: str, intensity: int,
-                      config: ExperimentConfig) -> Dict[str, int]:
-    """Run a short loop and return the system's CPU-work counters."""
-    from repro.experiments.common import make_system, scaled_machine, make_gups
-    from repro.runtime.loop import SimulationLoop
-
-    system = make_system(name)
-    loop = SimulationLoop(
-        machine=scaled_machine(config.scale),
-        workload=make_gups(config),
-        system=system,
-        quantum_ms=config.quantum_ms,
-        contention=intensity,
-        seed=config.seed,
-    )
-    loop.run(duration_s=5.0)
-    work = system.cpu_work
-    # Normalize the 5 s sample to per-second rates times the caller's
-    # duration basis (1 s) — overhead fractions are rate-based anyway.
-    return {k: v / 5.0 for k, v in work.items()}
 
 
 def format_rows(result: OverheadResult) -> str:

@@ -4,11 +4,14 @@ Runs every figure harness and writes a single markdown report with the
 measured tables — the tool that regenerates the measured side of
 EXPERIMENTS.md. Grids are configurable; the defaults mirror the
 benchmark suite's reduced grids so a full report takes minutes, not
-hours.
+hours. All sections share one :class:`~repro.exec.runner.Runner`, so
+identical cells (e.g. the best-case sweeps Figures 1/2/5/6 share) are
+deduplicated across sections and an opt-in result cache makes re-runs
+nearly free.
 
 Usage::
 
-    python -m repro report --out results.md --scale 0.0625
+    python -m repro report --out results.md --scale 0.0625 --jobs 4
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple
 
+from repro.exec.runner import Runner
 from repro.experiments import (
     appendix,
     fig1,
@@ -33,50 +37,56 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentConfig
 
-#: (section title, runner) pairs; each runner takes a config and returns
-#: formatted rows. Reduced grids match benchmarks/conftest defaults.
-SECTIONS: List[Tuple[str, Callable[[ExperimentConfig], str]]] = [
+#: (section title, runner) pairs; each callable takes a config and the
+#: shared Runner and returns formatted rows. Reduced grids match
+#: benchmarks/conftest defaults.
+SECTIONS: List[Tuple[str, Callable[[ExperimentConfig, Runner], str]]] = [
     ("Figure 1 — baselines vs best-case",
-     lambda c: fig1.format_rows(fig1.run(c, intensities=(0, 2, 3)))),
+     lambda c, r: fig1.format_rows(fig1.run(c, intensities=(0, 2, 3),
+                                            runner=r))),
     ("Figure 2 — root cause",
-     lambda c: fig2.format_rows(fig2.run(c, intensities=(0, 2, 3)))),
+     lambda c, r: fig2.format_rows(fig2.run(c, intensities=(0, 2, 3),
+                                            runner=r))),
     ("Figure 4 — ComputeShift traces",
-     lambda c: fig4.format_rows(fig4.run())),
+     lambda c, r: fig4.format_rows(fig4.run())),
     ("Figure 5 — Colloid vs baselines vs best-case",
-     lambda c: fig5.format_rows(fig5.run(c, intensities=(0, 2, 3)))),
+     lambda c, r: fig5.format_rows(fig5.run(c, intensities=(0, 2, 3),
+                                            runner=r))),
     ("Figure 6 — placement and latency balance",
-     lambda c: fig6.format_rows(fig6.run(c, intensities=(0, 1, 3)))),
+     lambda c, r: fig6.format_rows(fig6.run(c, intensities=(0, 1, 3),
+                                            runner=r))),
     ("Figure 7 — alternate-latency sensitivity",
-     lambda c: fig7.format_rows(fig7.run(
+     lambda c, r: fig7.format_rows(fig7.run(
          c, latency_ratios=(1.9, 2.7), intensities=(0, 3),
-         systems=("hemem",)))),
+         systems=("hemem",), runner=r))),
     ("Figure 8 — object-size sensitivity",
-     lambda c: fig8.format_rows(fig8.run(
+     lambda c, r: fig8.format_rows(fig8.run(
          c, object_sizes=(64, 4096), intensities=(0, 3),
-         systems=("hemem",)))),
+         systems=("hemem",), runner=r))),
     ("Figure 9 — convergence",
-     lambda c: fig9.format_rows(fig9.run(
+     lambda c, r: fig9.format_rows(fig9.run(
          c, scenarios=("hotshift-0x", "contention"),
-         base_systems=("hemem",)))),
+         base_systems=("hemem",), runner=r))),
     ("Figure 10 — migration rate",
-     lambda c: fig10.format_rows(fig10.run(c))),
+     lambda c, r: fig10.format_rows(fig10.run(c, runner=r))),
     ("Figure 11 — real applications",
-     lambda c: fig11.format_rows(fig11.run(
-         c, intensities=(0, 3), systems=("hemem",)))),
+     lambda c, r: fig11.format_rows(fig11.run(
+         c, intensities=(0, 3), systems=("hemem",), runner=r))),
     ("CPU overheads (§5.1)",
-     lambda c: overheads.format_rows(overheads.run(c))),
+     lambda c, r: overheads.format_rows(overheads.run(c, runner=r))),
     ("Sensitivity — delta/epsilon",
-     lambda c: sensitivity.format_rows(sensitivity.run(
-         c, deltas=(0.02, 0.15), epsilons=(0.01,)))),
+     lambda c, r: sensitivity.format_rows(sensitivity.run(
+         c, deltas=(0.02, 0.15), epsilons=(0.01,), runner=r))),
     ("Appendix — cores and R/W ratio",
-     lambda c: appendix.format_rows(appendix.run(
-         c, core_counts=(5, 25), read_fractions=(1.0, 0.5)))),
+     lambda c, r: appendix.format_rows(appendix.run(
+         c, core_counts=(5, 25), read_fractions=(1.0, 0.5), runner=r))),
 ]
 
 
 def generate(config: Optional[ExperimentConfig] = None,
              sections: Optional[List[str]] = None,
-             progress: Optional[Callable[[str], None]] = None) -> str:
+             progress: Optional[Callable[[str], None]] = None,
+             runner: Optional[Runner] = None) -> str:
     """Run the evaluation and return the markdown report body.
 
     Args:
@@ -84,9 +94,13 @@ def generate(config: Optional[ExperimentConfig] = None,
         sections: Optional subset of section titles to run (prefix match).
         progress: Optional callback invoked with each section title as
             it starts (for CLI progress output).
+        runner: Shared batch runner (parallelism, caching); a default
+            serial uncached Runner is created when omitted.
     """
     if config is None:
         config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
     parts = [
         "# Measured evaluation report",
         "",
@@ -94,7 +108,7 @@ def generate(config: Optional[ExperimentConfig] = None,
         f"migration limit={config.resolved_migration_limit()} B/quantum.",
         "",
     ]
-    for title, runner in SECTIONS:
+    for title, section in SECTIONS:
         if sections is not None and not any(
             title.startswith(s) for s in sections
         ):
@@ -104,7 +118,7 @@ def generate(config: Optional[ExperimentConfig] = None,
         parts.append(f"## {title}")
         parts.append("")
         parts.append("```")
-        parts.append(runner(config))
+        parts.append(section(config, runner))
         parts.append("```")
         parts.append("")
     return "\n".join(parts)

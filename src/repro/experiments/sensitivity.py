@@ -13,19 +13,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+import numpy as np
 
 from repro.analysis.convergence import convergence_time_s
+from repro.exec.runner import Runner
+from repro.exec.spec import RunSpec
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
-    make_gups,
-    scaled_machine,
+    trace_cell_spec,
 )
-from repro.core.integrate import HememColloidSystem
-from repro.runtime.loop import SimulationLoop
 
 DEFAULT_DELTAS = (0.02, 0.05, 0.15)
 DEFAULT_EPSILONS = (0.005, 0.01, 0.05)
+
+#: Contention flips 1x -> 3x at this time; the run continues 15 s after.
+FLIP_S = 10.0
 
 
 @dataclass(frozen=True)
@@ -45,47 +48,56 @@ class SensitivityResult:
     reaction_s: Dict[Tuple[float, float], Optional[float]]
 
 
-def run_cell(delta: float, epsilon: float,
-             config: ExperimentConfig) -> Tuple[float, float,
-                                                Optional[float]]:
-    """One (delta, epsilon) cell: steady state at 1x, then a flip to 3x."""
-    machine = scaled_machine(config.scale)
-    flip_s = 10.0
-    loop = SimulationLoop(
-        machine=machine,
-        workload=make_gups(config),
-        system=HememColloidSystem(delta=delta, epsilon=epsilon),
-        contention=lambda t: 1 if t < flip_s else 3,
-        cha_noise_sigma=config.cha_noise_sigma,
-        migration_limit_bytes=config.resolved_migration_limit(),
-        seed=config.seed,
+def cell_spec(delta: float, epsilon: float,
+              config: ExperimentConfig) -> RunSpec:
+    """One (delta, epsilon) trace spec: 1x steady, flip to 3x."""
+    return trace_cell_spec(
+        "hemem+colloid", config, FLIP_S + 15.0,
+        contention=((0.0, 1), (FLIP_S, 3)),
+        system_kwargs={"delta": delta, "epsilon": epsilon},
     )
-    metrics = loop.run(duration_s=flip_s + 15.0)
-    before_flip = metrics.time_s < flip_s
-    tail = metrics.throughput[before_flip][-200:]
+
+
+def _analyze(cell) -> Tuple[float, float, Optional[float]]:
+    times = np.asarray(cell.series.quantum_times_s, dtype=float)
+    values = np.asarray(cell.series.quantum_throughput, dtype=float)
+    tail = values[times < FLIP_S][-200:]
     throughput = float(tail.mean())
     variation = float(tail.std() / tail.mean()) if tail.mean() else 0.0
     reaction = convergence_time_s(
-        metrics.time_s, metrics.throughput, disturbance_time_s=flip_s,
-        tolerance=0.07,
+        times, values, disturbance_time_s=FLIP_S, tolerance=0.07,
     )
     return throughput, variation, reaction
 
 
+def run_cell(delta: float, epsilon: float,
+             config: ExperimentConfig) -> Tuple[float, float,
+                                                Optional[float]]:
+    """One (delta, epsilon) cell: steady state at 1x, then a flip to 3x."""
+    return _analyze(Runner().run_one(cell_spec(delta, epsilon, config)))
+
+
 def run(config: Optional[ExperimentConfig] = None,
         deltas: Sequence[float] = DEFAULT_DELTAS,
-        epsilons: Sequence[float] = DEFAULT_EPSILONS) -> SensitivityResult:
+        epsilons: Sequence[float] = DEFAULT_EPSILONS,
+        runner: Optional[Runner] = None) -> SensitivityResult:
     if config is None:
         config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = {
+        (delta, epsilon): cell_spec(delta, epsilon, config)
+        for delta in deltas for epsilon in epsilons
+    }
+    results = runner.run(list(cells.values()))
     throughput: Dict[Tuple[float, float], float] = {}
     variation: Dict[Tuple[float, float], float] = {}
     reaction: Dict[Tuple[float, float], Optional[float]] = {}
-    for delta in deltas:
-        for epsilon in epsilons:
-            t, v, r = run_cell(delta, epsilon, config)
-            throughput[(delta, epsilon)] = t
-            variation[(delta, epsilon)] = v
-            reaction[(delta, epsilon)] = r
+    for key, spec in cells.items():
+        t, v, r = _analyze(results[spec])
+        throughput[key] = t
+        variation[key] = v
+        reaction[key] = r
     return SensitivityResult(
         deltas=tuple(deltas),
         epsilons=tuple(epsilons),

@@ -1,0 +1,125 @@
+"""Result cache round-trips, invalidation, and corruption handling."""
+
+import json
+
+from repro.exec import cache as cache_mod
+from repro.exec.cache import ResultCache, default_cache_dir
+from repro.exec.result import CellResult, TraceSeries
+from repro.exec.spec import MachineSpec, RunSpec, WorkloadSpec
+
+
+def make_spec(seed: int = 7) -> RunSpec:
+    return RunSpec(
+        system="hemem",
+        workload=WorkloadSpec.make("gups", scale=0.0625, seed=seed),
+        machine=MachineSpec(scale=0.0625),
+        seed=seed,
+        max_duration_s=5.0,
+    )
+
+
+def make_result() -> CellResult:
+    return CellResult(
+        mode="steady",
+        throughput=64.25,
+        converged=True,
+        duration_s=5.0,
+        tail_latencies_ns=(92.5, 141.25),
+        tail_default_share=0.85,
+        cpu_work={"plans": 500.0},
+    )
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, make_result())
+        got = cache.get(spec)
+        assert got == make_result()
+        assert len(cache) == 1
+
+    def test_trace_series_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        series = TraceSeries(
+            times_s=(0.0, 1.0), throughput=(10.0, 11.0),
+            migration_bytes=(0.0, 4096.0),
+            quantum_times_s=(0.01, 0.02), quantum_throughput=(9.9, 10.1),
+        )
+        result = CellResult(
+            mode="trace", throughput=10.5, converged=None,
+            duration_s=2.0, tail_latencies_ns=(90.0, 140.0),
+            tail_default_share=0.5, cpu_work={}, series=series,
+        )
+        cache.put(spec, result)
+        assert cache.get(spec) == result
+
+    def test_floats_are_exact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        value = 64.15041440451904  # repr round-trip must be lossless
+        cache.put(spec, CellResult(
+            mode="steady", throughput=value, converged=True,
+            duration_s=5.0, tail_latencies_ns=(), tail_default_share=0.0,
+            cpu_work={},
+        ))
+        assert cache.get(spec).throughput == value
+
+
+class TestMisses:
+    def test_absent_entry_misses(self, tmp_path):
+        assert ResultCache(tmp_path).get(make_spec()) is None
+
+    def test_different_spec_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_spec(seed=7), make_result())
+        assert cache.get(make_spec(seed=8)) is None
+
+    def test_corrupt_entry_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, make_result())
+        cache.path_for(spec).write_text("{ not json")
+        assert cache.get(spec) is None
+
+    def test_schema_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, make_result())
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION",
+                            cache_mod.CACHE_SCHEMA_VERSION + 1)
+        assert cache.get(spec) is None
+
+    def test_hash_mismatch_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        path = cache.put(spec, make_result())
+        payload = json.loads(path.read_text())
+        payload["spec_hash"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+
+
+class TestHousekeeping:
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_spec(7), make_result())
+        cache.put(make_spec(8), make_result())
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(make_spec(7)) is None
+
+    def test_env_var_overrides_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV_VAR, str(tmp_path))
+        assert default_cache_dir() == tmp_path
+        assert ResultCache().root == tmp_path
+
+    def test_entries_fan_out_by_hash_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        path = cache.put(spec, make_result())
+        key = spec.content_hash()
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"

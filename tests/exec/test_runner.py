@@ -1,0 +1,130 @@
+"""Runner batching: determinism, dedup, caching, repetition."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.result import CellResult
+from repro.exec.runner import Runner, aggregate, expand_seeds
+from repro.experiments.common import (
+    ExperimentConfig,
+    best_case_spec,
+    run_gups_steady_state,
+    steady_cell_spec,
+)
+
+#: Tiny geometry + short caps keep every simulated cell under a second.
+TINY = ExperimentConfig(scale=0.03, seed=7)
+CAP_S = 4.0
+
+
+def tiny_cell(system: str, intensity: int):
+    return steady_cell_spec(system, intensity, TINY,
+                            max_duration_s=CAP_S)
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial_bit_for_bit(self):
+        specs = [
+            tiny_cell("hemem", 0),
+            tiny_cell("hemem+colloid", 3),
+        ]
+        serial = Runner(jobs=1).run(specs)
+        parallel = Runner(jobs=2).run(specs)
+        for spec in specs:
+            assert parallel[spec].throughput == serial[spec].throughput
+            assert parallel[spec].tail_latencies_ns == (
+                serial[spec].tail_latencies_ns
+            )
+            assert parallel[spec].tail_default_share == (
+                serial[spec].tail_default_share
+            )
+
+    def test_runner_matches_direct_helper(self):
+        spec = tiny_cell("hemem", 0)
+        direct = run_gups_steady_state("hemem", 0, TINY,
+                                       max_duration_s=CAP_S)
+        assert Runner().run_one(spec).throughput == direct.throughput
+
+
+class TestDedupAndStats:
+    def test_duplicate_specs_execute_once(self):
+        spec = best_case_spec(1, TINY)
+        runner = Runner()
+        results = runner.run([spec, spec, spec])
+        assert len(results) == 1
+        assert runner.stats.executed == 1
+        assert runner.stats.deduped == 2
+
+    def test_stats_accumulate_across_batches(self):
+        runner = Runner()
+        runner.run([best_case_spec(0, TINY)])
+        runner.run([best_case_spec(2, TINY)])
+        assert runner.stats.executed == 2
+        assert runner.stats.per_mode == {"best_case": 2}
+        assert runner.stats.summary().endswith("new cells executed: 2")
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Runner(jobs=0)
+
+
+class TestCaching:
+    def test_second_run_is_all_hits(self, tmp_path):
+        specs = [best_case_spec(0, TINY), best_case_spec(3, TINY)]
+        first = Runner(cache=ResultCache(tmp_path))
+        warm = first.run(specs)
+        assert first.stats.executed == 2
+        assert first.stats.cache_misses == 2
+
+        second = Runner(cache=ResultCache(tmp_path))
+        cached = second.run(specs)
+        assert second.stats.executed == 0
+        assert second.stats.cache_hits == 2
+        assert second.stats.summary().endswith("new cells executed: 0")
+        for spec in specs:
+            assert cached[spec] == warm[spec]
+
+    def test_cached_simulation_floats_identical(self, tmp_path):
+        spec = tiny_cell("hemem", 0)
+        live = Runner(cache=ResultCache(tmp_path)).run_one(spec)
+        cached = Runner(cache=ResultCache(tmp_path)).run_one(spec)
+        assert cached.throughput == live.throughput
+        assert cached.tail_latencies_ns == live.tail_latencies_ns
+
+
+class TestRepetition:
+    def test_expand_seeds(self):
+        spec = tiny_cell("hemem", 0)
+        copies = expand_seeds(spec, 3)
+        assert [c.seed for c in copies] == [7, 8, 9]
+        with pytest.raises(ConfigurationError):
+            expand_seeds(spec, 0)
+
+    def test_run_grid_repeats_steady_but_not_best_case(self):
+        cells = {
+            "best": best_case_spec(1, TINY),
+            "sim": tiny_cell("hemem", 1),
+        }
+        runner = Runner()
+        grid = runner.run_grid(cells, n_runs=2)
+        assert len(grid["best"].runs) == 1
+        assert len(grid["sim"].runs) == 2
+        lo, hi = grid["sim"].throughput_range
+        assert lo <= grid["sim"].throughput <= hi
+
+    def test_aggregate_statistics(self):
+        def cell(throughput):
+            return CellResult(
+                mode="steady", throughput=throughput, converged=True,
+                duration_s=4.0, tail_latencies_ns=(100.0, 150.0),
+                tail_default_share=0.8, cpu_work={},
+            )
+
+        agg = aggregate([cell(10.0), cell(14.0)])
+        assert agg.throughput == 12.0
+        assert agg.throughput_range == (10.0, 14.0)
+        assert agg.tail_latencies_ns == (100.0, 150.0)
+        assert agg.spread == pytest.approx(4.0 / 12.0)
+        with pytest.raises(ConfigurationError):
+            aggregate([])
