@@ -1,0 +1,57 @@
+"""Runtime invariant checking (the correctness harness).
+
+The paper states invariants the reproduction must uphold — the
+Algorithm 2 bracket ordering ``p_lo <= p_hi`` and bracket-contains-
+target (§3.2, Figure 4), page conservation across migrations, the
+dynamic migration cap ``min(dp * (R_D + R_A), M)`` — but nothing
+enforced them at runtime, so a bug could silently skew every figure.
+This package is the enforcement layer:
+
+* :class:`Checker` — pluggable invariant checks the simulation loop
+  invokes each quantum when enabled. Violations raise a structured
+  :class:`~repro.errors.InvariantViolation` carrying the offending
+  quantum and are also emitted as ``invariant_violation`` trace events
+  so ``repro report`` can surface them.
+* :class:`NullChecker` / :data:`NULL_CHECKER` — the disabled path,
+  mirroring the tracer's design: instrumentation sites guard with
+  ``if checker.enabled:`` and a run without checking pays one
+  attribute read per site.
+* :func:`enable_checks` / :func:`checks_enabled` — process-global
+  enablement via the ``REPRO_CHECK`` environment variable, so
+  ``--check`` propagates into process-pool workers automatically.
+* :mod:`repro.check.roundtrip` — exec-layer self-checks: spec →
+  dict → spec hash stability and cache entry ↔ result fidelity.
+
+Enabled via ``--check`` on ``repro run`` / ``repro figure``, and
+always-on in the test suite (see ``tests/conftest.py``).
+"""
+
+from repro.check.invariants import (
+    CHECK_ENV_VAR,
+    NULL_CHECKER,
+    Checker,
+    NullChecker,
+    checks_enabled,
+    disable_checks,
+    enable_checks,
+)
+from repro.check.roundtrip import (
+    check_cache_fidelity,
+    check_result_roundtrip,
+    check_spec_roundtrip,
+)
+from repro.errors import InvariantViolation
+
+__all__ = [
+    "CHECK_ENV_VAR",
+    "Checker",
+    "InvariantViolation",
+    "NULL_CHECKER",
+    "NullChecker",
+    "check_cache_fidelity",
+    "check_result_roundtrip",
+    "check_spec_roundtrip",
+    "checks_enabled",
+    "disable_checks",
+    "enable_checks",
+]

@@ -1,0 +1,301 @@
+"""The invariant checker the simulation loop drives.
+
+Each check method validates one family of invariants. All methods
+raise :class:`~repro.errors.InvariantViolation` on failure, after
+recording the violation and (when a tracer is attached) emitting an
+``invariant_violation`` event — so a trace of a failed ``--check`` run
+documents exactly what broke and when.
+
+The checks, and where the loop invokes them:
+
+========================  =====================================================
+``check_equilibrium``     latencies out of the solver are finite and positive,
+                          throughput and measured ``p`` are sane (post-solve)
+``check_shift``           Algorithm 2 watermark ordering, [0, 1] bounds, and
+                          bracket-contains-target (post-decision)
+``check_migration``       page-count conservation, byte accounting against the
+                          placement ground truth, capacity respected, and
+                          migration bytes never exceeding the dynamic limit
+                          (post-execute, against a pre-execute snapshot)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import InvariantViolation
+from repro.obs.tracer import NULL_TRACER
+
+#: Environment variable that switches invariant checking on process-wide
+#: (the CLI's ``--check`` sets it so process-pool workers inherit it).
+CHECK_ENV_VAR = "REPRO_CHECK"
+
+#: Values of :data:`CHECK_ENV_VAR` treated as "off".
+_FALSEY = ("", "0", "false", "no", "off")
+
+
+def checks_enabled() -> bool:
+    """Whether invariant checking is enabled process-wide."""
+    return os.environ.get(CHECK_ENV_VAR, "").lower() not in _FALSEY
+
+
+def enable_checks() -> None:
+    """Enable invariant checking process-wide (and in child processes)."""
+    os.environ[CHECK_ENV_VAR] = "1"
+
+
+def disable_checks() -> None:
+    """Disable process-wide invariant checking."""
+    os.environ.pop(CHECK_ENV_VAR, None)
+
+
+class NullChecker:
+    """Disabled checker: every operation is a no-op.
+
+    Mirrors :class:`~repro.obs.tracer.NullTracer` — the hot path's only
+    interaction with a disabled checker is reading :attr:`enabled`.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def check_equilibrium(self, *args, **kwargs) -> None:
+        """No-op."""
+
+    def check_shift(self, *args, **kwargs) -> None:
+        """No-op."""
+
+    def placement_snapshot(self, *args, **kwargs) -> None:
+        """No-op (returns None; check_migration ignores it)."""
+
+    def check_migration(self, *args, **kwargs) -> None:
+        """No-op."""
+
+
+#: Shared disabled checker used as the default wherever one is threaded.
+NULL_CHECKER = NullChecker()
+
+
+class Checker:
+    """Runtime invariant checker (see module docstring for the table).
+
+    Args:
+        tracer: Optional tracer; violations are emitted as
+            ``invariant_violation`` events before the exception is
+            raised, so traces of failed runs are self-documenting.
+
+    Attributes:
+        violations: Structured records of every violation observed
+            (normally at most one, since violations raise).
+        checks_run: Number of check-method invocations that ran — lets
+            tests assert checking was actually active.
+    """
+
+    enabled = True
+
+    def __init__(self, tracer=None) -> None:
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.violations: List[dict] = []
+        self.checks_run = 0
+
+    # -- violation plumbing ----------------------------------------------
+
+    def _violate(self, invariant: str, message: str, time_s: float,
+                 **details) -> None:
+        record = {
+            "invariant": invariant,
+            "message": message,
+            "time_s": float(time_s),
+            "details": {k: _plain(v) for k, v in details.items()},
+        }
+        self.violations.append(record)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "invariant_violation",
+                invariant=invariant,
+                message=message,
+                details=record["details"],
+            )
+        raise InvariantViolation(invariant, message, time_s=time_s,
+                                 details=record["details"])
+
+    # -- hardware-model outputs ------------------------------------------
+
+    def check_equilibrium(self, time_s: float, latencies_ns,
+                          throughput: float,
+                          measured_p: float) -> None:
+        """Solver outputs must be physical: finite positive latencies,
+        non-negative throughput, ``p`` a probability."""
+        self.checks_run += 1
+        latencies = np.asarray(latencies_ns, dtype=float)
+        if not np.isfinite(latencies).all() or (latencies <= 0).any():
+            self._violate(
+                "memhw.latency_physical",
+                "equilibrium latencies must be finite and positive",
+                time_s, latencies_ns=latencies.tolist(),
+            )
+        if not np.isfinite(throughput) or throughput < 0:
+            self._violate(
+                "memhw.throughput_nonnegative",
+                "equilibrium throughput must be finite and non-negative",
+                time_s, throughput=float(throughput),
+            )
+        if not 0.0 <= measured_p <= 1.0 + 1e-9:
+            self._violate(
+                "memhw.measured_p_bounded",
+                "CHA-visible default-tier share must lie in [0, 1]",
+                time_s, measured_p=float(measured_p),
+            )
+
+    # -- Algorithm 2 watermarks ------------------------------------------
+
+    def check_shift(self, time_s: float, shift) -> None:
+        """Algorithm 2 bracket invariants (§3.2, Figure 4).
+
+        Watermarks stay in [0, 1] always. With dynamic resets enabled
+        (the paper's configuration) the post-update ordering
+        ``p_lo <= p_hi`` also holds — a collapsed-or-crossed bracket is
+        exactly what a reset repairs — and hence the steered target
+        (the midpoint) lies inside the bracket. With resets disabled
+        (the Figure 4c ablation) a crossed bracket is a *documented
+        failure mode*, so ordering is not enforced.
+        """
+        self.checks_run += 1
+        p_lo, p_hi = float(shift.p_lo), float(shift.p_hi)
+        if not (0.0 <= p_lo <= 1.0 and 0.0 <= p_hi <= 1.0):
+            self._violate(
+                "shift.watermark_bounds",
+                "watermarks must lie in [0, 1]",
+                time_s, p_lo=p_lo, p_hi=p_hi,
+            )
+        if shift.enable_resets:
+            if p_hi < p_lo:
+                self._violate(
+                    "shift.watermark_ordering",
+                    "p_lo <= p_hi must hold when resets are enabled",
+                    time_s, p_lo=p_lo, p_hi=p_hi,
+                )
+            target = float(shift.target_p())
+            if not p_lo <= target <= p_hi:
+                self._violate(
+                    "shift.bracket_contains_target",
+                    "the steered target must lie inside the bracket",
+                    time_s, p_lo=p_lo, p_hi=p_hi, target=target,
+                )
+
+    # -- migration / placement -------------------------------------------
+
+    def placement_snapshot(self, placement) -> dict:
+        """Capture the placement ground truth before a migration batch."""
+        tier = placement.pages.tier
+        sizes = placement.pages.sizes_bytes
+        n_tiers = placement.n_tiers
+        counts = np.bincount(tier[tier >= 0], minlength=n_tiers)
+        return {
+            "n_pages": int(tier.shape[0]),
+            "placed_pages": int((tier >= 0).sum()),
+            "tier_counts": counts[:n_tiers].copy(),
+            "total_bytes": int(sizes[tier >= 0].sum()),
+        }
+
+    def check_migration(self, time_s: float, placement, result,
+                        budget_bytes: Optional[int],
+                        before: dict) -> None:
+        """Conservation and budget invariants around one executed plan.
+
+        * no page appears or disappears (count and byte conservation);
+        * the per-tier byte accounting matches a recount of the page
+          table, and no tier exceeds its capacity;
+        * the executed bytes never exceed the dynamic migration limit
+          the tiering system supplied (Algorithm 1, line 10), and the
+          executor's own move bookkeeping is internally consistent.
+        """
+        self.checks_run += 1
+        after = self.placement_snapshot(placement)
+        if after["n_pages"] != before["n_pages"] or (
+                after["placed_pages"] != before["placed_pages"]):
+            self._violate(
+                "pages.count_conservation",
+                "migration must neither create nor destroy pages",
+                time_s,
+                pages_before=before["placed_pages"],
+                pages_after=after["placed_pages"],
+            )
+        if after["total_bytes"] != before["total_bytes"]:
+            self._violate(
+                "pages.byte_conservation",
+                "total placed bytes must be conserved across migration",
+                time_s,
+                bytes_before=before["total_bytes"],
+                bytes_after=after["total_bytes"],
+            )
+        tier = placement.pages.tier
+        sizes = placement.pages.sizes_bytes
+        for t in range(placement.n_tiers):
+            recount = int(sizes[tier == t].sum())
+            if recount != placement.used_bytes(t):
+                self._violate(
+                    "pages.accounting_consistent",
+                    f"tier {t} used-bytes accounting drifted from the "
+                    "page table",
+                    time_s, tier=t, recount=recount,
+                    accounted=placement.used_bytes(t),
+                )
+            if placement.used_bytes(t) > placement.capacity_bytes(t):
+                self._violate(
+                    "pages.capacity_respected",
+                    f"tier {t} is over capacity after migration",
+                    time_s, tier=t, used=placement.used_bytes(t),
+                    capacity=placement.capacity_bytes(t),
+                )
+        if budget_bytes is not None and result.bytes_moved > budget_bytes:
+            self._violate(
+                "migration.dynamic_limit",
+                "executed bytes exceed the dynamic migration limit",
+                time_s, bytes_moved=int(result.bytes_moved),
+                budget_bytes=int(budget_bytes),
+            )
+        if result.bytes_moved < 0 or result.moves_applied < 0:
+            self._violate(
+                "migration.nonnegative",
+                "executor counters must be non-negative",
+                time_s, bytes_moved=int(result.bytes_moved),
+                moves_applied=int(result.moves_applied),
+            )
+
+
+def _plain(value):
+    """Coerce numpy scalars/arrays to plain JSON-safe values."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def find_shift_computer(system) -> Optional[object]:
+    """The system's :class:`~repro.core.shift.ShiftComputer`, if any.
+
+    The three Colloid integrations expose it via their controller
+    (``_ColloidMixin``); baselines and the multi-tier balancer have no
+    bracket to check and return None.
+    """
+    controller = getattr(system, "_controller", None)
+    return getattr(controller, "shift", None)
+
+
+__all__ = [
+    "CHECK_ENV_VAR",
+    "Checker",
+    "NULL_CHECKER",
+    "NullChecker",
+    "checks_enabled",
+    "disable_checks",
+    "enable_checks",
+    "find_shift_computer",
+]

@@ -54,6 +54,10 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--clear-cache", action="store_true",
                         help="drop all cached results first (implies "
                              "--cache)")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce runtime invariants in every cell "
+                             "(propagates to --jobs workers); violations "
+                             "abort with a structured error")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", action="store_true",
                      help="profile the loop's phases and print the "
                           "wall-time breakdown")
+    run.add_argument("--check", action="store_true",
+                     help="enforce runtime invariants (repro.check); "
+                          "violations abort the run with a structured "
+                          "error")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=FIGURES + ("all",))
@@ -132,6 +140,12 @@ def _build_runner(args):
     from repro.exec.cache import ResultCache
     from repro.exec.runner import Runner
 
+    if getattr(args, "check", False):
+        from repro.check import enable_checks
+
+        # Sets REPRO_CHECK in the environment, so process-pool workers
+        # inherit checking along with the parent.
+        enable_checks()
     cache = None
     if args.cache or args.cache_dir or args.clear_cache:
         cache = ResultCache(args.cache_dir)
@@ -188,6 +202,10 @@ def cmd_run(args) -> int:
     scale = _resolved_scale(args)
     workload = _build_workload(args, scale)
     tracer = Tracer(jsonl_path=args.trace) if args.trace else None
+    if args.check:
+        from repro.check import enable_checks
+
+        enable_checks()
     loop = SimulationLoop(
         machine=scaled_machine(scale),
         workload=workload,
@@ -222,6 +240,8 @@ def cmd_run(args) -> int:
     if args.profile:
         print("phase profile :")
         print(loop.profiler.format_summary())
+    if args.check:
+        print(f"invariants    : {loop.checker.checks_run} checks passed")
     return 0
 
 

@@ -38,4 +38,11 @@ def dynamic_migration_limit(dp: float, total_request_rate: float,
     if static_limit_bytes <= 0:
         raise ConfigurationError("static limit must be positive")
     dynamic = dp * total_request_rate * CACHELINE_BYTES * quantum_ns
-    return int(min(dynamic, float(static_limit_bytes)))
+    if dynamic <= 0:
+        return 0
+    # A positive budget must admit at least one cacheline: plain int()
+    # truncation returns 0 bytes whenever the product is sub-1 (tiny dp
+    # near equilibrium at small quanta), silently freezing migration
+    # even though Algorithm 1 asked for a shift.
+    floor = min(CACHELINE_BYTES, static_limit_bytes)
+    return max(int(min(dynamic, float(static_limit_bytes))), floor)

@@ -30,3 +30,27 @@ class SimulationError(ReproError):
 
 class CalibrationError(ReproError):
     """Hardware-model calibration could not satisfy its targets."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant check failed (see :mod:`repro.check`).
+
+    Structured so handlers (and the CI smoke job) can report exactly
+    which invariant broke, when, and on what values.
+
+    Attributes:
+        invariant: Machine-readable invariant name (e.g.
+            ``"shift.watermark_ordering"``).
+        time_s: Simulated time of the offending quantum, when known.
+        details: The offending quantities (plain scalars/lists).
+    """
+
+    def __init__(self, invariant: str, message: str,
+                 time_s: float | None = None,
+                 details: dict | None = None) -> None:
+        self.invariant = str(invariant)
+        self.time_s = time_s
+        self.details = dict(details) if details else {}
+        stamp = f" at t={time_s:.3f}s" if time_s is not None else ""
+        extra = f" ({self.details})" if self.details else ""
+        super().__init__(f"[{self.invariant}]{stamp} {message}{extra}")

@@ -143,9 +143,31 @@ def _execute_trace(spec: RunSpec) -> CellResult:
 
 
 def execute_spec(spec: RunSpec) -> CellResult:
-    """Execute one spec to completion (the Runner's worker function)."""
+    """Execute one spec to completion (the Runner's worker function).
+
+    With invariant checking enabled (``REPRO_CHECK`` / ``--check``) the
+    spec's serialization round-trip is verified before the run — the
+    content hash is the cache key and the dedup unit, so a lossy
+    ``to_dict`` would silently cross results between cells — and the
+    result's round-trip after, since the JSON form is what the cache
+    persists. The simulation itself is checked by the loop's
+    :class:`~repro.check.Checker`.
+    """
+    from repro.check import (
+        check_result_roundtrip,
+        check_spec_roundtrip,
+        checks_enabled,
+    )
+
+    checking = checks_enabled()
+    if checking:
+        check_spec_roundtrip(spec)
     if spec.mode == "best_case":
-        return _execute_best_case(spec)
-    if spec.mode == "steady":
-        return _execute_steady(spec)
-    return _execute_trace(spec)
+        result = _execute_best_case(spec)
+    elif spec.mode == "steady":
+        result = _execute_steady(spec)
+    else:
+        result = _execute_trace(spec)
+    if checking:
+        check_result_roundtrip(spec, result)
+    return result

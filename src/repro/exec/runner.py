@@ -15,10 +15,13 @@ seed-varied copies and aggregates them into :class:`AggregatedCell`.
 
 from __future__ import annotations
 
+import hashlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
+from repro.check.roundtrip import check_cache_fidelity
+from repro.check.invariants import checks_enabled
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache
 from repro.exec.execute import execute_spec
@@ -26,11 +29,36 @@ from repro.exec.result import CellResult
 from repro.exec.spec import RunSpec
 
 
+def derive_run_seed(spec: RunSpec, run_index: int) -> int:
+    """Decorrelated per-run seed: hash of the spec content + run index.
+
+    The previous scheme (``seed, seed + 1, ...``) made grid cells with
+    consecutive base seeds share identical runs — cell A's run 1 was
+    bit-identical to cell B's run 0 — silently correlating their error
+    bars. Hash-derived seeds depend on the *whole* spec (including its
+    base seed), so no two distinct cells can share a run stream.
+    """
+    if run_index < 0:
+        raise ConfigurationError("run index must be non-negative")
+    digest = hashlib.sha256(
+        f"{spec.content_hash()}:run:{run_index}".encode()
+    ).digest()
+    # 63 bits keeps the seed a non-negative int64 for numpy and JSON.
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
 def expand_seeds(spec: RunSpec, n_runs: int) -> Tuple[RunSpec, ...]:
-    """``n_runs`` seed-varied copies (seed, seed+1, ...) of a spec."""
+    """``n_runs`` seed-varied copies of a spec.
+
+    Run 0 keeps the spec's own seed (so a one-run grid cell equals
+    ``run_one`` of the same spec); runs 1+ use
+    :func:`derive_run_seed`'s content-hash derivation.
+    """
     if n_runs < 1:
         raise ConfigurationError("need at least one run")
-    return tuple(spec.with_seed(spec.seed + i) for i in range(n_runs))
+    return (spec,) + tuple(
+        spec.with_seed(derive_run_seed(spec, i)) for i in range(1, n_runs)
+    )
 
 
 @dataclass(frozen=True)
@@ -62,9 +90,25 @@ class AggregatedCell:
 
 
 def aggregate(results: Sequence[CellResult]) -> AggregatedCell:
-    """Fold repeated runs of one cell into an :class:`AggregatedCell`."""
+    """Fold repeated runs of one cell into an :class:`AggregatedCell`.
+
+    All runs must agree on mode and tier count: indexing every run by
+    the first run's ``tail_latencies_ns`` length would otherwise raise
+    a bare ``IndexError`` or silently drop tiers.
+    """
     if not results:
         raise ConfigurationError("cannot aggregate zero results")
+    modes = {r.mode for r in results}
+    if len(modes) > 1:
+        raise ConfigurationError(
+            f"cannot aggregate mixed run modes {sorted(modes)}"
+        )
+    lengths = {len(r.tail_latencies_ns) for r in results}
+    if len(lengths) > 1:
+        raise ConfigurationError(
+            "cannot aggregate runs with mismatched tail_latencies_ns "
+            f"tier counts {sorted(lengths)}"
+        )
     throughputs = [r.throughput for r in results]
     n_tiers = len(results[0].tail_latencies_ns)
     latencies = tuple(
@@ -147,6 +191,8 @@ class Runner:
             mode_counts[spec.mode] = mode_counts.get(spec.mode, 0) + 1
             if self.cache is not None:
                 self.cache.put(spec, result)
+                if checks_enabled():
+                    check_cache_fidelity(self.cache, spec, result)
             self._note(f"[{index}/{total}] {spec.describe()}")
             results[spec] = result
         return results
@@ -170,10 +216,15 @@ class Runner:
             expanded[key] = expand_seeds(spec, max(1, copies))
         batch = [spec for specs in expanded.values() for spec in specs]
         results = self.run(batch)
-        return {
-            key: aggregate([results[spec] for spec in specs])
-            for key, specs in expanded.items()
-        }
+        grid: Dict[Hashable, AggregatedCell] = {}
+        for key, specs in expanded.items():
+            try:
+                grid[key] = aggregate([results[spec] for spec in specs])
+            except ConfigurationError as error:
+                raise ConfigurationError(
+                    f"cell {key!r} ({specs[0].describe()}): {error}"
+                ) from error
+        return grid
 
     # -- internals -------------------------------------------------------
 

@@ -27,8 +27,10 @@ from repro.workloads.base import Workload
 
 #: Bump when the meaning of any spec field changes; the hash is salted
 #: with this so stale cache entries can never be confused for current
-#: ones.
-SPEC_SCHEMA_VERSION = 1
+#: ones. v2: repetition seeds derive from the spec content hash
+#: (``repro.exec.runner.derive_run_seed``) instead of ``seed + i``, so
+#: cached multi-run grids from v1 are stale.
+SPEC_SCHEMA_VERSION = 2
 
 #: Valid workload kinds (mirrors the CLI's ``--workload`` choices).
 WORKLOAD_KINDS = ("gups", "gapbs", "silo", "cachelib")

@@ -67,6 +67,11 @@ EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
     "phase_timing": {
         "phases": "mapping of loop phase name -> wall-clock nanoseconds",
     },
+    "invariant_violation": {
+        "invariant": "machine-readable invariant name (repro.check)",
+        "message": "human-readable description of what broke",
+        "details": "offending quantities (plain scalars/lists)",
+    },
     "hemem_cooling": {
         "coolings": "halving passes triggered this quantum",
         "total_coolings": "cumulative halving passes this run",

@@ -42,6 +42,9 @@ class TraceSummary:
             tail (last quarter) of ``compute_shift`` events; None without
             such events.
         final_bracket: Last observed (p_lo, p_hi) watermark bracket.
+        invariant_violations: ``invariant_violation`` events recorded by
+            a ``--check`` run (each with ``invariant``, ``message`` and
+            the offending quantum's ``time_s``).
     """
 
     meta: Dict = field(default_factory=dict)
@@ -57,6 +60,7 @@ class TraceSummary:
     clipped_quanta: int = 0
     latency_balance_error: Optional[float] = None
     final_bracket: Optional[tuple] = None
+    invariant_violations: List[Dict] = field(default_factory=list)
 
     @property
     def migration_efficiency(self) -> Optional[float]:
@@ -132,6 +136,10 @@ def summarize_events(events: List[dict]) -> TraceSummary:
         if int(event.get("moves_deferred", 0)) > 0:
             summary.clipped_quanta += 1
 
+    summary.invariant_violations = list(
+        iter_events(events, "invariant_violation")
+    )
+
     summary.phase_totals_ns = merge_phase_events(
         iter_events(events, "phase_timing")
     )
@@ -165,6 +173,15 @@ def format_summary(summary: TraceSummary) -> str:
         for name, count in sorted(summary.event_counts.items())
     )
     lines.append(f"events        : {total_events} ({counts})")
+
+    if summary.invariant_violations:
+        lines.append("-- INVARIANT VIOLATIONS --")
+        for violation in summary.invariant_violations:
+            lines.append(
+                f"{violation.get('invariant', '?'):<28} "
+                f"t={float(violation.get('time_s', 0.0)):.3f}s  "
+                f"{violation.get('message', '')}"
+            )
 
     lines.append("-- convergence --")
     if summary.convergence_time_s is not None:

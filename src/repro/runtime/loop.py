@@ -25,6 +25,12 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
+from repro.check.invariants import (
+    NULL_CHECKER,
+    Checker,
+    checks_enabled,
+    find_shift_computer,
+)
 from repro.errors import ConfigurationError
 from repro.memhw.antagonist import antagonist_core_group
 from repro.memhw.cha import ChaCounters
@@ -66,6 +72,7 @@ class SimulationLoop:
         seed: int = 1234,
         tracer=None,
         profile: bool = False,
+        checker=None,
     ) -> None:
         if quantum_ms <= 0:
             raise ConfigurationError("quantum must be positive")
@@ -73,6 +80,12 @@ class SimulationLoop:
         self.workload = workload
         self.system = system
         self.tracer = NULL_TRACER if tracer is None else tracer
+        # Invariant checking: an explicit checker wins; otherwise honor
+        # the process-wide REPRO_CHECK switch (the CLI's --check).
+        if checker is None:
+            checker = (Checker(tracer=self.tracer) if checks_enabled()
+                       else NULL_CHECKER)
+        self.checker = checker
         self.profiler = PhaseProfiler(enabled=profile)
         self.quantum_ns = ms_to_ns(quantum_ms)
         self.quantum_s = quantum_ms / 1e3
@@ -224,6 +237,11 @@ class SimulationLoop:
         )
         self.cha.observe(equilibrium, self.quantum_ns)
         self.mbm.observe(equilibrium, self.quantum_ns)
+        if self.checker.enabled:
+            self.checker.check_equilibrium(
+                t, equilibrium.latencies_ns, equilibrium.app_read_rate,
+                equilibrium.measured_p,
+            )
         dt_solve = profiler.lap("equilibrium_solve")
         if tracer.enabled:
             tracer.emit(
@@ -252,9 +270,22 @@ class SimulationLoop:
         )
         decision = self.system.quantum(ctx)
         dt_decide = profiler.lap("tiering_decision")
+        checker = self.checker
+        if checker.enabled:
+            shift = find_shift_computer(self.system)
+            if shift is not None:
+                checker.check_shift(t, shift)
+            # Snapshot after the decision: systems may legitimately
+            # reshape the page table (MEMTIS hugepage splits); only the
+            # executor's moves must conserve pages.
+            snapshot = checker.placement_snapshot(self.placement)
         result = self.executor.execute(
             decision.plan, self.quantum_ns, decision.budget_bytes
         )
+        if checker.enabled:
+            checker.check_migration(
+                t, self.placement, result, decision.budget_bytes, snapshot
+            )
         if result.bytes_moved > 0:
             self._copy_read_debt += result.read_bytes_per_tier
             self._copy_write_debt += result.write_bytes_per_tier

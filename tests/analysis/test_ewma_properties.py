@@ -1,0 +1,76 @@
+"""Property tests for the EWMA filter Colloid's latency monitor uses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ewma import Ewma
+from repro.errors import ConfigurationError
+
+alphas = st.floats(min_value=0.01, max_value=1.0,
+                   allow_nan=False, allow_infinity=False)
+samples = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=50,
+)
+
+
+class TestSmoothingProperties:
+    @given(alphas, samples)
+    @settings(max_examples=200)
+    def test_value_bounded_by_sample_range(self, alpha, stream):
+        # Every update is a convex combination, so the smoothed value
+        # can never escape the range of the samples seen so far.
+        ewma = Ewma(alpha)
+        for sample in stream:
+            value = float(ewma.update(sample))
+        lo, hi = min(stream), max(stream)
+        slack = 1e-6 * max(1.0, abs(lo), abs(hi))
+        assert lo - slack <= value <= hi + slack
+
+    @given(samples)
+    def test_alpha_one_tracks_last_sample(self, stream):
+        ewma = Ewma(1.0)
+        for sample in stream:
+            ewma.update(sample)
+        assert float(ewma.value) == stream[-1]
+
+    @given(alphas, st.floats(min_value=-1e9, max_value=1e9,
+                             allow_nan=False, allow_infinity=False))
+    def test_first_sample_initializes_exactly(self, alpha, sample):
+        # No bias toward zero: the first observation *is* the state.
+        ewma = Ewma(alpha)
+        assert float(ewma.update(sample)) == sample
+
+    @given(alphas, samples)
+    def test_reset_forgets_everything(self, alpha, stream):
+        ewma = Ewma(alpha)
+        for sample in stream:
+            ewma.update(sample)
+        ewma.reset()
+        assert not ewma.initialized
+        assert ewma.value is None
+        assert float(ewma.update(stream[0])) == stream[0]
+
+
+class TestVectorsAndValidation:
+    @given(alphas)
+    def test_vector_bounded_componentwise(self, alpha):
+        ewma = Ewma(alpha)
+        ewma.update(np.array([100.0, 300.0]))
+        value = ewma.update(np.array([200.0, 100.0]))
+        assert 100.0 <= value[0] <= 200.0
+        assert 100.0 <= value[1] <= 300.0
+
+    def test_shape_change_rejected(self):
+        ewma = Ewma(0.5)
+        ewma.update(np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            ewma.update(np.array([1.0, 2.0, 3.0]))
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.5, 1.5])
+    def test_alpha_out_of_range_rejected(self, alpha):
+        with pytest.raises(ConfigurationError):
+            Ewma(alpha)

@@ -1,0 +1,261 @@
+"""The repro.check invariant layer: detection, structure, loop wiring."""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    CHECK_ENV_VAR,
+    NULL_CHECKER,
+    Checker,
+    InvariantViolation,
+    checks_enabled,
+)
+from repro.check.invariants import find_shift_computer
+from repro.core.integrate import HememColloidSystem
+from repro.core.shift import ShiftComputer
+from repro.errors import ReproError
+from repro.obs.report import format_summary, summarize_events
+from repro.obs.tracer import Tracer
+from repro.pages.pagestate import PageArray
+from repro.pages.placement import PlacementState, fill_default_first
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.hemem import HememSystem
+from repro.workloads.gups import GupsWorkload
+
+SCALE = 0.03
+
+
+def make_loop(checker=None, tracer=None, system=None, seed=11):
+    from repro.experiments.common import scaled_machine
+
+    return SimulationLoop(
+        machine=scaled_machine(SCALE),
+        workload=GupsWorkload(scale=SCALE, seed=seed),
+        system=system if system is not None else HememColloidSystem(),
+        contention=1,
+        seed=seed,
+        checker=checker,
+        tracer=tracer,
+    )
+
+
+class TestEnablement:
+    def test_suite_runs_with_checks_always_on(self):
+        # tests/conftest.py sets REPRO_CHECK for the whole suite.
+        assert checks_enabled()
+
+    def test_loop_defaults_to_env_driven_checker(self):
+        assert make_loop().checker.enabled
+
+    def test_env_off_means_null_checker(self, monkeypatch):
+        monkeypatch.delenv(CHECK_ENV_VAR, raising=False)
+        assert not checks_enabled()
+        assert make_loop().checker is NULL_CHECKER
+
+    def test_falsey_values_disable(self, monkeypatch):
+        for value in ("0", "false", "off", ""):
+            monkeypatch.setenv(CHECK_ENV_VAR, value)
+            assert not checks_enabled()
+
+    def test_explicit_checker_wins_over_env(self, monkeypatch):
+        monkeypatch.delenv(CHECK_ENV_VAR, raising=False)
+        checker = Checker()
+        assert make_loop(checker=checker).checker is checker
+
+
+class TestViolationStructure:
+    def test_carries_invariant_time_and_details(self):
+        error = InvariantViolation(
+            "pages.count_conservation", "a page vanished",
+            time_s=1.25, details={"pages_before": 10, "pages_after": 9},
+        )
+        assert error.invariant == "pages.count_conservation"
+        assert error.time_s == 1.25
+        assert error.details["pages_after"] == 9
+        text = str(error)
+        assert "t=1.250s" in text and "a page vanished" in text
+
+    def test_is_a_repro_error(self):
+        assert issubclass(InvariantViolation, ReproError)
+
+
+class TestEquilibriumChecks:
+    def test_clean_values_pass(self):
+        checker = Checker()
+        checker.check_equilibrium(0.0, [100.0, 300.0], 5.0, 0.8)
+        assert checker.checks_run == 1
+        assert checker.violations == []
+
+    @pytest.mark.parametrize("latencies", [[0.0, 300.0], [-5.0, 300.0],
+                                           [float("nan"), 300.0],
+                                           [float("inf"), 300.0]])
+    def test_unphysical_latency_raises(self, latencies):
+        with pytest.raises(InvariantViolation) as excinfo:
+            Checker().check_equilibrium(2.0, latencies, 5.0, 0.8)
+        assert excinfo.value.invariant == "memhw.latency_physical"
+        assert excinfo.value.time_s == 2.0
+
+    def test_negative_throughput_raises(self):
+        with pytest.raises(InvariantViolation) as excinfo:
+            Checker().check_equilibrium(0.0, [100.0], -1.0, 0.5)
+        assert excinfo.value.invariant == "memhw.throughput_nonnegative"
+
+    def test_p_out_of_bounds_raises(self):
+        with pytest.raises(InvariantViolation) as excinfo:
+            Checker().check_equilibrium(0.0, [100.0], 1.0, 1.5)
+        assert excinfo.value.invariant == "memhw.measured_p_bounded"
+
+
+class TestShiftChecks:
+    def test_healthy_bracket_passes(self):
+        shift = ShiftComputer()
+        shift.compute(0.9, 200.0, 100.0)
+        Checker().check_shift(0.0, shift)
+
+    def test_out_of_bounds_watermark_raises(self):
+        shift = ShiftComputer()
+        shift.p_hi = 1.5
+        with pytest.raises(InvariantViolation) as excinfo:
+            Checker().check_shift(0.0, shift)
+        assert excinfo.value.invariant == "shift.watermark_bounds"
+
+    def test_crossed_bracket_raises_with_resets_enabled(self):
+        shift = ShiftComputer()
+        shift.p_lo, shift.p_hi = 0.8, 0.2
+        with pytest.raises(InvariantViolation) as excinfo:
+            Checker().check_shift(0.0, shift)
+        assert excinfo.value.invariant == "shift.watermark_ordering"
+
+    def test_crossed_bracket_tolerated_without_resets(self):
+        # The Figure 4c ablation documents the stuck/crossed bracket as
+        # its failure mode; the checker must not flag the ablation.
+        shift = ShiftComputer(enable_resets=False)
+        shift.p_lo, shift.p_hi = 0.8, 0.2
+        Checker().check_shift(0.0, shift)
+
+    def test_find_shift_computer(self):
+        loop = make_loop()
+        assert find_shift_computer(loop.system) is (
+            loop.system.controller.shift
+        )
+        assert find_shift_computer(HememSystem()) is None
+
+
+class TestMigrationChecks:
+    def make_placement(self, n_pages=8, page_bytes=64,
+                       capacities=(256, 512)):
+        pages = PageArray.uniform(n_pages, page_bytes)
+        placement = PlacementState(pages, list(capacities))
+        fill_default_first(placement)
+        return placement
+
+    def result(self, bytes_moved=0, applied=0):
+        from repro.pages.migration import MigrationResult
+
+        return MigrationResult(
+            bytes_moved=bytes_moved, moves_applied=applied,
+            moves_skipped=0, moves_deferred=0, tier_traffic=[[], []],
+            read_bytes_per_tier=np.zeros(2),
+            write_bytes_per_tier=np.zeros(2),
+        )
+
+    def test_untouched_placement_passes(self):
+        checker = Checker()
+        placement = self.make_placement()
+        before = checker.placement_snapshot(placement)
+        checker.check_migration(0.0, placement, self.result(), None, before)
+
+    def test_vanished_page_detected(self):
+        checker = Checker()
+        placement = self.make_placement()
+        before = checker.placement_snapshot(placement)
+        placement.pages.tier[0] = -1  # corrupt behind the accounting
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_migration(0.0, placement, self.result(),
+                                    None, before)
+        assert excinfo.value.invariant == "pages.count_conservation"
+
+    def test_accounting_drift_detected(self):
+        checker = Checker()
+        placement = self.make_placement()
+        before = checker.placement_snapshot(placement)
+        # Teleport a page between tiers without updating _used.
+        placement.pages.set_tier(np.array([0]), 1)
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_migration(0.0, placement, self.result(),
+                                    None, before)
+        assert excinfo.value.invariant == "pages.accounting_consistent"
+
+    def test_budget_overrun_detected(self):
+        checker = Checker()
+        placement = self.make_placement()
+        before = checker.placement_snapshot(placement)
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_migration(
+                0.0, placement, self.result(bytes_moved=4096, applied=1),
+                budget_bytes=1024, before=before,
+            )
+        assert excinfo.value.invariant == "migration.dynamic_limit"
+
+
+class TestTraceIntegration:
+    def test_violation_emits_trace_event_then_raises(self):
+        tracer = Tracer()
+        checker = Checker(tracer=tracer)
+        with pytest.raises(InvariantViolation):
+            checker.check_equilibrium(1.0, [-1.0], 1.0, 0.5)
+        events = tracer.events("invariant_violation")
+        assert len(events) == 1
+        assert events[0]["invariant"] == "memhw.latency_physical"
+        assert checker.violations[0]["message"] == events[0]["message"]
+
+    def test_report_surfaces_violations(self):
+        tracer = Tracer()
+        checker = Checker(tracer=tracer)
+        with pytest.raises(InvariantViolation):
+            checker.check_equilibrium(1.0, [-1.0], 1.0, 0.5)
+        summary = summarize_events(tracer.events())
+        assert len(summary.invariant_violations) == 1
+        text = format_summary(summary)
+        assert "INVARIANT VIOLATIONS" in text
+        assert "memhw.latency_physical" in text
+
+    def test_clean_report_has_no_violation_section(self):
+        tracer = Tracer()
+        loop = make_loop(tracer=tracer)
+        for __ in range(20):
+            loop.step()
+        summary = summarize_events(tracer.events())
+        assert summary.invariant_violations == []
+        assert "INVARIANT VIOLATIONS" not in format_summary(summary)
+
+
+class TestLoopIntegration:
+    def test_checked_steady_run_is_clean_and_counts_checks(self):
+        loop = make_loop()
+        for __ in range(50):
+            loop.step()
+        assert loop.checker.violations == []
+        # equilibrium + shift + migration checks each quantum.
+        assert loop.checker.checks_run >= 3 * 50
+
+    def test_checked_run_bit_identical_to_unchecked(self, monkeypatch):
+        checked = make_loop(checker=Checker())
+        monkeypatch.delenv(CHECK_ENV_VAR, raising=False)
+        unchecked = make_loop()
+        assert unchecked.checker is NULL_CHECKER
+        for __ in range(30):
+            checked.step()
+            unchecked.step()
+        assert np.array_equal(checked.metrics.throughput,
+                              unchecked.metrics.throughput)
+        assert np.array_equal(checked.metrics.latencies_ns,
+                              unchecked.metrics.latencies_ns)
+        assert np.array_equal(checked.metrics.migration_bytes,
+                              unchecked.metrics.migration_bytes)
+
+    def test_baseline_system_checked_without_shift(self):
+        loop = make_loop(system=HememSystem())
+        for __ in range(30):
+            loop.step()
+        assert loop.checker.violations == []

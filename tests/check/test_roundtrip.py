@@ -1,0 +1,103 @@
+"""Exec-layer round-trip and cache-fidelity checks."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    InvariantViolation,
+    check_cache_fidelity,
+    check_result_roundtrip,
+    check_spec_roundtrip,
+)
+from repro.exec.cache import ResultCache
+from repro.exec.result import CellResult
+from repro.experiments.common import (
+    ExperimentConfig,
+    best_case_spec,
+    steady_cell_spec,
+    trace_cell_spec,
+)
+
+TINY = ExperimentConfig(scale=0.03, seed=7)
+
+
+def sample_result(throughput=10.0):
+    return CellResult(
+        mode="steady", throughput=throughput, converged=True,
+        duration_s=4.0, tail_latencies_ns=(100.0, 150.0),
+        tail_default_share=0.8, cpu_work={"tiering_decision": 1.5},
+    )
+
+
+class TestSpecRoundtrip:
+    @pytest.mark.parametrize("spec", [
+        best_case_spec(1, TINY),
+        steady_cell_spec("hemem+colloid", 3, TINY, max_duration_s=4.0),
+        trace_cell_spec("tpp+colloid", TINY, duration_s=1.0),
+    ])
+    def test_real_specs_round_trip(self, spec):
+        check_spec_roundtrip(spec)
+
+    def test_mutilated_dict_is_detected(self):
+        # from_dict must not silently coerce a different spec into the
+        # original's identity; simulate by comparing distinct specs.
+        spec = best_case_spec(1, TINY)
+        other = best_case_spec(2, TINY)
+        assert spec.content_hash() != other.content_hash()
+
+
+class TestResultRoundtrip:
+    def test_valid_result_round_trips(self):
+        check_result_roundtrip(best_case_spec(1, TINY), sample_result())
+
+    def test_lossy_serialization_is_detected(self, monkeypatch):
+        result = sample_result()
+        # Simulate a to_dict that drops precision.
+        monkeypatch.setattr(
+            CellResult, "to_dict",
+            lambda self: {**sample_result(11.0).__dict__,
+                          "tail_latencies_ns": list(
+                              self.tail_latencies_ns)},
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_result_roundtrip(best_case_spec(1, TINY), result)
+        assert excinfo.value.invariant == "exec.result_roundtrip"
+
+
+class TestCacheFidelity:
+    def test_fresh_entry_passes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = best_case_spec(1, TINY)
+        result = sample_result()
+        cache.put(spec, result)
+        check_cache_fidelity(cache, spec, result)
+
+    def test_missing_entry_raises(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = best_case_spec(1, TINY)
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_fidelity(cache, spec, sample_result())
+        assert excinfo.value.invariant == "exec.cache_readback"
+
+    def test_corrupt_entry_raises(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = best_case_spec(1, TINY)
+        result = sample_result()
+        path = cache.put(spec, result)
+        path.write_text("{not json")
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_fidelity(cache, spec, result)
+        assert excinfo.value.invariant == "exec.cache_readback"
+
+    def test_tampered_entry_raises(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = best_case_spec(1, TINY)
+        result = sample_result()
+        path = cache.put(spec, result)
+        payload = json.loads(path.read_text())
+        payload["result"]["throughput"] *= 2
+        path.write_text(json.dumps(payload))
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_cache_fidelity(cache, spec, result)
+        assert excinfo.value.invariant == "exec.cache_fidelity"

@@ -7,9 +7,12 @@ see is identical to the paper's setup.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.check import CHECK_ENV_VAR
 from repro.experiments.common import ExperimentConfig, scaled_machine
 from repro.memhw.corestate import CoreGroup
 from repro.memhw.fixedpoint import EquilibriumSolver
@@ -18,6 +21,12 @@ from repro.workloads.gups import GupsWorkload
 
 #: Scale used by most integration-ish tests.
 FAST_SCALE = 0.0625
+
+# Invariant checking is always-on in the test suite: every simulation
+# loop a test builds enforces the repro.check invariants, so a bug that
+# breaks conservation or the Algorithm 2 bracket fails loudly anywhere
+# it surfaces (tests may monkeypatch.delenv to exercise the off path).
+os.environ.setdefault(CHECK_ENV_VAR, "1")
 
 
 @pytest.fixture

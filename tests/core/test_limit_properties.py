@@ -1,0 +1,76 @@
+"""Property tests for the dynamic migration limit (Algorithm 1, l. 10)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.limit import dynamic_migration_limit
+from repro.errors import ConfigurationError
+from repro.units import CACHELINE_BYTES
+
+dps = st.floats(min_value=0.0, max_value=1.0,
+                allow_nan=False, allow_infinity=False)
+rates = st.floats(min_value=0.0, max_value=1.0,
+                  allow_nan=False, allow_infinity=False)
+quanta = st.floats(min_value=1e3, max_value=1e8)
+static_limits = st.integers(min_value=1, max_value=1 << 32)
+
+
+class TestBudgetProperties:
+    @given(dps, rates, quanta, static_limits)
+    @settings(max_examples=300)
+    def test_never_exceeds_static_limit(self, dp, rate, quantum, static):
+        assert dynamic_migration_limit(dp, rate, quantum, static) <= static
+
+    @given(dps, rates, quanta, static_limits)
+    @settings(max_examples=300)
+    def test_nonnegative(self, dp, rate, quantum, static):
+        assert dynamic_migration_limit(dp, rate, quantum, static) >= 0
+
+    @given(rates, quanta, static_limits)
+    def test_zero_shift_means_zero_budget(self, rate, quantum, static):
+        assert dynamic_migration_limit(0.0, rate, quantum, static) == 0
+
+    @given(dps, quanta, static_limits)
+    def test_zero_traffic_means_zero_budget(self, dp, quantum, static):
+        assert dynamic_migration_limit(dp, 0.0, quantum, static) == 0
+
+    @given(st.floats(min_value=1e-12, max_value=1.0),
+           st.floats(min_value=1e-12, max_value=1.0),
+           quanta, static_limits)
+    @settings(max_examples=300)
+    def test_positive_budget_admits_at_least_one_move(self, dp, rate,
+                                                      quantum, static):
+        # Regression: int() truncation used to return 0 bytes whenever
+        # dp * rate * quantum * 64 < 1, freezing migration near the
+        # equilibrium even though Algorithm 1 requested a shift.
+        budget = dynamic_migration_limit(dp, rate, quantum, static)
+        assert budget >= min(CACHELINE_BYTES, static)
+
+    @given(dps, dps, rates, quanta, static_limits)
+    @settings(max_examples=200)
+    def test_monotone_in_dp(self, dp_a, dp_b, rate, quantum, static):
+        lo, hi = sorted((dp_a, dp_b))
+        assert (dynamic_migration_limit(lo, rate, quantum, static)
+                <= dynamic_migration_limit(hi, rate, quantum, static))
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            dynamic_migration_limit(-0.1, 1.0, 1e7, 1024)
+        with pytest.raises(ConfigurationError):
+            dynamic_migration_limit(0.1, -1.0, 1e7, 1024)
+        with pytest.raises(ConfigurationError):
+            dynamic_migration_limit(0.1, 1.0, 0.0, 1024)
+        with pytest.raises(ConfigurationError):
+            dynamic_migration_limit(0.1, 1.0, 1e7, 0)
+
+    def test_sub_cacheline_product_regression(self):
+        # dp = 1e-6 of a 1 req/us stream over 10 ms is far below one
+        # byte; the budget must still admit one cacheline.
+        budget = dynamic_migration_limit(1e-6, 1e-6, 1e7, 1 << 20)
+        assert budget == CACHELINE_BYTES
+
+    def test_tiny_static_limit_caps_the_floor(self):
+        assert dynamic_migration_limit(1e-6, 1e-6, 1e7, 8) == 8

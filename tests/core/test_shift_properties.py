@@ -1,0 +1,114 @@
+"""Property tests for Algorithm 2's watermark bracket (hypothesis).
+
+The bracket invariants the runtime checker enforces must hold for *any*
+measurement sequence, not just the trajectories the simulator happens to
+produce — hypothesis drives the computer with arbitrary (p, L_D, L_A)
+streams and asserts them after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shift import ShiftComputer
+
+probabilities = st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False)
+latencies = st.floats(min_value=1.0, max_value=1e6,
+                      allow_nan=False, allow_infinity=False)
+observations = st.lists(
+    st.tuples(probabilities, latencies, latencies),
+    min_size=1, max_size=60,
+)
+
+
+class TestBracketInvariants:
+    @given(observations)
+    @settings(max_examples=200)
+    def test_watermarks_stay_in_unit_interval(self, stream):
+        shift = ShiftComputer()
+        for p, l_d, l_a in stream:
+            shift.compute(p, l_d, l_a)
+            assert 0.0 <= shift.p_lo <= 1.0
+            assert 0.0 <= shift.p_hi <= 1.0
+
+    @given(observations)
+    @settings(max_examples=200)
+    def test_ordering_and_target_containment_with_resets(self, stream):
+        # With resets enabled (the paper's configuration) a crossed
+        # bracket is repaired within the same compute() call, so the
+        # post-update ordering always holds and the steered midpoint
+        # lies inside the bracket.
+        shift = ShiftComputer(enable_resets=True)
+        for p, l_d, l_a in stream:
+            shift.compute(p, l_d, l_a)
+            assert shift.p_lo <= shift.p_hi
+            assert shift.p_lo <= shift.target_p() <= shift.p_hi
+
+    @given(observations)
+    @settings(max_examples=100)
+    def test_requested_shift_is_nonnegative_and_bounded(self, stream):
+        shift = ShiftComputer()
+        for p, l_d, l_a in stream:
+            dp = shift.compute(p, l_d, l_a)
+            assert 0.0 <= dp <= 1.0
+
+    @given(observations)
+    @settings(max_examples=100)
+    def test_deadband_never_moves_watermarks(self, stream):
+        shift = ShiftComputer()
+        for p, l_d, l_a in stream:
+            lo, hi = shift.p_lo, shift.p_hi
+            dp = shift.compute(p, l_d, l_a)
+            if abs(l_d - l_a) < shift.delta * l_d:
+                assert dp == 0.0
+                assert (shift.p_lo, shift.p_hi) == (lo, hi)
+
+
+class TestReset:
+    @given(observations)
+    @settings(max_examples=100)
+    def test_reset_restores_initial_bracket(self, stream):
+        shift = ShiftComputer()
+        shift.init_traced = True
+        for p, l_d, l_a in stream:
+            shift.compute(p, l_d, l_a)
+        shift.reset()
+        assert (shift.p_lo, shift.p_hi) == (0.0, 1.0)
+        assert shift.target_p() == 0.5
+        assert shift.last_reset_side is None
+        assert shift.init_traced is False
+
+
+class TestFigure4c:
+    """The dynamic-reset ablation, scripted (§3.2, Figure 4c).
+
+    Collapse the bracket around p ~ 0.5, then move the equilibrium far
+    below it: without resets the computer stays stuck requesting
+    near-zero shifts; with resets it reopens the stale watermark and
+    requests a large corrective shift.
+    """
+
+    def collapse_then_move(self, shift):
+        shift.compute(0.5, 100.0, 200.0)    # default faster: p_lo = 0.5
+        shift.compute(0.505, 200.0, 100.0)  # default slower: p_hi = 0.505
+        # Equilibrium jumps: default tier now much slower at p ~ 0.5.
+        return shift.compute(0.502, 300.0, 100.0)
+
+    def test_disabled_resets_stay_stuck(self):
+        shift = ShiftComputer(enable_resets=False)
+        dp = self.collapse_then_move(shift)
+        assert shift.resets == 0
+        assert dp < shift.epsilon  # stuck: shift stays inside the
+        assert shift.p_lo == 0.5   # collapsed, now-wrong bracket
+
+    def test_enabled_resets_recover(self):
+        # The reset fires the moment the update would collapse the
+        # bracket below epsilon while latencies are still unbalanced.
+        shift = ShiftComputer(enable_resets=True)
+        shift.compute(0.5, 100.0, 200.0)
+        shift.compute(0.505, 200.0, 100.0)
+        assert shift.resets == 1
+        assert shift.last_reset_side == "lo"
+        assert shift.p_lo == 0.0
+        dp = shift.compute(0.502, 300.0, 100.0)
+        assert dp > 0.2  # large corrective shift toward the new p*

@@ -1,0 +1,73 @@
+"""Property tests for repeated-run aggregation (Figure 1 error bars)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.exec.result import CellResult
+from repro.exec.runner import aggregate
+
+throughputs = st.floats(min_value=0.0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)
+tails = st.lists(
+    st.floats(min_value=1.0, max_value=1e5,
+              allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=2,
+)
+
+
+def cell(throughput, tail=(100.0, 150.0), mode="steady"):
+    return CellResult(
+        mode=mode, throughput=throughput, converged=True,
+        duration_s=4.0, tail_latencies_ns=tuple(tail),
+        tail_default_share=0.8, cpu_work={},
+    )
+
+
+class TestAggregateProperties:
+    @given(st.lists(throughputs, min_size=1, max_size=10))
+    @settings(max_examples=200)
+    def test_mean_lies_between_extremes(self, values):
+        agg = aggregate([cell(v) for v in values])
+        slack = 1e-9 * max(1.0, max(values))
+        assert agg.minimum == min(values)
+        assert agg.maximum == max(values)
+        assert agg.minimum - slack <= agg.throughput <= agg.maximum + slack
+        assert agg.spread >= 0.0
+
+    @given(st.lists(tails, min_size=1, max_size=6))
+    @settings(max_examples=200)
+    def test_tail_latencies_averaged_componentwise(self, tail_sets):
+        agg = aggregate([cell(10.0, tail=t) for t in tail_sets])
+        n = len(tail_sets)
+        for i in range(2):
+            expected = sum(t[i] for t in tail_sets) / n
+            assert agg.tail_latencies_ns[i] == pytest.approx(expected)
+
+    @given(throughputs)
+    def test_single_run_collapses(self, value):
+        agg = aggregate([cell(value)])
+        assert agg.throughput == value
+        assert agg.throughput_range == (value, value)
+        assert agg.spread == 0.0
+
+
+class TestAggregateValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate([])
+
+    def test_mixed_modes_rejected(self):
+        with pytest.raises(ConfigurationError, match="mixed run modes"):
+            aggregate([cell(1.0, mode="steady"),
+                       cell(2.0, mode="best_case")])
+
+    def test_mismatched_tier_counts_rejected(self):
+        # Regression: indexing every run by the first run's tier count
+        # used to raise a bare IndexError (or silently drop tiers when
+        # the first run was the short one).
+        with pytest.raises(ConfigurationError,
+                           match="mismatched tail_latencies_ns"):
+            aggregate([cell(1.0, tail=(100.0, 150.0)),
+                       cell(2.0, tail=(100.0, 150.0, 200.0))])

@@ -94,12 +94,26 @@ class TestCaching:
 
 
 class TestRepetition:
-    def test_expand_seeds(self):
+    def test_expand_seeds_keeps_base_then_derives(self):
         spec = tiny_cell("hemem", 0)
         copies = expand_seeds(spec, 3)
-        assert [c.seed for c in copies] == [7, 8, 9]
+        assert copies[0] is spec
+        seeds = [c.seed for c in copies]
+        assert len(set(seeds)) == 3
+        # Derived seeds are stable across calls (cache keys depend on it).
+        assert [c.seed for c in expand_seeds(spec, 3)] == seeds
         with pytest.raises(ConfigurationError):
             expand_seeds(spec, 0)
+
+    def test_consecutive_base_seeds_share_no_runs(self):
+        # Regression: seed, seed+1, ... derivation made cell A's run 1
+        # identical to cell B's run 0 whenever base seeds were
+        # consecutive, correlating their error bars.
+        cell_a = tiny_cell("hemem", 0)
+        cell_b = cell_a.with_seed(cell_a.seed + 1)
+        seeds_a = {c.seed for c in expand_seeds(cell_a, 3)}
+        seeds_b = {c.seed for c in expand_seeds(cell_b, 3)}
+        assert not seeds_a & seeds_b
 
     def test_run_grid_repeats_steady_but_not_best_case(self):
         cells = {

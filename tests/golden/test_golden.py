@@ -1,0 +1,65 @@
+"""Golden regressions: every case must match its committed fixture.
+
+A failure here means a change altered simulated numbers. If that was
+intentional, refresh the fixtures (``python -m tests.golden.refresh``)
+and commit the diff; if not, you found a regression.
+"""
+
+import pytest
+
+from tests.golden.cases import (
+    CASES,
+    GRID_CASE,
+    evaluate_case,
+    evaluate_grid_case,
+    fixture_path,
+    load_fixture,
+)
+
+#: Relative tolerance for float comparison. The simulator is
+#: deterministic, so this only absorbs cross-platform libm noise.
+REL_TOL = 1e-9
+
+
+def assert_matches(actual, expected, path="$"):
+    """Recursive JSON comparison with float tolerance."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected an object"
+        assert set(actual) == set(expected), (
+            f"{path}: keys differ "
+            f"({sorted(set(actual) ^ set(expected))})"
+        )
+        for key in expected:
+            assert_matches(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected an array"
+        assert len(actual) == len(expected), f"{path}: length differs"
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            assert_matches(a, e, f"{path}[{i}]")
+    elif isinstance(expected, float) and not isinstance(expected, bool):
+        assert actual == pytest.approx(expected, rel=REL_TOL), (
+            f"{path}: {actual!r} != {expected!r}"
+        )
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+def require_fixture(name):
+    if not fixture_path(name).exists():
+        pytest.fail(
+            f"missing golden fixture {fixture_path(name)}; generate it "
+            "with `python -m tests.golden.refresh` and commit it"
+        )
+    return load_fixture(name)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_single_cases_match_fixture(name):
+    expected = require_fixture(name)
+    assert_matches(evaluate_case(CASES[name]), expected, path=name)
+
+
+def test_grid_case_matches_fixture():
+    name, spec, n_runs = GRID_CASE
+    expected = require_fixture(name)
+    assert_matches(evaluate_grid_case(spec, n_runs), expected, path=name)
