@@ -1,0 +1,48 @@
+"""Performance-trajectory benchmarking (``repro bench``).
+
+The ROADMAP's "fast as the hardware allows" goal needs a measured
+trajectory, not vibes: ``repro bench run`` executes a scaled benchmark
+suite through the ordinary exec layer and writes a schema-versioned
+``BENCH_<name>.json`` record (wall time per case, cache statistics,
+peak RSS, loop phase breakdown, fleet metrics); ``repro bench compare``
+diffs two records and exits non-zero on regressions beyond a threshold.
+
+Wall times are machine-dependent, so every record also measures a
+*calibration* reference — the mean cost of a fixed simulation step on
+the recording machine — and comparisons score each case as
+``wall / calibration`` by default. Two machines of different speeds
+produce comparable scores; a committed baseline stays meaningful in CI.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    BenchComparison,
+    CaseVerdict,
+    compare_records,
+)
+from repro.bench.record import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    CaseTiming,
+    load_record,
+    measure_calibration_step_s,
+    peak_rss_bytes,
+)
+from repro.bench.suite import SUITES, BenchCase, BenchSuite, run_suite
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "BenchComparison",
+    "BenchRecord",
+    "BenchSuite",
+    "CaseTiming",
+    "CaseVerdict",
+    "DEFAULT_THRESHOLD",
+    "SUITES",
+    "compare_records",
+    "load_record",
+    "measure_calibration_step_s",
+    "peak_rss_bytes",
+    "run_suite",
+]

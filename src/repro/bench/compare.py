@@ -1,0 +1,138 @@
+"""Regression comparison between two benchmark records.
+
+``compare_records`` diffs a current :class:`~repro.bench.record.BenchRecord`
+against a baseline, case by case, on *machine-normalized* scores
+(``wall / calibration_step_s``): a ratio of 1.2 means the case costs 20%
+more reference-steps' worth of work than the baseline did, regardless of
+which machine recorded which side. Each case gets a verdict —
+``improve`` / ``within`` / ``regress`` — against a symmetric threshold,
+and the comparison as a whole reports ``has_regression`` so the CLI can
+exit non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.bench.record import BenchRecord
+
+#: Default allowed slowdown fraction. Kept well under 0.20 so a 20%
+#: regression is always flagged, but loose enough to ride out run-to-run
+#: noise at bench scales.
+DEFAULT_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class CaseVerdict:
+    """One case's baseline-vs-current outcome.
+
+    ``verdict`` is one of ``"improve"``, ``"within"``, ``"regress"``,
+    ``"new"`` (no baseline case) or ``"missing"`` (case dropped from the
+    current record). ``ratio`` is current/baseline normalized score
+    (None for new/missing).
+    """
+
+    name: str
+    baseline_score: float
+    current_score: float
+    ratio: float
+    verdict: str
+
+    def format(self) -> str:
+        if self.verdict == "new":
+            return f"{self.name:<16} {'-':>10} {self.current_score:>10.1f}  new"
+        if self.verdict == "missing":
+            return f"{self.name:<16} {self.baseline_score:>10.1f} {'-':>10}  missing"
+        delta = (self.ratio - 1.0) * 100.0
+        return (f"{self.name:<16} {self.baseline_score:>10.1f} "
+                f"{self.current_score:>10.1f} {delta:>+7.1f}%  {self.verdict}")
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """All case verdicts plus the overall regression flag."""
+
+    baseline_name: str
+    current_name: str
+    threshold: float
+    verdicts: Tuple[CaseVerdict, ...]
+
+    @property
+    def has_regression(self) -> bool:
+        return any(v.verdict == "regress" for v in self.verdicts)
+
+    @property
+    def regressions(self) -> Tuple[CaseVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.verdict == "regress")
+
+    def format(self) -> str:
+        lines = [
+            f"bench compare: {self.current_name} vs baseline "
+            f"{self.baseline_name} (threshold {self.threshold:.0%})",
+            "scores are wall time in calibration-step units "
+            "(machine-normalized)",
+            "",
+            f"{'case':<16} {'baseline':>10} {'current':>10} "
+            f"{'delta':>8}  verdict",
+        ]
+        lines.extend(v.format() for v in self.verdicts)
+        lines.append("")
+        if self.has_regression:
+            names = ", ".join(v.name for v in self.regressions)
+            lines.append(f"REGRESSION: {names}")
+        else:
+            lines.append("no regressions")
+        return "\n".join(lines)
+
+
+def compare_records(baseline: BenchRecord,
+                    current: BenchRecord,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    ) -> BenchComparison:
+    """Diff two records case-by-case on normalized scores.
+
+    A case regresses when ``current/baseline > 1 + threshold`` and
+    improves when ``current/baseline < 1 - threshold``; otherwise it is
+    within noise. New or missing cases never trip the regression flag —
+    suite membership changes are deliberate, reviewed edits.
+    """
+    base_scores = baseline.normalized_scores()
+    cur_scores = current.normalized_scores()
+    verdicts = []
+    for name, base in base_scores.items():
+        if name not in cur_scores:
+            verdicts.append(CaseVerdict(name=name, baseline_score=base,
+                                        current_score=0.0, ratio=0.0,
+                                        verdict="missing"))
+            continue
+        cur = cur_scores[name]
+        ratio = cur / base if base > 0 else 1.0
+        if ratio > 1.0 + threshold:
+            verdict = "regress"
+        elif ratio < 1.0 - threshold:
+            verdict = "improve"
+        else:
+            verdict = "within"
+        verdicts.append(CaseVerdict(name=name, baseline_score=base,
+                                    current_score=cur, ratio=ratio,
+                                    verdict=verdict))
+    for name, cur in cur_scores.items():
+        if name not in base_scores:
+            verdicts.append(CaseVerdict(name=name, baseline_score=0.0,
+                                        current_score=cur, ratio=0.0,
+                                        verdict="new"))
+    return BenchComparison(
+        baseline_name=baseline.name,
+        current_name=current.name,
+        threshold=threshold,
+        verdicts=tuple(verdicts),
+    )
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "BenchComparison",
+    "CaseVerdict",
+    "compare_records",
+]

@@ -1,0 +1,244 @@
+"""Schema-versioned benchmark records (``BENCH_<name>.json``).
+
+A :class:`BenchRecord` is one point on the repository's performance
+trajectory: per-case wall times, the calibration reference that makes
+them comparable across machines, cache statistics, peak RSS, the
+simulation loop's phase breakdown and (when enabled) the fleet metrics
+snapshot. Records are plain JSON so CI can archive them as artifacts
+and ``repro bench compare`` can diff any two.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+#: Bump whenever a record field is renamed, removed, or changes meaning.
+BENCH_SCHEMA_VERSION = 1
+
+#: Calibration loop geometry — small enough to run in well under a
+#: second, big enough to exercise the solver/placement hot paths.
+_CALIBRATION_SCALE = 0.03
+_CALIBRATION_WARMUP_STEPS = 5
+_CALIBRATION_STEPS = 30
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, or None if unavailable."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is bytes on macOS, kilobytes on Linux.
+    if sys.platform == "darwin":
+        return int(maxrss)
+    return int(maxrss) * 1024
+
+
+def measure_calibration_step_s() -> float:
+    """Mean wall seconds of one fixed reference simulation step.
+
+    The reference loop (tiny GUPS under HeMem at 1x contention) is
+    pinned: its cost tracks the machine's speed on exactly the code the
+    benchmark cases spend their time in, so ``wall / calibration``
+    scores transfer across machines.
+    """
+    from repro.experiments.common import scaled_machine
+    from repro.runtime.loop import SimulationLoop
+    from repro.tiering.hemem import HememSystem
+    from repro.workloads.gups import GupsWorkload
+
+    loop = SimulationLoop(
+        machine=scaled_machine(_CALIBRATION_SCALE),
+        workload=GupsWorkload(scale=_CALIBRATION_SCALE, seed=7),
+        system=HememSystem(),
+        contention=1,
+        seed=7,
+    )
+    for __ in range(_CALIBRATION_WARMUP_STEPS):
+        loop.step()
+    start = perf_counter()
+    for __ in range(_CALIBRATION_STEPS):
+        loop.step()
+    return (perf_counter() - start) / _CALIBRATION_STEPS
+
+
+@dataclass(frozen=True)
+class CaseTiming:
+    """Wall time and cell accounting for one benchmark case."""
+
+    name: str
+    wall_s: float
+    cells_executed: int
+    cache_hits: int
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cells_executed": self.cells_executed,
+            "cache_hits": self.cache_hits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CaseTiming":
+        return cls(
+            name=data["name"],
+            wall_s=float(data["wall_s"]),
+            cells_executed=int(data.get("cells_executed", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One point on the performance trajectory.
+
+    Attributes:
+        name: Record name (usually the suite name).
+        created_utc: ISO-8601 creation timestamp.
+        suite: Suite the cases came from.
+        scale: Experiment geometry scale the suite ran at.
+        jobs: Worker processes used.
+        calibration_step_s: Measured reference-step cost on the
+            recording machine (the cross-machine normalizer).
+        total_wall_s: Wall time over all cases.
+        cases: Per-case timings.
+        phase_totals_ns: Loop phase breakdown from a profiled
+            representative run.
+        cache_hit_rate: Cache hits / lookups across the run (None
+            without a cache).
+        peak_rss_bytes: Peak RSS at record time (None if unavailable).
+        python: Interpreter version string.
+        machine: Platform identifier (informational only).
+        metrics: Fleet metrics snapshot dict (None unless enabled).
+    """
+
+    name: str
+    created_utc: str
+    suite: str
+    scale: float
+    jobs: int
+    calibration_step_s: float
+    total_wall_s: float
+    cases: Tuple[CaseTiming, ...]
+    phase_totals_ns: Dict[str, int] = field(default_factory=dict)
+    cache_hit_rate: Optional[float] = None
+    peak_rss_bytes: Optional[int] = None
+    python: str = ""
+    machine: str = ""
+    metrics: Optional[dict] = None
+
+    @staticmethod
+    def now_utc() -> str:
+        return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+    @staticmethod
+    def platform_id() -> str:
+        return f"{platform.system()}-{platform.machine()}"
+
+    def normalized_scores(self) -> Dict[str, float]:
+        """Per-case machine-normalized scores (wall / calibration).
+
+        Falls back to raw wall seconds when the record carries no
+        usable calibration (score comparability is then limited to the
+        same machine).
+        """
+        divisor = (self.calibration_step_s
+                   if self.calibration_step_s > 0 else 1.0)
+        return {case.name: case.wall_s / divisor for case in self.cases}
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "bench_schema": BENCH_SCHEMA_VERSION,
+            "name": self.name,
+            "created_utc": self.created_utc,
+            "suite": self.suite,
+            "scale": self.scale,
+            "jobs": self.jobs,
+            "calibration_step_s": self.calibration_step_s,
+            "total_wall_s": self.total_wall_s,
+            "cases": [case.to_dict() for case in self.cases],
+            "phase_totals_ns": dict(self.phase_totals_ns),
+            "cache_hit_rate": self.cache_hit_rate,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "python": self.python,
+            "machine": self.machine,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchRecord":
+        schema = data.get("bench_schema")
+        if schema != BENCH_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported bench record schema {schema!r} (expected "
+                f"{BENCH_SCHEMA_VERSION})"
+            )
+        return cls(
+            name=data["name"],
+            created_utc=data.get("created_utc", ""),
+            suite=data.get("suite", data["name"]),
+            scale=float(data["scale"]),
+            jobs=int(data.get("jobs", 1)),
+            calibration_step_s=float(data["calibration_step_s"]),
+            total_wall_s=float(data["total_wall_s"]),
+            cases=tuple(CaseTiming.from_dict(c)
+                        for c in data.get("cases", [])),
+            phase_totals_ns={k: int(v) for k, v in
+                             data.get("phase_totals_ns", {}).items()},
+            cache_hit_rate=data.get("cache_hit_rate"),
+            peak_rss_bytes=data.get("peak_rss_bytes"),
+            python=data.get("python", ""),
+            machine=data.get("machine", ""),
+            metrics=data.get("metrics"),
+        )
+
+    def write(self, path: PathLike) -> Path:
+        """Write the record as pretty-printed JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+
+def load_record(path: PathLike) -> BenchRecord:
+    """Load a ``BENCH_*.json`` record.
+
+    Raises:
+        ConfigurationError: On a missing file, invalid JSON, or a
+            schema-version mismatch.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"bench record not found: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as error:
+        raise ConfigurationError(
+            f"{path}: invalid bench record ({error})"
+        ) from error
+    return BenchRecord.from_dict(data)
+
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchRecord",
+    "CaseTiming",
+    "load_record",
+    "measure_calibration_step_s",
+    "peak_rss_bytes",
+]

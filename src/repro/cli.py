@@ -12,6 +12,9 @@ paper's figures (or all of them). Examples::
     python -m repro figure all --jobs 4 --cache
     python -m repro report --out results.md --jobs 2 --cache
     python -m repro calibrate
+    python -m repro bench run --suite tiny --out BENCH_tiny.json
+    python -m repro bench compare benchmarks/baselines/BENCH_tiny.json \\
+        BENCH_tiny.json
 
 ``--jobs N`` fans simulation cells out over N worker processes; results
 are bit-identical to a serial run. ``--cache`` keeps results in an
@@ -58,6 +61,15 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
                         help="enforce runtime invariants in every cell "
                              "(propagates to --jobs workers); violations "
                              "abort with a structured error")
+    parser.add_argument("--metrics", type=str, default=None,
+                        metavar="PATH",
+                        help="collect fleet metrics (counters, gauges, "
+                             "latency histograms; propagates to --jobs "
+                             "workers) and export them to PATH "
+                             "(Prometheus text, or JSON for *.json)")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="disable the live per-cell progress line "
+                             "on stderr")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enforce runtime invariants (repro.check); "
                           "violations abort the run with a structured "
                           "error")
+    run.add_argument("--metrics", type=str, default=None, metavar="PATH",
+                     help="collect loop metrics (quantum wall-time and "
+                          "per-tier latency histograms) and export them "
+                          "to PATH (Prometheus text, or JSON for "
+                          "*.json)")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=FIGURES + ("all",))
@@ -126,6 +143,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only sections whose title starts with "
                              "this (repeatable)")
     _add_exec_options(report)
+
+    bench = sub.add_parser(
+        "bench", help="record and compare performance-trajectory "
+                      "benchmarks (BENCH_<name>.json)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run a scaled benchmark suite and write a "
+                    "schema-versioned BENCH record"
+    )
+    bench_run.add_argument("--suite", choices=("tiny", "small", "full"),
+                           default="tiny",
+                           help="benchmark suite size (default tiny)")
+    bench_run.add_argument("--out", type=str, default=None, metavar="PATH",
+                           help="record path (default BENCH_<suite>.json)")
+    bench_run.add_argument("--name", type=str, default=None,
+                           help="record name (default: the suite name)")
+    _add_exec_options(bench_run)
+
+    bench_cmp = bench_sub.add_parser(
+        "compare", help="diff a BENCH record against a baseline; exits "
+                        "non-zero on regression"
+    )
+    bench_cmp.add_argument("baseline", metavar="BASELINE",
+                           help="baseline BENCH_*.json record")
+    bench_cmp.add_argument("current", metavar="CURRENT",
+                           help="current BENCH_*.json record")
+    bench_cmp.add_argument("--threshold", type=float, default=None,
+                           help="allowed slowdown fraction before a case "
+                                "regresses (default 0.15)")
+    bench_cmp.add_argument("--warn-only", action="store_true",
+                           help="report regressions but exit 0")
     return parser
 
 
@@ -135,23 +185,67 @@ def _resolved_scale(args) -> float:
     return args.scale if args.scale is not None else default_scale()
 
 
-def _build_runner(args):
-    """Build the batch Runner from ``figure``/``report`` flags."""
+def _build_cache(args):
+    """Build the opt-in result cache from the shared exec flags."""
     from repro.exec.cache import ResultCache
-    from repro.exec.runner import Runner
 
+    if not (args.cache or args.cache_dir or args.clear_cache):
+        return None
+    cache = ResultCache(args.cache_dir)
+    if args.clear_cache:
+        cache.clear()
+    return cache
+
+
+def _build_reporter(args):
+    """Live fleet progress on stderr, unless opted out."""
+    from repro.exec.progress import FleetProgress
+
+    if getattr(args, "no_progress", False):
+        return None
+    return FleetProgress()
+
+
+def _enable_instrumentation(args) -> None:
+    """Turn on checks/metrics per flags (both propagate to workers via
+    the environment)."""
     if getattr(args, "check", False):
         from repro.check import enable_checks
 
         # Sets REPRO_CHECK in the environment, so process-pool workers
         # inherit checking along with the parent.
         enable_checks()
-    cache = None
-    if args.cache or args.cache_dir or args.clear_cache:
-        cache = ResultCache(args.cache_dir)
-        if args.clear_cache:
-            cache.clear()
-    return Runner(jobs=args.jobs, cache=cache)
+    if getattr(args, "metrics", None):
+        from repro.obs.metrics import enable_metrics
+
+        enable_metrics()
+
+
+def _export_metrics(args) -> None:
+    """Write the fleet metrics snapshot to the ``--metrics`` path."""
+    path = getattr(args, "metrics", None)
+    if not path:
+        return
+    from pathlib import Path
+
+    from repro.obs.metrics import METRICS
+
+    snapshot = METRICS.snapshot()
+    if path.endswith(".json"):
+        text = snapshot.to_json() + "\n"
+    else:
+        text = snapshot.to_prometheus_text()
+    Path(path).write_text(text)
+    print(f"wrote {path}")
+
+
+def _build_runner(args):
+    """Build the batch Runner from ``figure``/``report`` flags."""
+    from repro.exec.runner import Runner
+
+    _enable_instrumentation(args)
+    return Runner(jobs=args.jobs, cache=_build_cache(args),
+                  reporter=_build_reporter(args))
 
 
 def _build_workload(args, scale: float):
@@ -202,10 +296,9 @@ def cmd_run(args) -> int:
     scale = _resolved_scale(args)
     workload = _build_workload(args, scale)
     tracer = Tracer(jsonl_path=args.trace) if args.trace else None
-    if args.check:
-        from repro.check import enable_checks
-
-        enable_checks()
+    # Before loop construction: the loop registers its histograms only
+    # when metrics are already enabled.
+    _enable_instrumentation(args)
     loop = SimulationLoop(
         machine=scaled_machine(scale),
         workload=workload,
@@ -217,6 +310,7 @@ def cmd_run(args) -> int:
     )
     try:
         metrics = loop.run(duration_s=args.duration)
+        loop.emit_run_end()
     finally:
         if tracer is not None:
             tracer.close()
@@ -242,6 +336,7 @@ def cmd_run(args) -> int:
         print(loop.profiler.format_summary())
     if args.check:
         print(f"invariants    : {loop.checker.checks_run} checks passed")
+    _export_metrics(args)
     return 0
 
 
@@ -263,6 +358,7 @@ def cmd_figure(args) -> int:
         if len(names) > 1:
             print()
     print(runner.stats.summary())
+    _export_metrics(args)
     return 0
 
 
@@ -305,7 +401,46 @@ def cmd_report(args) -> int:
                  progress=lambda title: print(f"running: {title}"),
                  runner=runner)
     print(runner.stats.summary())
+    _export_metrics(args)
     print(f"wrote {path}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Handle ``repro bench run`` / ``repro bench compare``."""
+    if args.bench_command == "run":
+        from repro.bench import run_suite
+
+        _enable_instrumentation(args)
+        record = run_suite(
+            args.suite,
+            jobs=args.jobs,
+            cache=_build_cache(args),
+            name=args.name,
+            reporter=_build_reporter(args),
+            progress=lambda case: print(f"bench case: {case}",
+                                        file=sys.stderr),
+        )
+        out = args.out or f"BENCH_{record.name}.json"
+        record.write(out)
+        print(f"suite {record.suite}: {record.total_wall_s:.1f}s wall, "
+              f"{sum(c.cells_executed for c in record.cases)} cells "
+              f"executed, calibration step "
+              f"{record.calibration_step_s * 1e3:.2f} ms")
+        _export_metrics(args)
+        print(f"wrote {out}")
+        return 0
+
+    from repro.bench import DEFAULT_THRESHOLD, compare_records, load_record
+
+    threshold = (args.threshold if args.threshold is not None
+                 else DEFAULT_THRESHOLD)
+    comparison = compare_records(load_record(args.baseline),
+                                 load_record(args.current),
+                                 threshold=threshold)
+    print(comparison.format())
+    if comparison.has_regression and not args.warn_only:
+        return 1
     return 0
 
 
@@ -319,6 +454,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_figure(args)
         if args.command == "report":
             return cmd_report(args)
+        if args.command == "bench":
+            return cmd_bench(args)
         return cmd_calibrate()
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -19,8 +19,14 @@ from repro.exec.cache import (
     DEFAULT_CACHE_DIR,
     ResultCache,
 )
-from repro.exec.execute import build_loop, execute_spec, run_spec_steady
+from repro.exec.execute import (
+    build_loop,
+    execute_spec,
+    execute_spec_metered,
+    run_spec_steady,
+)
 from repro.exec.factories import base_system_of, make_system
+from repro.exec.progress import FleetProgress
 from repro.exec.result import CellResult, TraceSeries
 from repro.exec.runner import (
     AggregatedCell,
@@ -45,6 +51,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CellResult",
     "DEFAULT_CACHE_DIR",
+    "FleetProgress",
     "MachineSpec",
     "ResultCache",
     "RunSpec",
@@ -57,6 +64,7 @@ __all__ = [
     "base_system_of",
     "build_loop",
     "execute_spec",
+    "execute_spec_metered",
     "expand_seeds",
     "make_system",
     "run_spec_steady",

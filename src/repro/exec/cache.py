@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.exec.result import CellResult
 from repro.exec.spec import RunSpec
+from repro.obs.metrics import METRICS
 
 #: Bump when the CellResult payload layout changes.
 CACHE_SCHEMA_VERSION = 1
@@ -53,6 +54,14 @@ class ResultCache:
 
     def get(self, spec: RunSpec) -> Optional[CellResult]:
         """The cached result for ``spec``, or None on miss/corruption."""
+        result = self._read(spec)
+        if METRICS.enabled:
+            name = ("repro_cache_hits_total" if result is not None
+                    else "repro_cache_misses_total")
+            METRICS.counter(name, help="result-cache lookups").inc()
+        return result
+
+    def _read(self, spec: RunSpec) -> Optional[CellResult]:
         path = self.path_for(spec)
         try:
             payload = json.loads(path.read_text())
@@ -69,6 +78,9 @@ class ResultCache:
 
     def put(self, spec: RunSpec, result: CellResult) -> Path:
         """Store ``result`` under ``spec``'s hash (atomic write)."""
+        if METRICS.enabled:
+            METRICS.counter("repro_cache_puts_total",
+                            help="result-cache stores").inc()
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {

@@ -11,6 +11,7 @@ neighbors) computed it.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Tuple
 
 import numpy as np
@@ -158,16 +159,47 @@ def execute_spec(spec: RunSpec) -> CellResult:
         check_spec_roundtrip,
         checks_enabled,
     )
+    from repro.obs.metrics import METRICS
 
     checking = checks_enabled()
     if checking:
         check_spec_roundtrip(spec)
+    metered = METRICS.enabled
+    if metered:
+        wall_start = perf_counter()
     if spec.mode == "best_case":
         result = _execute_best_case(spec)
     elif spec.mode == "steady":
         result = _execute_steady(spec)
     else:
         result = _execute_trace(spec)
+    if metered:
+        wall_s = perf_counter() - wall_start
+        METRICS.counter(
+            f"repro_cells_{spec.mode}_total",
+            help=f"{spec.mode}-mode cells executed",
+        ).inc()
+        METRICS.histogram(
+            "repro_cell_wall_seconds", start=1e-4, factor=4.0,
+            n_buckets=12, help="wall-clock seconds per executed cell",
+        ).observe(wall_s)
     if checking:
         check_result_roundtrip(spec, result)
     return result
+
+
+def execute_spec_metered(spec: RunSpec):
+    """Pool-worker entry point that also returns a metrics delta.
+
+    Each worker process owns its own module-level
+    :data:`~repro.obs.metrics.METRICS` registry; resetting it before the
+    cell makes the returned snapshot a self-contained per-cell delta the
+    parent :class:`~repro.exec.runner.Runner` can absorb without
+    double-counting, keeping the merged fleet view identical to what a
+    serial run would have accumulated in-process.
+    """
+    from repro.obs.metrics import METRICS
+
+    METRICS.reset()
+    result = execute_spec(spec)
+    return result, METRICS.snapshot()

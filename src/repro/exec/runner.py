@@ -24,9 +24,11 @@ from repro.check.roundtrip import check_cache_fidelity
 from repro.check.invariants import checks_enabled
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache
-from repro.exec.execute import execute_spec
+from repro.exec.execute import execute_spec, execute_spec_metered
+from repro.exec.progress import FleetProgress
 from repro.exec.result import CellResult
 from repro.exec.spec import RunSpec
+from repro.obs.metrics import METRICS
 
 
 def derive_run_seed(spec: RunSpec, run_index: int) -> int:
@@ -153,16 +155,21 @@ class Runner:
         cache: Optional on-disk result cache (opt-in).
         progress: Optional callback receiving a short message as cells
             complete.
+        reporter: Optional :class:`~repro.exec.progress.FleetProgress`
+            receiving per-cell start/finish events (live ETA line and
+            ``run_progress`` trace events).
     """
 
     def __init__(self, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
-                 progress: Optional[Callable[[str], None]] = None) -> None:
+                 progress: Optional[Callable[[str], None]] = None,
+                 reporter: Optional[FleetProgress] = None) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.reporter = reporter
         self.stats = RunnerStats()
 
     # -- core batch API --------------------------------------------------
@@ -185,16 +192,25 @@ class Runner:
                 self.stats.cache_misses += 1
             todo.append(spec)
         total = len(todo)
-        for index, (spec, result) in enumerate(self._execute(todo), 1):
-            self.stats.executed += 1
-            mode_counts = self.stats.per_mode
-            mode_counts[spec.mode] = mode_counts.get(spec.mode, 0) + 1
-            if self.cache is not None:
-                self.cache.put(spec, result)
-                if checks_enabled():
-                    check_cache_fidelity(self.cache, spec, result)
-            self._note(f"[{index}/{total}] {spec.describe()}")
-            results[spec] = result
+        reporter = self.reporter
+        if reporter is not None:
+            reporter.begin(total)
+        try:
+            for index, (spec, result) in enumerate(self._execute(todo), 1):
+                self.stats.executed += 1
+                mode_counts = self.stats.per_mode
+                mode_counts[spec.mode] = mode_counts.get(spec.mode, 0) + 1
+                if self.cache is not None:
+                    self.cache.put(spec, result)
+                    if checks_enabled():
+                        check_cache_fidelity(self.cache, spec, result)
+                self._note(f"[{index}/{total}] {spec.describe()}")
+                if reporter is not None:
+                    reporter.cell_done(spec.describe())
+                results[spec] = result
+        finally:
+            if reporter is not None:
+                reporter.finish()
         return results
 
     def run_one(self, spec: RunSpec) -> CellResult:
@@ -232,9 +248,21 @@ class Runner:
         if self.jobs > 1 and len(todo) > 1:
             workers = min(self.jobs, len(todo))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                yield from zip(todo, pool.map(execute_spec, todo))
+                if METRICS.enabled:
+                    # Workers inherit REPRO_METRICS and return per-cell
+                    # snapshot deltas; folding them here makes the
+                    # parent registry the fleet-wide view, identical to
+                    # what a serial run accumulates in-process.
+                    paired = pool.map(execute_spec_metered, todo)
+                    for spec, (result, snapshot) in zip(todo, paired):
+                        METRICS.absorb(snapshot)
+                        yield spec, result
+                else:
+                    yield from zip(todo, pool.map(execute_spec, todo))
         else:
             for spec in todo:
+                if self.reporter is not None:
+                    self.reporter.cell_start(spec.describe())
                 yield spec, execute_spec(spec)
 
     def _note(self, message: str) -> None:

@@ -13,6 +13,20 @@ from repro.obs.events import (
     TRACE_SCHEMA_VERSION,
     describe_schema,
 )
+from repro.obs.metrics import (
+    METRICS,
+    METRICS_ENV_VAR,
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    disable_metrics,
+    enable_metrics,
+    merge_snapshots,
+    metrics_enabled,
+)
 from repro.obs.profile import Counters, PhaseProfiler, merge_phase_events
 from repro.obs.report import (
     TraceSummary,
@@ -29,8 +43,16 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Counter",
     "Counters",
     "EVENT_SCHEMAS",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "METRICS_ENV_VAR",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "NULL_TRACER",
     "NullTracer",
     "PhaseProfiler",
@@ -38,10 +60,14 @@ __all__ = [
     "TraceSummary",
     "Tracer",
     "describe_schema",
+    "disable_metrics",
+    "enable_metrics",
     "format_summary",
     "iter_events",
     "load_events",
     "merge_phase_events",
+    "merge_snapshots",
+    "metrics_enabled",
     "report_from_file",
     "summarize_events",
 ]

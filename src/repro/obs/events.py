@@ -64,6 +64,22 @@ EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
         "moves_skipped": "moves dropped for capacity reasons",
         "moves_deferred": "moves dropped because the budget ran out",
     },
+    "run_end": {
+        "simulated_s": "total simulated time covered by the run",
+        "n_quanta": "quanta executed",
+        "counters": "runtime-wide obs.profile.Counters snapshot "
+                    "(quanta, solver iterations, migrated bytes, "
+                    "executor move outcomes)",
+    },
+    "run_progress": {
+        "completed": "fleet cells finished so far",
+        "total": "cells scheduled for execution in this batch",
+        "label": "short description of the cell that just finished",
+        "wall_elapsed_s": "wall-clock seconds since the batch started",
+        "cells_per_s": "completion throughput so far",
+        "eta_s": "estimated wall-clock seconds to batch completion "
+                 "(null until one cell has finished)",
+    },
     "phase_timing": {
         "phases": "mapping of loop phase name -> wall-clock nanoseconds",
     },

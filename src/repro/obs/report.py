@@ -45,6 +45,11 @@ class TraceSummary:
         invariant_violations: ``invariant_violation`` events recorded by
             a ``--check`` run (each with ``invariant``, ``message`` and
             the offending quantum's ``time_s``).
+        runtime_counters: The loop's runtime-wide counter totals from
+            the ``run_end`` event (empty if the trace has none).
+        fleet_progress: The last ``run_progress`` event's fields —
+            completed/total cells, wall time, completion throughput —
+            for fleet-level traces (None otherwise).
     """
 
     meta: Dict = field(default_factory=dict)
@@ -61,6 +66,8 @@ class TraceSummary:
     latency_balance_error: Optional[float] = None
     final_bracket: Optional[tuple] = None
     invariant_violations: List[Dict] = field(default_factory=list)
+    runtime_counters: Dict[str, int] = field(default_factory=dict)
+    fleet_progress: Optional[Dict] = None
 
     @property
     def migration_efficiency(self) -> Optional[float]:
@@ -139,6 +146,21 @@ def summarize_events(events: List[dict]) -> TraceSummary:
     summary.invariant_violations = list(
         iter_events(events, "invariant_violation")
     )
+
+    end_events = list(iter_events(events, "run_end"))
+    if end_events:
+        counters = end_events[-1].get("counters")
+        if isinstance(counters, dict):
+            summary.runtime_counters = {
+                name: int(value) for name, value in counters.items()
+            }
+
+    progress_events = list(iter_events(events, "run_progress"))
+    if progress_events:
+        last = progress_events[-1]
+        summary.fleet_progress = {
+            k: v for k, v in last.items() if k not in ("type", "time_s")
+        }
 
     summary.phase_totals_ns = merge_phase_events(
         iter_events(events, "phase_timing")
@@ -222,6 +244,23 @@ def format_summary(summary: TraceSummary) -> str:
             f"budget ({summary.moves_deferred} moves deferred, "
             f"{summary.moves_skipped} skipped)"
         )
+
+    if summary.fleet_progress:
+        progress = summary.fleet_progress
+        lines.append("-- fleet progress --")
+        lines.append(
+            f"cells         : {progress.get('completed', '?')}/"
+            f"{progress.get('total', '?')} in "
+            f"{float(progress.get('wall_elapsed_s', 0.0)):.1f} s wall "
+            f"({float(progress.get('cells_per_s', 0.0)):.2f} cells/s)"
+        )
+
+    if summary.runtime_counters:
+        lines.append("-- runtime counters --")
+        for name in sorted(summary.runtime_counters):
+            lines.append(
+                f"{name:<20} {summary.runtime_counters[name]:>14,}"
+            )
 
     lines.append("-- phase-time breakdown --")
     if not summary.phase_totals_ns:

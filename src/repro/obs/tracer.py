@@ -18,6 +18,7 @@ a tracer is threaded through, so no call site needs ``None`` checks.
 
 from __future__ import annotations
 
+import gzip
 import json
 from collections import deque
 from pathlib import Path
@@ -32,6 +33,33 @@ PathLike = Union[str, Path]
 
 #: Default ring-buffer capacity (events).
 DEFAULT_RING_SIZE = 4096
+
+#: gzip magic bytes — how :func:`load_events` detects compressed traces
+#: regardless of their file name.
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _open_trace_write(path: Path):
+    """Open a JSONL sink; ``*.gz`` paths are gzip-compressed.
+
+    Long ``figure all --trace`` runs emit millions of highly repetitive
+    events; gzip shrinks them ~20x, so the tracer keys compression off
+    the requested file name and everything downstream reads either form
+    transparently.
+    """
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return path.open("w")
+
+
+def _open_trace_read(path: Path):
+    """Open a JSONL trace for reading, sniffing gzip by magic bytes (a
+    renamed ``.gz`` still loads; a plain-text ``.gz``-named file too)."""
+    with path.open("rb") as probe:
+        magic = probe.read(2)
+    if magic == _GZIP_MAGIC:
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open()
 
 
 def _jsonable(value):
@@ -110,7 +138,7 @@ class Tracer:
         self._path = Path(jsonl_path) if jsonl_path is not None else None
         if self._path is not None:
             try:
-                self._handle = self._path.open("w")
+                self._handle = _open_trace_write(self._path)
             except OSError as error:
                 raise ConfigurationError(
                     f"cannot open trace file {self._path}: {error}"
@@ -172,7 +200,11 @@ class Tracer:
 
 
 def load_events(path: PathLike) -> List[dict]:
-    """Read a JSONL trace back into a list of event dicts.
+    """Read a JSONL trace (plain or gzip) back into event dicts.
+
+    Compression is detected by content (gzip magic bytes), not file
+    name, so ``--trace out.jsonl.gz`` round-trips and renamed files
+    still load.
 
     Raises:
         ConfigurationError: If the file is missing or a line is not a
@@ -182,7 +214,7 @@ def load_events(path: PathLike) -> List[dict]:
     if not path.exists():
         raise ConfigurationError(f"trace file not found: {path}")
     events = []
-    with path.open() as handle:
+    with _open_trace_read(path) as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
             if not line:

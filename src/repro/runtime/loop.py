@@ -21,6 +21,7 @@ application traffic of quantum k+1.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Callable, Optional, Union
 
 import numpy as np
@@ -38,7 +39,8 @@ from repro.memhw.fixedpoint import EquilibriumSolver
 from repro.memhw.mbm import MbmMonitor
 from repro.memhw.topology import Machine
 from repro.obs.events import TRACE_SCHEMA_VERSION
-from repro.obs.profile import PhaseProfiler
+from repro.obs.metrics import METRICS
+from repro.obs.profile import Counters, PhaseProfiler
 from repro.obs.tracer import NULL_TRACER
 from repro.pages.migration import MigrationExecutor
 from repro.pages.pagestate import PageArray
@@ -87,6 +89,32 @@ class SimulationLoop:
                        else NULL_CHECKER)
         self.checker = checker
         self.profiler = PhaseProfiler(enabled=profile)
+        self.counters = Counters()
+        # Fleet metrics (REPRO_METRICS / --metrics). Metric handles are
+        # resolved once here; the per-step cost when disabled is a
+        # single attribute check on the module-level registry.
+        if METRICS.enabled:
+            n_tiers_m = len(machine.tiers)
+            self._m_quantum_wall = METRICS.histogram(
+                "repro_quantum_wall_ns", start=1e3, factor=2.0,
+                n_buckets=24,
+                help="wall-clock nanoseconds per simulation quantum",
+            )
+            self._m_tier_latency = [
+                METRICS.histogram(
+                    f"repro_tier{i}_loaded_latency_ns", start=50.0,
+                    factor=1.5, n_buckets=24,
+                    help=f"CPU-observed loaded latency of tier {i} (ns)",
+                )
+                for i in range(n_tiers_m)
+            ]
+            self._m_quanta = METRICS.counter(
+                "repro_quanta_total", help="simulation quanta executed")
+            self._m_migrated = METRICS.counter(
+                "repro_migrated_bytes_total",
+                help="bytes charged to the hardware model as migration "
+                     "traffic",
+            )
         self.quantum_ns = ms_to_ns(quantum_ms)
         self.quantum_s = quantum_ms / 1e3
         if callable(contention):
@@ -210,6 +238,9 @@ class SimulationLoop:
         t = self.time_s
         tracer = self.tracer
         profiler = self.profiler
+        metered = METRICS.enabled
+        if metered:
+            wall_start = perf_counter_ns()
         if tracer.enabled:
             tracer.time_s = t
         profiler.start()
@@ -316,6 +347,19 @@ class SimulationLoop:
             antagonist_intensity=intensity,
         )
         self.metrics.record(record)
+        counters = self.counters
+        counters.inc("quanta")
+        counters.inc("solver_iterations", equilibrium.iterations)
+        counters.inc("migrated_bytes", charged_bytes)
+        counters.inc("moves_applied", result.moves_applied)
+        counters.inc("moves_deferred", result.moves_deferred)
+        counters.inc("moves_skipped", result.moves_skipped)
+        if metered:
+            self._m_quantum_wall.observe(perf_counter_ns() - wall_start)
+            for tier, hist in enumerate(self._m_tier_latency):
+                hist.observe(float(record.latencies_ns[tier]))
+            self._m_quanta.inc()
+            self._m_migrated.inc(charged_bytes)
         self.time_s = t + self.quantum_s
         return record
 
@@ -327,3 +371,20 @@ class SimulationLoop:
         for __ in range(max(1, n_quanta)):
             self.step()
         return self.metrics
+
+    def emit_run_end(self) -> None:
+        """Emit the ``run_end`` trace event with the runtime counters.
+
+        Called by drivers when a run is complete (the loop itself never
+        knows — ``run``/``step`` can be called repeatedly). No-op with
+        a disabled tracer.
+        """
+        if not self.tracer.enabled:
+            return
+        self.tracer.time_s = self.time_s
+        self.tracer.emit(
+            "run_end",
+            simulated_s=self.time_s,
+            n_quanta=len(self.metrics),
+            counters=self.counters.snapshot(),
+        )

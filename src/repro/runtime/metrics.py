@@ -37,14 +37,25 @@ class QuantumRecord:
 
 
 class MetricsRecorder:
-    """Accumulates :class:`QuantumRecord` rows and exposes numpy views."""
+    """Accumulates :class:`QuantumRecord` rows and exposes numpy views.
+
+    The array views are memoized: the steady-state driver reads
+    ``throughput`` after every chunk and the exporters read every
+    series, so rebuilding an O(n) array per access made the accessors a
+    hot path in their own right. ``record()`` invalidates the memo, and
+    the arrays are marked read-only so a cached view can never be
+    silently mutated by one consumer under another.
+    """
 
     def __init__(self) -> None:
         self._records: List[QuantumRecord] = []
+        self._built: dict = {}
 
     def record(self, record: QuantumRecord) -> None:
-        """Append one quantum's snapshot."""
+        """Append one quantum's snapshot (invalidates cached views)."""
         self._records.append(record)
+        if self._built:
+            self._built.clear()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -58,42 +69,51 @@ class MetricsRecorder:
         if not self._records:
             raise ConfigurationError("no records yet")
 
+    def _series(self, name: str, builder) -> np.ndarray:
+        self._require_data()
+        array = self._built.get(name)
+        if array is None:
+            array = builder()
+            array.flags.writeable = False
+            self._built[name] = array
+        return array
+
     @property
     def time_s(self) -> np.ndarray:
-        self._require_data()
-        return np.array([r.time_s for r in self._records])
+        return self._series("time_s", lambda: np.array(
+            [r.time_s for r in self._records]))
 
     @property
     def throughput(self) -> np.ndarray:
-        self._require_data()
-        return np.array([r.throughput for r in self._records])
+        return self._series("throughput", lambda: np.array(
+            [r.throughput for r in self._records]))
 
     @property
     def latencies_ns(self) -> np.ndarray:
         """Shape (n_quanta, n_tiers)."""
-        self._require_data()
-        return np.vstack([r.latencies_ns for r in self._records])
+        return self._series("latencies_ns", lambda: np.vstack(
+            [r.latencies_ns for r in self._records]))
 
     @property
     def p_true(self) -> np.ndarray:
-        self._require_data()
-        return np.array([r.p_true for r in self._records])
+        return self._series("p_true", lambda: np.array(
+            [r.p_true for r in self._records]))
 
     @property
     def p_measured(self) -> np.ndarray:
-        self._require_data()
-        return np.array([r.p_measured for r in self._records])
+        return self._series("p_measured", lambda: np.array(
+            [r.p_measured for r in self._records]))
 
     @property
     def app_tier_bandwidth(self) -> np.ndarray:
         """Shape (n_quanta, n_tiers)."""
-        self._require_data()
-        return np.vstack([r.app_tier_bandwidth for r in self._records])
+        return self._series("app_tier_bandwidth", lambda: np.vstack(
+            [r.app_tier_bandwidth for r in self._records]))
 
     @property
     def migration_bytes(self) -> np.ndarray:
-        self._require_data()
-        return np.array([r.migration_bytes for r in self._records])
+        return self._series("migration_bytes", lambda: np.array(
+            [r.migration_bytes for r in self._records]))
 
     def migration_rate_bytes_per_s(self, quantum_s: float) -> np.ndarray:
         """Migration rate series (Figure 10's metric)."""

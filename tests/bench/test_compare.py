@@ -1,0 +1,166 @@
+"""Tests for bench records and regression comparison."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    CaseTiming,
+    compare_records,
+    load_record,
+)
+from repro.errors import ConfigurationError
+
+
+def make_record(name="tiny", calibration=0.01, walls=None):
+    walls = walls if walls is not None else {"fig5": 2.0, "fig6": 1.0}
+    return BenchRecord(
+        name=name,
+        created_utc="2026-01-01T00:00:00+00:00",
+        suite="tiny",
+        scale=0.03,
+        jobs=1,
+        calibration_step_s=calibration,
+        total_wall_s=sum(walls.values()),
+        cases=tuple(CaseTiming(name=case, wall_s=wall,
+                               cells_executed=4, cache_hits=0)
+                    for case, wall in walls.items()),
+        phase_totals_ns={"equilibrium_solve": 123},
+        cache_hit_rate=None,
+        peak_rss_bytes=100 * 1024 * 1024,
+        python="3.12.0",
+        machine="Linux-x86_64",
+    )
+
+
+class TestRecordSerialization:
+    def test_round_trip(self, tmp_path):
+        record = make_record()
+        path = record.write(tmp_path / "BENCH_tiny.json")
+        loaded = load_record(path)
+        assert loaded == record
+
+    def test_schema_version_stamped(self, tmp_path):
+        record = make_record()
+        path = record.write(tmp_path / "BENCH_tiny.json")
+        data = json.loads(path.read_text())
+        assert data["bench_schema"] == BENCH_SCHEMA_VERSION
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        data = make_record().to_dict()
+        data["bench_schema"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError):
+            load_record(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_record(tmp_path / "nope.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_record(path)
+
+    def test_normalized_scores(self):
+        record = make_record(calibration=0.01,
+                             walls={"fig5": 2.0, "fig6": 1.0})
+        scores = record.normalized_scores()
+        assert scores["fig5"] == pytest.approx(200.0)
+        assert scores["fig6"] == pytest.approx(100.0)
+
+
+class TestCompareVerdicts:
+    def test_identical_records_within(self):
+        comparison = compare_records(make_record(), make_record())
+        assert not comparison.has_regression
+        assert {v.verdict for v in comparison.verdicts} == {"within"}
+
+    def test_twenty_percent_slowdown_regresses(self):
+        baseline = make_record(walls={"fig5": 2.0, "fig6": 1.0})
+        current = make_record(walls={"fig5": 2.4, "fig6": 1.0})
+        comparison = compare_records(baseline, current)
+        assert comparison.has_regression
+        verdicts = {v.name: v.verdict for v in comparison.verdicts}
+        assert verdicts == {"fig5": "regress", "fig6": "within"}
+        (regression,) = comparison.regressions
+        assert regression.ratio == pytest.approx(1.2)
+
+    def test_improvement_detected(self):
+        baseline = make_record(walls={"fig5": 2.0})
+        current = make_record(walls={"fig5": 1.0})
+        comparison = compare_records(baseline, current)
+        assert not comparison.has_regression
+        (verdict,) = comparison.verdicts
+        assert verdict.verdict == "improve"
+
+    def test_within_threshold_tolerated(self):
+        baseline = make_record(walls={"fig5": 2.0})
+        current = make_record(walls={"fig5": 2.2})  # +10% < 15%
+        comparison = compare_records(baseline, current)
+        assert not comparison.has_regression
+
+    def test_custom_threshold(self):
+        baseline = make_record(walls={"fig5": 2.0})
+        current = make_record(walls={"fig5": 2.2})
+        comparison = compare_records(baseline, current, threshold=0.05)
+        assert comparison.has_regression
+
+    def test_calibration_normalizes_across_machines(self):
+        # Same workload on a machine twice as slow: walls double but so
+        # does the calibration step — no regression.
+        baseline = make_record(calibration=0.01, walls={"fig5": 2.0})
+        current = make_record(calibration=0.02, walls={"fig5": 4.0})
+        comparison = compare_records(baseline, current)
+        assert not comparison.has_regression
+        (verdict,) = comparison.verdicts
+        assert verdict.ratio == pytest.approx(1.0)
+
+    def test_new_and_missing_cases_flagged_not_regressed(self):
+        baseline = make_record(walls={"fig5": 2.0, "fig6": 1.0})
+        current = make_record(walls={"fig5": 2.0, "fig9": 3.0})
+        comparison = compare_records(baseline, current)
+        verdicts = {v.name: v.verdict for v in comparison.verdicts}
+        assert verdicts == {"fig5": "within", "fig6": "missing",
+                            "fig9": "new"}
+        assert not comparison.has_regression
+
+    def test_format_mentions_regressions(self):
+        baseline = make_record(walls={"fig5": 2.0})
+        current = make_record(walls={"fig5": 3.0})
+        text = compare_records(baseline, current).format()
+        assert "REGRESSION" in text
+        assert "fig5" in text
+        text_ok = compare_records(baseline, baseline).format()
+        assert "no regressions" in text_ok
+
+
+class TestCompareCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_exit_codes(self, tmp_path, capsys):
+        base = make_record(walls={"fig5": 2.0}).write(
+            tmp_path / "BENCH_base.json")
+        slow = make_record(walls={"fig5": 2.5}).write(
+            tmp_path / "BENCH_slow.json")
+        assert self.run_cli("bench", "compare", str(base), str(base)) == 0
+        assert self.run_cli("bench", "compare", str(base), str(slow)) == 1
+        assert self.run_cli("bench", "compare", str(base), str(slow),
+                            "--warn-only") == 0
+        assert self.run_cli("bench", "compare", str(base), str(slow),
+                            "--threshold", "0.5") == 0
+        capsys.readouterr()
+
+    def test_missing_baseline_is_structured_error(self, tmp_path, capsys):
+        current = make_record().write(tmp_path / "BENCH_cur.json")
+        code = self.run_cli("bench", "compare",
+                            str(tmp_path / "missing.json"), str(current))
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

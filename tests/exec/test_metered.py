@@ -1,0 +1,72 @@
+"""Cross-process metrics: executor sampling and pool-snapshot merge."""
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.runner import Runner
+from repro.experiments.common import ExperimentConfig, best_case_spec
+from repro.obs.metrics import METRICS, METRICS_ENV_VAR
+
+TINY = ExperimentConfig(scale=0.03, seed=7)
+
+
+@pytest.fixture
+def fleet_metrics(monkeypatch):
+    """Enable the global registry with clean state, restoring after."""
+    monkeypatch.setenv(METRICS_ENV_VAR, "1")
+    saved = (METRICS.enabled, METRICS._counters, METRICS._gauges,
+             METRICS._histograms)
+    METRICS.enabled = True
+    METRICS._counters = {}
+    METRICS._gauges = {}
+    METRICS._histograms = {}
+    yield METRICS
+    (METRICS.enabled, METRICS._counters, METRICS._gauges,
+     METRICS._histograms) = saved
+
+
+def counters(registry):
+    return registry.snapshot().counters
+
+
+class TestSerialSampling:
+    def test_cells_counted_per_mode(self, fleet_metrics):
+        Runner().run([best_case_spec(0, TINY), best_case_spec(1, TINY)])
+        snapshot = fleet_metrics.snapshot()
+        assert snapshot.counters["repro_cells_best_case_total"] == 2
+        assert snapshot.histograms["repro_cell_wall_seconds"]["count"] == 2
+
+    def test_cache_hits_and_misses_counted(self, fleet_metrics, tmp_path):
+        specs = [best_case_spec(0, TINY), best_case_spec(2, TINY)]
+        Runner(cache=ResultCache(tmp_path)).run(specs)
+        assert counters(fleet_metrics)["repro_cache_misses_total"] == 2
+        assert counters(fleet_metrics)["repro_cache_puts_total"] == 2
+        Runner(cache=ResultCache(tmp_path)).run(specs)
+        assert counters(fleet_metrics)["repro_cache_hits_total"] == 2
+
+    def test_disabled_registry_records_nothing(self):
+        assert not METRICS.enabled  # tests run with metrics off
+        before = counters(METRICS)
+        Runner().run([best_case_spec(3, TINY)])
+        assert counters(METRICS) == before
+
+
+class TestPoolMerge:
+    def test_parallel_counters_match_serial(self, fleet_metrics):
+        specs = [best_case_spec(i, TINY) for i in range(3)]
+        Runner(jobs=1).run(specs)
+        serial = counters(fleet_metrics)
+        fleet_metrics.reset()
+        Runner(jobs=2).run(specs)
+        parallel = counters(fleet_metrics)
+        assert parallel == serial
+        assert parallel["repro_cells_best_case_total"] == 3
+
+    def test_parallel_histograms_merge_bucketwise(self, fleet_metrics):
+        specs = [best_case_spec(i, TINY) for i in range(3)]
+        Runner(jobs=2).run(specs)
+        hist = fleet_metrics.snapshot().histograms[
+            "repro_cell_wall_seconds"]
+        assert hist["count"] == 3
+        assert (sum(hist["counts"]) + hist["underflow"]
+                + hist["overflow"]) == 3

@@ -147,3 +147,71 @@ class TestEndToEnd:
         assert "phase-time breakdown" in text
         assert "equilibrium_solve" in text
         assert "migration efficiency" in text
+
+
+class TestRunEndAndProgress:
+    def test_run_end_counters_parsed_and_rendered(self):
+        events = [META,
+                  {"type": "run_end", "time_s": 0.5, "simulated_s": 0.5,
+                   "n_quanta": 50,
+                   "counters": {"quanta": 50, "migrated_bytes": 4096}}]
+        summary = summarize_events(events)
+        assert summary.runtime_counters == {"quanta": 50,
+                                            "migrated_bytes": 4096}
+        text = format_summary(summary)
+        assert "runtime counters" in text
+        assert "quanta" in text
+        assert "4,096" in text
+
+    def test_last_run_end_wins(self):
+        events = [META,
+                  {"type": "run_end", "time_s": 0.1, "simulated_s": 0.1,
+                   "n_quanta": 10, "counters": {"quanta": 10}},
+                  {"type": "run_end", "time_s": 0.5, "simulated_s": 0.5,
+                   "n_quanta": 50, "counters": {"quanta": 50}}]
+        assert summarize_events(events).runtime_counters == {"quanta": 50}
+
+    def test_fleet_progress_parsed_and_rendered(self):
+        events = [META,
+                  {"type": "run_progress", "time_s": 0.0, "completed": 3,
+                   "total": 12, "label": "hemem i0",
+                   "wall_elapsed_s": 6.0, "cells_per_s": 0.5,
+                   "eta_s": 18.0}]
+        summary = summarize_events(events)
+        assert summary.fleet_progress["completed"] == 3
+        assert summary.fleet_progress["total"] == 12
+        text = format_summary(summary)
+        assert "fleet progress" in text
+        assert "3/12" in text
+
+    def test_no_run_end_sections_absent(self):
+        summary = summarize_events([META])
+        assert summary.runtime_counters == {}
+        assert summary.fleet_progress is None
+        text = format_summary(summary)
+        assert "runtime counters" not in text
+        assert "fleet progress" not in text
+
+    def test_loop_emit_run_end(self, small_machine):
+        from repro.obs.tracer import Tracer
+        from repro.runtime.loop import SimulationLoop
+        from repro.tiering.hemem import HememSystem
+        from repro.workloads.gups import GupsWorkload
+        from tests.conftest import FAST_SCALE
+
+        tracer = Tracer()
+        loop = SimulationLoop(
+            machine=small_machine,
+            workload=GupsWorkload(scale=FAST_SCALE, seed=3),
+            system=HememSystem(),
+            contention=1,
+            seed=3,
+            tracer=tracer,
+        )
+        loop.run(duration_s=0.3)
+        loop.emit_run_end()
+        (event,) = tracer.events("run_end")
+        assert event["n_quanta"] == len(loop.metrics)
+        assert event["simulated_s"] == pytest.approx(loop.time_s)
+        assert event["counters"]["quanta"] == len(loop.metrics)
+        assert event["counters"]["migrated_bytes"] >= 0

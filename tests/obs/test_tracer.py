@@ -226,3 +226,40 @@ class TestLoopIntegration:
         assert plain.migration_bytes.tolist() == (
             traced.migration_bytes.tolist()
         )
+
+
+class TestGzipTraces:
+    def events_round_trip(self, path):
+        with Tracer(jsonl_path=path) as tracer:
+            tracer.time_s = 0.5
+            tracer.emit("hemem_cooling", coolings=1, total_coolings=1)
+            tracer.emit("hemem_cooling", coolings=2, total_coolings=3)
+        return load_events(path)
+
+    def test_gz_suffix_writes_gzip(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        events = self.events_round_trip(path)
+        # Really compressed on disk, not just renamed.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert [e["coolings"] for e in events] == [1, 2]
+        assert events[0]["time_s"] == 0.5
+
+    def test_renamed_gzip_still_loads(self, tmp_path):
+        gz = tmp_path / "trace.jsonl.gz"
+        self.events_round_trip(gz)
+        renamed = tmp_path / "trace.jsonl"
+        renamed.write_bytes(gz.read_bytes())
+        events = load_events(renamed)
+        assert [e["coolings"] for e in events] == [1, 2]
+
+    def test_plain_file_named_gz_still_loads(self, tmp_path):
+        plain = tmp_path / "plain.jsonl"
+        self.events_round_trip(plain)
+        disguised = tmp_path / "disguised.jsonl.gz"
+        disguised.write_bytes(plain.read_bytes())
+        assert [e["coolings"] for e in load_events(disguised)] == [1, 2]
+
+    def test_gzip_matches_plain_content(self, tmp_path):
+        plain = self.events_round_trip(tmp_path / "a.jsonl")
+        compressed = self.events_round_trip(tmp_path / "b.jsonl.gz")
+        assert plain == compressed

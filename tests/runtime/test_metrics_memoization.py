@@ -1,0 +1,74 @@
+"""MetricsRecorder memoized series: identity, invalidation, immutability."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.metrics import MetricsRecorder, QuantumRecord
+
+SERIES = ("time_s", "throughput", "latencies_ns", "p_true",
+          "p_measured", "app_tier_bandwidth", "migration_bytes")
+
+
+def make_record(time_s=0.0, throughput=10.0):
+    return QuantumRecord(
+        time_s=time_s,
+        throughput=throughput,
+        latencies_ns=np.array([100.0, 300.0]),
+        p_true=0.8,
+        p_measured=0.75,
+        app_tier_bandwidth=np.array([8.0, 2.0]),
+        migration_bytes=4096,
+        antagonist_intensity=0,
+    )
+
+
+class TestMemoization:
+    def test_repeated_access_returns_same_array(self):
+        recorder = MetricsRecorder()
+        recorder.record(make_record())
+        for name in SERIES:
+            assert getattr(recorder, name) is getattr(recorder, name)
+
+    def test_record_invalidates_cached_views(self):
+        recorder = MetricsRecorder()
+        recorder.record(make_record(time_s=0.0))
+        stale = recorder.throughput
+        recorder.record(make_record(time_s=0.01, throughput=20.0))
+        fresh = recorder.throughput
+        assert fresh is not stale
+        assert len(fresh) == 2
+        assert fresh[-1] == 20.0
+        # The stale view is unchanged — consumers holding it see a
+        # consistent (if old) snapshot, never a mutated buffer.
+        assert len(stale) == 1
+
+    def test_views_are_read_only(self):
+        recorder = MetricsRecorder()
+        recorder.record(make_record())
+        for name in SERIES:
+            with pytest.raises(ValueError):
+                getattr(recorder, name)[0] = -1.0
+
+    def test_values_match_records(self):
+        recorder = MetricsRecorder()
+        recorder.record(make_record(time_s=0.0, throughput=10.0))
+        recorder.record(make_record(time_s=0.01, throughput=12.0))
+        np.testing.assert_array_equal(recorder.time_s, [0.0, 0.01])
+        np.testing.assert_array_equal(recorder.throughput, [10.0, 12.0])
+        assert recorder.latencies_ns.shape == (2, 2)
+        assert recorder.app_tier_bandwidth.shape == (2, 2)
+        np.testing.assert_array_equal(recorder.migration_bytes,
+                                      [4096, 4096])
+
+    def test_derived_metrics_still_work(self):
+        recorder = MetricsRecorder()
+        recorder.record(make_record())
+        rate = recorder.migration_rate_bytes_per_s(0.01)
+        assert rate[0] == pytest.approx(4096 / 0.01)
+        assert recorder.steady_state_throughput() == pytest.approx(10.0)
+
+    def test_empty_recorder_still_raises(self):
+        recorder = MetricsRecorder()
+        with pytest.raises(ConfigurationError):
+            recorder.throughput
