@@ -80,6 +80,52 @@ def _fig6_case(intensities, systems) -> BenchCase:
     return BenchCase(name="fig6", run=run)
 
 
+def _solver_micro_case() -> BenchCase:
+    """Direct microbenchmark of the equilibrium solver's three regimes.
+
+    Cold solves (fresh system per point), warm-chained sweeps (each
+    solve seeded by the previous equilibrium), and memoized repeats
+    (steady state re-posing the identical system). Runs outside the
+    exec layer so its wall time tracks the solver alone — the phase the
+    loop profile attributes ~86% of its time to.
+    """
+
+    def run(config: ExperimentConfig, runner: Runner):
+        from repro.memhw.antagonist import antagonist_core_group
+        from repro.memhw.fixedpoint import EquilibriumSolver
+        from repro.memhw.topology import paper_testbed
+        from repro.workloads.gups import GupsWorkload
+
+        machine = paper_testbed()
+        app = GupsWorkload(scale=config.scale,
+                           seed=config.seed).core_group()
+        antagonist = antagonist_core_group(2, machine.antagonist)
+        pinned = [(antagonist, 0)]
+
+        # Cold: every solve starts from unloaded latencies.
+        cold = EquilibriumSolver(machine.tiers, use_cache=False)
+        for i in range(40):
+            p = i / 39.0
+            cold.solve(app, [p, 1.0 - p], pinned=pinned)
+
+        # Warm-chained: a drifting sweep, each solve seeded by the last.
+        warm_solver = EquilibriumSolver(machine.tiers, use_cache=False)
+        warm = None
+        for i in range(200):
+            p = 0.3 + 0.4 * i / 199.0
+            eq = warm_solver.solve(app, [p, 1.0 - p], pinned=pinned,
+                                   initial_latencies=warm)
+            warm = eq.latencies_ns
+
+        # Memoized: steady state re-posing the identical system.
+        memo = EquilibriumSolver(machine.tiers, use_cache=True)
+        for _ in range(400):
+            memo.solve(app, [0.7, 0.3], pinned=pinned)
+        return None
+
+    return BenchCase(name="solver-micro", run=run)
+
+
 def _fig9_case(scenarios, base_systems) -> BenchCase:
     def run(config: ExperimentConfig, runner: Runner):
         from repro.experiments import fig9
@@ -97,6 +143,7 @@ SUITES: Dict[str, BenchSuite] = {
         cases=(
             _fig6_case(intensities=(0, 3), systems=("hemem",)),
             _fig5_case(intensities=(0, 3), systems=("hemem",)),
+            _solver_micro_case(),
         ),
         profile_duration_s=1.0,
     ),
@@ -110,6 +157,7 @@ SUITES: Dict[str, BenchSuite] = {
                        systems=("hemem", "memtis")),
             _fig9_case(scenarios=("contention",),
                        base_systems=("hemem",)),
+            _solver_micro_case(),
         ),
         profile_duration_s=2.0,
     ),
@@ -123,6 +171,7 @@ SUITES: Dict[str, BenchSuite] = {
                        systems=("hemem", "tpp", "memtis")),
             _fig9_case(scenarios=("hotshift-0x", "contention"),
                        base_systems=("hemem",)),
+            _solver_micro_case(),
         ),
         profile_duration_s=4.0,
     ),

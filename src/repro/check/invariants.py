@@ -11,6 +11,9 @@ The checks, and where the loop invokes them:
 ========================  =====================================================
 ``check_equilibrium``     latencies out of the solver are finite and positive,
                           throughput and measured ``p`` are sane (post-solve)
+``check_solver_cache``    memoized equilibria still satisfy the fixed point
+                          within the solver tolerance (post-solve, on cache
+                          hits, when the solver validates hits)
 ``check_shift``           Algorithm 2 watermark ordering, [0, 1] bounds, and
                           bracket-contains-target (post-decision)
 ``check_migration``       page-count conservation, byte accounting against the
@@ -65,6 +68,9 @@ class NullChecker:
     enabled = False
 
     def check_equilibrium(self, *args, **kwargs) -> None:
+        """No-op."""
+
+    def check_solver_cache(self, *args, **kwargs) -> None:
         """No-op."""
 
     def check_shift(self, *args, **kwargs) -> None:
@@ -150,6 +156,32 @@ class Checker:
                 "memhw.measured_p_bounded",
                 "CHA-visible default-tier share must lie in [0, 1]",
                 time_s, measured_p=float(measured_p),
+            )
+
+    def check_solver_cache(self, time_s: float,
+                           residual: Optional[float]) -> None:
+        """A cached equilibrium must still satisfy the fixed point.
+
+        The solver (with ``validate_cache_hits``) re-evaluates one sweep
+        at the cached latencies and reports the relative residual; a
+        fresh solve converged below ``SOLVER_RELATIVE_TOLERANCE``, so a
+        cached result drifting far beyond that bound means the cache
+        returned an equilibrium for a different system (key corruption
+        or mutated inputs). ``residual`` of None (validation disabled on
+        the solver) is a no-op.
+        """
+        self.checks_run += 1
+        if residual is None:
+            return
+        from repro.memhw.fixedpoint import SOLVER_RELATIVE_TOLERANCE
+
+        if not np.isfinite(residual) or \
+                residual > 100.0 * SOLVER_RELATIVE_TOLERANCE:
+            self._violate(
+                "memhw.solver_cache_consistent",
+                "cached equilibrium no longer satisfies the fixed point",
+                time_s, residual=float(residual),
+                tolerance=float(SOLVER_RELATIVE_TOLERANCE),
             )
 
     # -- Algorithm 2 watermarks ------------------------------------------

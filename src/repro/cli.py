@@ -70,6 +70,11 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-progress", action="store_true",
                         help="disable the live per-cell progress line "
                              "on stderr")
+    parser.add_argument("--no-solver-cache", action="store_true",
+                        help="disable equilibrium-solve memoization "
+                             "(propagates to --jobs workers via "
+                             "REPRO_SOLVER_CACHE=0); solves are then "
+                             "always computed fresh")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,6 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "per-tier latency histograms) and export them "
                           "to PATH (Prometheus text, or JSON for "
                           "*.json)")
+    run.add_argument("--no-solver-cache", action="store_true",
+                     help="disable equilibrium-solve memoization "
+                          "(REPRO_SOLVER_CACHE=0)")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=FIGURES + ("all",))
@@ -219,6 +227,12 @@ def _enable_instrumentation(args) -> None:
         from repro.obs.metrics import enable_metrics
 
         enable_metrics()
+    if getattr(args, "no_solver_cache", False):
+        from repro.memhw.fixedpoint import disable_solver_cache
+
+        # Sets REPRO_SOLVER_CACHE=0, so process-pool workers inherit
+        # the setting along with the parent.
+        disable_solver_cache()
 
 
 def _export_metrics(args) -> None:

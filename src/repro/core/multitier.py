@@ -80,6 +80,60 @@ class MultiTierBalancer:
         return PairwiseShift(src_tier=slow, dst_tier=fast, dp=dp)
 
 
+def find_balanced_split(solver, app, balancer: Optional[MultiTierBalancer]
+                        = None, pinned=(), max_rounds: int = 200):
+    """Iterate the pairwise balancer against the solver to equilibrium.
+
+    The analytic counterpart of what :class:`MultiTierColloidSystem`
+    does online: starting from a uniform split, repeatedly solve for the
+    tier latencies and apply the balancer's requested pairwise shift
+    until it reports balanced (all latency gaps inside the dead-band).
+    Each round's solve is warm-started from the previous round's
+    equilibrium — successive rounds differ by at most ``max_dp`` of
+    probability, so the fixed point barely moves between them.
+
+    Args:
+        solver: An :class:`~repro.memhw.fixedpoint.EquilibriumSolver`
+            over two or more tiers.
+        app: The application core group.
+        balancer: Balancing policy (defaults to ``MultiTierBalancer()``).
+        pinned: Pinned (group, tier) pairs, as for ``solver.solve``.
+        max_rounds: Round budget before giving up.
+
+    Returns:
+        ``(split, equilibrium)`` — the balanced per-tier split and the
+        equilibrium solved at it.
+
+    Raises:
+        ConvergenceError: If the balancer still requests shifts after
+            ``max_rounds`` rounds.
+    """
+    from repro.errors import ConvergenceError
+
+    if balancer is None:
+        balancer = MultiTierBalancer()
+    n = solver.n_tiers
+    if n < 2:
+        raise ConfigurationError("balancing needs at least two tiers")
+    split = np.full(n, 1.0 / n)
+    warm = None
+    for _ in range(max_rounds):
+        eq = solver.solve(app, split, pinned=pinned,
+                          initial_latencies=warm)
+        warm = eq.latencies_ns
+        shift = balancer.compute(eq.latencies_ns, split)
+        if shift is None:
+            return split, eq
+        split = split.copy()
+        split[shift.src_tier] -= shift.dp
+        split[shift.dst_tier] += shift.dp
+        split = np.clip(split, 0.0, None)
+        split = split / split.sum()
+    raise ConvergenceError(
+        f"pairwise balancing did not settle within {max_rounds} rounds"
+    )
+
+
 class MultiTierColloidSystem(HememSystem):
     """Latency balancing over N tiers, on HeMem-style tracking."""
 

@@ -107,6 +107,58 @@ class ShiftComputer:
         self.init_traced = False
 
 
+def find_equilibrium_p(solver, app, pinned=(), tolerance: float = 1e-4,
+                       max_iterations: int = 60) -> float:
+    """Locate ``p*`` — the split where the two tiers' latencies cross.
+
+    This is the point Algorithm 2's watermarks bracket: for ``p`` below
+    ``p*`` the default tier is faster (shift toward it pays off), above
+    it the alternate tier is. Solved by bisection on the latency gap
+    ``L_D(p) - L_A(p)``, which is monotone increasing in ``p`` (more
+    default-tier traffic loads the default tier and unloads the
+    alternate). Each probe is warm-started from the previous
+    equilibrium, so the whole search costs a handful of fixed-point
+    iterations per probe.
+
+    Args:
+        solver: A two-tier :class:`~repro.memhw.fixedpoint.EquilibriumSolver`.
+        app: The application core group.
+        pinned: Pinned (group, tier) pairs, as for ``solver.solve``.
+        tolerance: Bracket width on ``p`` at which to stop.
+        max_iterations: Bisection probe budget.
+
+    Returns:
+        ``p*`` in [0, 1]; 0.0 (or 1.0) when the default tier is never
+        (or always) the slower one across the whole range.
+    """
+    if solver.n_tiers != 2:
+        raise ConfigurationError("equilibrium-p search is two-tier only")
+
+    warm = None
+
+    def gap(p: float) -> float:
+        nonlocal warm
+        eq = solver.solve(app, [p, 1.0 - p], pinned=pinned,
+                          initial_latencies=warm)
+        warm = eq.latencies_ns
+        return float(eq.latencies_ns[0] - eq.latencies_ns[1])
+
+    if gap(0.0) >= 0.0:
+        return 0.0
+    if gap(1.0) <= 0.0:
+        return 1.0
+    lo, hi = 0.0, 1.0
+    for _ in range(max_iterations):
+        mid = (lo + hi) / 2.0
+        if gap(mid) < 0.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance:
+            break
+    return (lo + hi) / 2.0
+
+
 def trace_shift(tracer, shift: ShiftComputer, p: float, dp: float,
                 latency_default_ns: float,
                 latency_alternate_ns: float) -> None:

@@ -19,10 +19,37 @@ grows.
 This is the analytic stand-in for the physical testbed: the paper's own
 performance analysis (§2.2) uses exactly these relations to explain its
 measurements.
+
+The solve is the simulation loop's dominant cost, so three fast paths
+keep it nearly free in steady state (§2.2: the system sits at a steady
+state between quanta):
+
+* **Warm starts** — ``solve(..., initial_latencies=...)`` seeds the
+  iteration with a nearby known equilibrium (the previous quantum's, or
+  the previous point of a sweep) instead of the unloaded latencies. The
+  fixed point is unique, so the answer is the same within the solver
+  tolerance; only the iteration count collapses.
+* **Memoization** — an exact-key LRU cache on the solver returns the
+  previously computed :class:`Equilibrium` in O(1) when a quantum
+  re-poses the identical system (same app group, split, pinned groups,
+  and extra traffic; the tier specs are fixed per solver instance).
+  Cached results are shared objects: treat an :class:`Equilibrium` as
+  immutable. Disable with ``--no-solver-cache`` / ``REPRO_SOLVER_CACHE=0``
+  (mirroring ``REPRO_CHECK`` / ``REPRO_METRICS``, so pool workers
+  inherit the setting).
+* **A vectorized sweep** — per-solve constants (traffic-class
+  aggregates, core-group coefficients, tier mix efficiencies) are hoisted
+  into arrays once per solve and each iteration is a handful of numpy
+  vector operations instead of per-tier Python loops. Floating-point
+  addition order is preserved (extra traffic, then the application
+  class, then pinned groups, exactly as the per-tier lists were built),
+  so the vectorized sweep computes the same floats.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -30,24 +57,51 @@ import numpy as np
 
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.memhw.corestate import CoreGroup
-from repro.memhw.latency import (
-    LatencyCurve,
-    TrafficClass,
-    effective_bandwidth,
-    tier_load,
-)
+from repro.memhw.latency import TierCurveArray, TrafficClass
 from repro.memhw.tier import MemoryTierSpec
 from repro.units import CACHELINE_BYTES
 
 _MAX_ITERATIONS = 2000
-_RELATIVE_TOLERANCE = 1e-10
+#: Convergence criterion on the max relative latency change per sweep.
+#: Public so the invariant checker can bound cached-equilibrium residuals
+#: against the same tolerance the solver converged with.
+SOLVER_RELATIVE_TOLERANCE = 1e-10
 _INITIAL_DAMPING = 0.5
 _MIN_DAMPING = 1e-3
+
+#: Default capacity of the per-solver memoization cache (solves).
+DEFAULT_SOLVE_CACHE_SIZE = 512
+
+#: Environment variable that switches solve memoization off process-wide
+#: (the CLI's ``--no-solver-cache`` sets it to "0" so process-pool
+#: workers inherit the setting). Unset means enabled.
+SOLVER_CACHE_ENV_VAR = "REPRO_SOLVER_CACHE"
+
+_FALSEY = ("", "0", "false", "no", "off")
+
+
+def solver_cache_enabled() -> bool:
+    """Whether solve memoization is enabled process-wide (default on)."""
+    return os.environ.get(SOLVER_CACHE_ENV_VAR,
+                          "1").lower() not in _FALSEY
+
+
+def enable_solver_cache() -> None:
+    """Enable solve memoization process-wide (and in child processes)."""
+    os.environ[SOLVER_CACHE_ENV_VAR] = "1"
+
+
+def disable_solver_cache() -> None:
+    """Disable solve memoization process-wide (and in child processes)."""
+    os.environ[SOLVER_CACHE_ENV_VAR] = "0"
 
 
 @dataclass(frozen=True)
 class Equilibrium:
     """Solved steady-state of the memory system for one configuration.
+
+    Instances may be shared by the solver's memoization cache — treat
+    them (including the array attributes) as immutable.
 
     Attributes:
         latencies_ns: Loaded latency of each tier (CHA-to-memory).
@@ -91,18 +145,142 @@ class Equilibrium:
         return float(self.tier_read_request_rate[0]) / total
 
 
+class _SolveProblem:
+    """Per-solve constants of the fixed-point map.
+
+    Everything that does not change across iterations is aggregated here
+    once, so each sweep is pure array arithmetic. The extra-traffic
+    aggregates are accumulated in the per-tier class order (and the
+    application and pinned contributions added after, in that order) so
+    float addition order — and hence the computed sums — matches the
+    historical per-tier list construction exactly.
+    """
+
+    __slots__ = ("app", "has_app", "split", "app_mult", "app_rand",
+                 "app_wrf", "app_one_minus_wrf", "pinned", "extra_total",
+                 "extra_rand", "extra_write", "extra_read", "extra_req")
+
+    def __init__(self, app: CoreGroup, split: np.ndarray,
+                 pinned: Sequence[Tuple[CoreGroup, int]],
+                 extra: Sequence[Sequence[TrafficClass]]) -> None:
+        n = len(extra)
+        self.app = app
+        self.has_app = app.n_cores > 0
+        self.split = split
+        self.app_mult = app.traffic_multiplier()
+        self.app_rand = app.randomness
+        self.app_wrf = app.wire_read_fraction()
+        self.app_one_minus_wrf = 1.0 - self.app_wrf
+        self.pinned = tuple(
+            (group, tier_idx, group.traffic_multiplier(), group.randomness,
+             group.wire_read_fraction(), 1.0 - group.wire_read_fraction())
+            for group, tier_idx in pinned if group.n_cores > 0
+        )
+        self.extra_total = np.zeros(n)
+        self.extra_rand = np.zeros(n)
+        self.extra_write = np.zeros(n)
+        self.extra_read = np.zeros(n)
+        self.extra_req = np.zeros(n)
+        for i in range(n):
+            for cls in extra[i]:
+                self.extra_total[i] += cls.bandwidth
+                self.extra_rand[i] += cls.bandwidth * cls.randomness
+                self.extra_write[i] += (
+                    cls.bandwidth * (1.0 - cls.read_fraction)
+                )
+                self.extra_read[i] += cls.bandwidth * cls.read_fraction
+                self.extra_req[i] += (
+                    cls.bandwidth * cls.read_fraction / CACHELINE_BYTES
+                )
+
+
 class EquilibriumSolver:
     """Reusable solver bound to a fixed set of tiers.
 
-    Construction precomputes the per-tier latency curves; :meth:`solve` may
-    then be called many times per simulation quantum.
+    Construction precomputes the per-tier latency curves and mix
+    coefficients; :meth:`solve` may then be called many times per
+    simulation quantum.
+
+    Args:
+        tiers: The memory tiers (fixed for the solver's lifetime; they
+            are therefore not part of the memoization key).
+        cache_size: LRU capacity of the solve memoization cache.
+        use_cache: Explicitly enable/disable memoization; ``None``
+            (default) resolves the process-wide ``REPRO_SOLVER_CACHE``
+            switch at construction, so pool workers inherit the CLI's
+            ``--no-solver-cache``.
+        validate_cache_hits: When True, every cache hit re-evaluates one
+            fixed-point sweep at the cached latencies and records the
+            residual in :attr:`last_hit_residual` — the invariant
+            checker's hook for verifying that cached equilibria still
+            satisfy the fixed point. Off by default (it costs one sweep
+            per hit).
     """
 
-    def __init__(self, tiers: Sequence[MemoryTierSpec]) -> None:
+    def __init__(self, tiers: Sequence[MemoryTierSpec],
+                 cache_size: int = DEFAULT_SOLVE_CACHE_SIZE,
+                 use_cache: Optional[bool] = None,
+                 validate_cache_hits: bool = False) -> None:
         if not tiers:
             raise ConfigurationError("at least one tier is required")
         self._tiers: Tuple[MemoryTierSpec, ...] = tuple(tiers)
-        self._curves = [LatencyCurve(t) for t in self._tiers]
+        self._curve_array = TierCurveArray(self._tiers)
+        self._unloaded = np.array(
+            [t.unloaded_latency_ns for t in self._tiers], dtype=float
+        )
+        self._theo_bw = np.array(
+            [t.theoretical_bandwidth for t in self._tiers], dtype=float
+        )
+        self._eff_seq = np.array(
+            [t.efficiency_sequential for t in self._tiers], dtype=float
+        )
+        self._eff_delta = np.array(
+            [t.efficiency_random - t.efficiency_sequential
+             for t in self._tiers], dtype=float
+        )
+        self._rw_penalty = np.array(
+            [t.rw_penalty for t in self._tiers], dtype=float
+        )
+        self._duplex = np.array([t.duplex for t in self._tiers],
+                                dtype=bool)
+        self._any_duplex = bool(self._duplex.any())
+        if cache_size < 1:
+            raise ConfigurationError("cache_size must be >= 1")
+        self._cache: "OrderedDict[tuple, Equilibrium]" = OrderedDict()
+        self._cache_size = int(cache_size)
+        self._cache_enabled = (solver_cache_enabled() if use_cache is None
+                               else bool(use_cache))
+        self._validate_cache_hits = bool(validate_cache_hits)
+        #: Whether the most recent :meth:`solve` was served from the cache.
+        self.last_was_cache_hit = False
+        #: Fixed-point residual of the most recent validated cache hit
+        #: (None unless ``validate_cache_hits`` and the last solve hit).
+        self.last_hit_residual: Optional[float] = None
+        self.cache_hits = 0
+        self.cache_misses = 0
+        from repro.obs.metrics import METRICS
+
+        if METRICS.enabled:
+            self._m_iterations = METRICS.histogram(
+                "repro_solver_iterations", start=1.0, factor=2.0,
+                n_buckets=12,
+                help="fixed-point iterations per computed equilibrium "
+                     "solve (cache hits excluded)",
+            )
+            self._m_cache_hits = METRICS.counter(
+                "repro_solver_cache_hits_total",
+                help="equilibrium solves served from the memoization "
+                     "cache",
+            )
+            self._m_cache_misses = METRICS.counter(
+                "repro_solver_cache_misses_total",
+                help="equilibrium solves computed by fixed-point "
+                     "iteration",
+            )
+        else:
+            self._m_iterations = None
+            self._m_cache_hits = None
+            self._m_cache_misses = None
 
     @property
     def tiers(self) -> Tuple[MemoryTierSpec, ...]:
@@ -114,12 +292,22 @@ class EquilibriumSolver:
         """Number of tiers."""
         return len(self._tiers)
 
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether this instance memoizes solves."""
+        return self._cache_enabled
+
+    def clear_cache(self) -> None:
+        """Drop every memoized solve."""
+        self._cache.clear()
+
     def solve(
         self,
         app: CoreGroup,
         split: Sequence[float],
         pinned: Sequence[Tuple[CoreGroup, int]] = (),
         extra_traffic: Optional[Sequence[Sequence[TrafficClass]]] = None,
+        initial_latencies: Optional[Sequence[float]] = None,
     ) -> Equilibrium:
         """Solve for the steady state.
 
@@ -132,9 +320,17 @@ class EquilibriumSolver:
                 to one tier (the antagonist).
             extra_traffic: Optional per-tier open-loop traffic classes
                 (page-migration reads/writes).
+            initial_latencies: Optional warm start — per-tier latencies
+                to seed the iteration with (typically a nearby known
+                equilibrium, e.g. the previous quantum's). The fixed
+                point is unique, so this changes only the iteration
+                count, not the answer (within the solver tolerance). It
+                is deliberately *not* part of the memoization key.
 
         Returns:
-            The solved :class:`Equilibrium`.
+            The solved :class:`Equilibrium`. With memoization enabled an
+            identical configuration returns the cached instance — treat
+            it as immutable.
 
         Raises:
             ConfigurationError: On malformed inputs.
@@ -156,7 +352,9 @@ class EquilibriumSolver:
                     f"split must sum to 1, got {total_split}"
                 )
             split_arr = split_arr / total_split
-        for _, tier_idx in pinned:
+        pinned_t = tuple((group, int(tier_idx))
+                         for group, tier_idx in pinned)
+        for _, tier_idx in pinned_t:
             if not 0 <= tier_idx < n:
                 raise ConfigurationError(
                     f"pinned tier index {tier_idx} out of range"
@@ -169,21 +367,58 @@ class EquilibriumSolver:
                     "extra_traffic must have one entry per tier"
                 )
             extra = [list(classes) for classes in extra_traffic]
+        if initial_latencies is not None:
+            warm = np.asarray(initial_latencies, dtype=float)
+            if warm.shape != (n,):
+                raise ConfigurationError(
+                    f"initial_latencies must have {n} entries, got shape "
+                    f"{warm.shape}"
+                )
+            if not np.isfinite(warm).all() or (warm <= 0).any():
+                raise ConfigurationError(
+                    "initial_latencies must be finite and positive"
+                )
 
-        latencies = np.array(
-            [t.unloaded_latency_ns for t in self._tiers], dtype=float
-        )
+        self.last_was_cache_hit = False
+        self.last_hit_residual = None
+        key = None
+        if self._cache_enabled:
+            key = (app, split_arr.tobytes(), pinned_t,
+                   tuple(tuple(classes) for classes in extra))
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.last_was_cache_hit = True
+                self.cache_hits += 1
+                if self._m_cache_hits is not None:
+                    self._m_cache_hits.inc()
+                if self._validate_cache_hits:
+                    problem = _SolveProblem(app, split_arr, pinned_t,
+                                            extra)
+                    check_lat, _ = self._evaluate(problem,
+                                                  cached.latencies_ns)
+                    self.last_hit_residual = float(np.max(
+                        np.abs(check_lat - cached.latencies_ns)
+                        / cached.latencies_ns
+                    ))
+                return cached
+
+        problem = _SolveProblem(app, split_arr, pinned_t, extra)
+        if initial_latencies is not None:
+            latencies = warm.copy()
+        else:
+            latencies = self._unloaded.copy()
         damping = _INITIAL_DAMPING
         previous_residual = np.inf
-        state = _SolverState()
         for iteration in range(1, _MAX_ITERATIONS + 1):
-            new_latencies = self._evaluate(
-                latencies, app, split_arr, pinned, extra, state
-            )
+            new_latencies, state = self._evaluate(problem, latencies)
             residual = float(
                 np.max(np.abs(new_latencies - latencies) / latencies)
             )
-            if residual < _RELATIVE_TOLERANCE:
+            if residual < SOLVER_RELATIVE_TOLERANCE:
+                # The accepted iterate was just evaluated: ``state``
+                # already holds the flows at (effectively) the fixed
+                # point, so no extra post-convergence sweep is needed.
                 latencies = new_latencies
                 break
             if residual > previous_residual:
@@ -197,104 +432,86 @@ class EquilibriumSolver:
                 f"equilibrium did not converge (residual {residual:.3e})"
             )
 
-        # One final evaluation to populate the state consistently.
-        self._evaluate(latencies, app, split_arr, pinned, extra, state)
-        return Equilibrium(
-            latencies_ns=latencies.copy(),
-            app_avg_latency_ns=state.app_avg_latency,
-            app_read_rate=state.app_read_rate,
-            app_split=split_arr.copy(),
-            app_tier_read_rate=state.app_tier_read_rate.copy(),
-            tier_wire_traffic=state.tier_wire_traffic.copy(),
-            tier_read_request_rate=state.tier_read_request_rate.copy(),
-            utilizations=state.utilizations.copy(),
-            effective_bandwidths=state.effective_bandwidths.copy(),
+        (app_avg_latency, app_read_rate, app_tier_read, wire, req,
+         utils, beffs) = state
+        equilibrium = Equilibrium(
+            latencies_ns=latencies,
+            app_avg_latency_ns=app_avg_latency,
+            app_read_rate=app_read_rate,
+            app_split=split_arr,
+            app_tier_read_rate=app_tier_read,
+            tier_wire_traffic=wire,
+            tier_read_request_rate=req,
+            utilizations=utils,
+            effective_bandwidths=beffs,
             iterations=iteration,
         )
+        self.cache_misses += 1
+        if self._m_cache_misses is not None:
+            self._m_cache_misses.inc()
+            self._m_iterations.observe(iteration)
+        if self._cache_enabled:
+            self._cache[key] = equilibrium
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return equilibrium
 
-    def _evaluate(
-        self,
-        latencies: np.ndarray,
-        app: CoreGroup,
-        split: np.ndarray,
-        pinned: Sequence[Tuple[CoreGroup, int]],
-        extra: Sequence[Sequence[TrafficClass]],
-        state: "_SolverState",
-    ) -> np.ndarray:
-        """One sweep of the fixed-point map; records flows into ``state``."""
-        n = self.n_tiers
-        app_avg_latency = float(np.dot(split, latencies)) if app.n_cores else (
-            float(latencies[0])
-        )
-        if app.n_cores > 0:
-            app_read_rate = app.demand_read_rate(app_avg_latency)
+    def _evaluate(self, problem: _SolveProblem, latencies: np.ndarray):
+        """One sweep of the fixed-point map.
+
+        Returns ``(new_latencies, state)`` where ``state`` carries the
+        flows computed from the input latencies: ``(app_avg_latency,
+        app_read_rate, app_tier_read_rate, tier_wire_traffic,
+        tier_read_request_rate, utilizations, effective_bandwidths)``.
+        """
+        split = problem.split
+        if problem.has_app:
+            app_avg_latency = float(np.dot(split, latencies))
+            app_read_rate = problem.app.demand_read_rate(app_avg_latency)
         else:
+            app_avg_latency = float(latencies[0])
             app_read_rate = 0.0
         app_tier_read = app_read_rate * split
+        app_bw = app_tier_read * problem.app_mult
 
-        traffic_per_tier: List[List[TrafficClass]] = [
-            list(extra[i]) for i in range(n)
-        ]
-        read_request_rate = np.zeros(n)
-        for i in range(n):
-            for cls in extra[i]:
-                read_request_rate[i] += (
-                    cls.bandwidth * cls.read_fraction / CACHELINE_BYTES
-                )
-            if app_tier_read[i] > 0:
-                traffic_per_tier[i].append(
-                    TrafficClass(
-                        bandwidth=app_tier_read[i] * app.traffic_multiplier(),
-                        randomness=app.randomness,
-                        read_fraction=app.wire_read_fraction(),
-                    )
-                )
-                read_request_rate[i] += app_tier_read[i] / CACHELINE_BYTES
-
-        for group, tier_idx in pinned:
-            if group.n_cores == 0:
-                continue
+        # Per-tier aggregates in historical addition order: extra
+        # classes (pre-summed), then the application class, then pinned
+        # groups.
+        total = problem.extra_total + app_bw
+        rand_sum = problem.extra_rand + app_bw * problem.app_rand
+        write_sum = problem.extra_write + app_bw * problem.app_one_minus_wrf
+        read_sum = problem.extra_read + app_bw * problem.app_wrf
+        req = problem.extra_req + app_tier_read / CACHELINE_BYTES
+        for group, tier_idx, mult, rand, wrf, one_minus_wrf in \
+                problem.pinned:
             rate = group.demand_read_rate(float(latencies[tier_idx]))
-            traffic_per_tier[tier_idx].append(
-                TrafficClass(
-                    bandwidth=rate * group.traffic_multiplier(),
-                    randomness=group.randomness,
-                    read_fraction=group.wire_read_fraction(),
-                )
-            )
-            read_request_rate[tier_idx] += rate / CACHELINE_BYTES
+            bw = rate * mult
+            total[tier_idx] += bw
+            rand_sum[tier_idx] += bw * rand
+            write_sum[tier_idx] += bw * one_minus_wrf
+            read_sum[tier_idx] += bw * wrf
+            req[tier_idx] += rate / CACHELINE_BYTES
 
-        new_latencies = np.empty(n)
-        wire = np.zeros(n)
-        utils = np.zeros(n)
-        beffs = np.zeros(n)
-        for i in range(n):
-            beff = effective_bandwidth(self._tiers[i], traffic_per_tier[i])
-            load = tier_load(self._tiers[i], traffic_per_tier[i])
-            u = load / beff if beff > 0 else 0.0
-            new_latencies[i] = self._curves[i].latency_ns(u)
-            wire[i] = sum(t.bandwidth for t in traffic_per_tier[i])
-            utils[i] = u
-            beffs[i] = beff
-
-        state.app_avg_latency = app_avg_latency
-        state.app_read_rate = app_read_rate
-        state.app_tier_read_rate = app_tier_read
-        state.tier_wire_traffic = wire
-        state.tier_read_request_rate = read_request_rate
-        state.utilizations = utils
-        state.effective_bandwidths = beffs
-        return new_latencies
-
-
-class _SolverState:
-    """Mutable scratch area filled by ``_evaluate`` on each sweep."""
-
-    def __init__(self) -> None:
-        self.app_avg_latency = 0.0
-        self.app_read_rate = 0.0
-        self.app_tier_read_rate = np.zeros(0)
-        self.tier_wire_traffic = np.zeros(0)
-        self.tier_read_request_rate = np.zeros(0)
-        self.utilizations = np.zeros(0)
-        self.effective_bandwidths = np.zeros(0)
+        nonzero = total > 0.0
+        mean_rand = np.zeros_like(total)
+        np.divide(rand_sum, total, out=mean_rand, where=nonzero)
+        write_share = np.zeros_like(total)
+        np.divide(write_sum, total, out=write_share, where=nonzero)
+        pattern_eff = self._eff_seq + mean_rand * self._eff_delta
+        # write_share of 0.5 corresponds to a 1:1 read/write mix -> full
+        # penalty.
+        rw_eff = 1.0 - self._rw_penalty * np.minimum(
+            1.0, 2.0 * write_share
+        )
+        beffs = self._theo_bw * pattern_eff * rw_eff
+        if self._any_duplex:
+            load = np.where(self._duplex,
+                            np.maximum(read_sum, write_sum), total)
+        else:
+            load = total
+        utils = np.zeros_like(total)
+        np.divide(load, beffs, out=utils, where=beffs > 0.0)
+        new_latencies = self._curve_array.latency_ns(utils)
+        state = (app_avg_latency, app_read_rate, app_tier_read, total,
+                 req, utils, beffs)
+        return new_latencies, state

@@ -32,6 +32,7 @@ EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
         "latencies_ns": "per-tier loaded latency at the fixed point",
         "app_read_rate": "application demand-read bandwidth (bytes/ns)",
         "measured_p": "CHA-visible default-tier request share",
+        "cached": "whether the solve was served from the memoization cache",
     },
     "compute_shift": {
         "p": "measured default-tier access-probability share",

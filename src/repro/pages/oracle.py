@@ -97,11 +97,17 @@ def best_case_sweep(
     pinned: Sequence[Tuple[CoreGroup, int]] = (),
     fractions: Optional[Sequence[float]] = None,
     rng: Optional[np.random.Generator] = None,
+    chain_warm_starts: bool = True,
 ) -> BestCaseResult:
     """Evaluate manual placements and return the best (§2.1 methodology).
 
     Only two-tier machines are supported (the paper's sweep is over the
     fraction of the hot set in the default tier).
+
+    Adjacent sweep points pose nearly identical systems, so by default
+    each solve is warm-started from the previous point's equilibrium
+    (``chain_warm_starts``); the fixed point is unique, so this only
+    collapses iteration counts.
     """
     if solver.n_tiers != 2:
         raise ConfigurationError("the hot-fraction sweep is two-tier only")
@@ -116,13 +122,17 @@ def best_case_sweep(
         raise ConfigurationError("probability/mask/size shapes must match")
 
     points: List[PlacementPoint] = []
+    warm = None
     for fraction in fractions:
         p = _default_probability_for_fraction(
             float(fraction), probs, mask, sizes, default_capacity, rng
         )
         if np.isnan(p):
             continue
-        eq = solver.solve(app, [p, 1.0 - p], pinned=pinned)
+        eq = solver.solve(app, [p, 1.0 - p], pinned=pinned,
+                          initial_latencies=warm)
+        if chain_warm_starts:
+            warm = eq.latencies_ns
         points.append(
             PlacementPoint(
                 hot_fraction=float(fraction),
@@ -147,12 +157,16 @@ def sweep_hot_fraction(
 
     Returns ``(p, throughput)`` pairs — a lower-level helper used by
     analysis code and tests to visualize the throughput-vs-``p`` curve
-    and locate the equilibrium point ``p*``.
+    and locate the equilibrium point ``p*``. Solves are warm-started
+    from the previous point's equilibrium.
     """
     results = []
+    warm = None
     for p in p_values:
         if not 0 <= p <= 1:
             raise ConfigurationError("p values must be in [0, 1]")
-        eq = solver.solve(app, [p, 1.0 - p], pinned=pinned)
+        eq = solver.solve(app, [p, 1.0 - p], pinned=pinned,
+                          initial_latencies=warm)
+        warm = eq.latencies_ns
         results.append((float(p), eq.app_read_rate))
     return results

@@ -124,7 +124,12 @@ class SimulationLoop:
             self._contention = lambda _t: level
         self._rng = np.random.default_rng(seed)
 
-        self.solver = EquilibriumSolver(machine.tiers)
+        self.solver = EquilibriumSolver(
+            machine.tiers, validate_cache_hits=self.checker.enabled
+        )
+        # Warm start: the previous quantum's solved latencies seed the
+        # next solve (the system sits at a steady state between quanta).
+        self._warm_latencies: Optional[np.ndarray] = None
         self.cha = ChaCounters(
             n_tiers=len(machine.tiers),
             noise_sigma=cha_noise_sigma,
@@ -265,7 +270,9 @@ class SimulationLoop:
             split=split,
             pinned=[(antagonist, 0)],
             extra_traffic=migration_traffic,
+            initial_latencies=self._warm_latencies,
         )
+        self._warm_latencies = equilibrium.latencies_ns
         self.cha.observe(equilibrium, self.quantum_ns)
         self.mbm.observe(equilibrium, self.quantum_ns)
         if self.checker.enabled:
@@ -273,6 +280,10 @@ class SimulationLoop:
                 t, equilibrium.latencies_ns, equilibrium.app_read_rate,
                 equilibrium.measured_p,
             )
+            if self.solver.last_was_cache_hit:
+                self.checker.check_solver_cache(
+                    t, self.solver.last_hit_residual
+                )
         dt_solve = profiler.lap("equilibrium_solve")
         if tracer.enabled:
             tracer.emit(
@@ -281,6 +292,7 @@ class SimulationLoop:
                 latencies_ns=equilibrium.latencies_ns,
                 app_read_rate=equilibrium.app_read_rate,
                 measured_p=equilibrium.measured_p,
+                cached=self.solver.last_was_cache_hit,
             )
 
         feed = AccessFeed(
@@ -349,7 +361,11 @@ class SimulationLoop:
         self.metrics.record(record)
         counters = self.counters
         counters.inc("quanta")
-        counters.inc("solver_iterations", equilibrium.iterations)
+        if self.solver.last_was_cache_hit:
+            counters.inc("solver_cache_hits")
+        else:
+            counters.inc("solver_cache_misses")
+            counters.inc("solver_iterations", equilibrium.iterations)
         counters.inc("migrated_bytes", charged_bytes)
         counters.inc("moves_applied", result.moves_applied)
         counters.inc("moves_deferred", result.moves_deferred)

@@ -164,3 +164,21 @@ class TestCompareCli:
                             str(tmp_path / "missing.json"), str(current))
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestSuiteContents:
+    def test_solver_micro_in_every_suite(self):
+        from repro.bench.suite import SUITES
+
+        for suite in SUITES.values():
+            names = [case.name for case in suite.cases]
+            assert "solver-micro" in names
+
+    def test_solver_micro_runs(self):
+        from repro.bench.suite import SUITES
+        from repro.exec.runner import Runner
+
+        suite = SUITES["tiny"]
+        case = next(c for c in suite.cases
+                    if c.name == "solver-micro")
+        case.run(suite.config(), Runner(jobs=1))

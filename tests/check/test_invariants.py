@@ -259,3 +259,40 @@ class TestLoopIntegration:
         for __ in range(30):
             loop.step()
         assert loop.checker.violations == []
+
+
+class TestSolverCacheChecks:
+    def test_small_residual_passes(self):
+        checker = Checker()
+        checker.check_solver_cache(1.0, 5e-11)
+        assert checker.checks_run == 1
+        assert checker.violations == []
+
+    def test_none_residual_is_noop(self):
+        checker = Checker()
+        checker.check_solver_cache(1.0, None)
+        assert checker.checks_run == 1
+        assert checker.violations == []
+
+    @pytest.mark.parametrize("residual", [1e-3, float("nan"),
+                                          float("inf")])
+    def test_drifted_cached_equilibrium_raises(self, residual):
+        with pytest.raises(InvariantViolation) as excinfo:
+            Checker().check_solver_cache(2.0, residual)
+        assert excinfo.value.invariant == "memhw.solver_cache_consistent"
+        assert excinfo.value.time_s == 2.0
+
+    def test_loop_validates_cache_hits_when_checked(self):
+        """A checked loop turns on hit validation in its solver, and
+        steady-state cache hits pass the invariant."""
+        loop = make_loop()
+        assert loop.checker.enabled
+        assert loop.solver._validate_cache_hits
+        loop.run(duration_s=2.0)
+        assert loop.solver.cache_hits > 0
+        assert loop.checker.violations == []
+
+    def test_unchecked_loop_skips_hit_validation(self, monkeypatch):
+        monkeypatch.delenv(CHECK_ENV_VAR, raising=False)
+        loop = make_loop()
+        assert not loop.solver._validate_cache_hits

@@ -111,3 +111,40 @@ class TestThreeTierSystem:
         spread = lambda window: (window.max(axis=1) / window.min(axis=1)
                                  ).mean()
         assert spread(late) < spread(early)
+
+
+class TestFindBalancedSplit:
+    def test_three_tier_split_balances_latencies(self):
+        from repro.core.multitier import find_balanced_split
+        from repro.memhw.corestate import CoreGroup
+        from repro.memhw.fixedpoint import EquilibriumSolver
+
+        machine = three_tier_machine(scale=1.0)
+        solver = EquilibriumSolver(machine.tiers)
+        app = CoreGroup("app", 15, 7.0, randomness=1.0,
+                        read_fraction=0.5)
+        balancer = MultiTierBalancer(delta=0.05)
+        split, eq = find_balanced_split(solver, app, balancer=balancer)
+        assert split.shape == (3,)
+        assert split.sum() == pytest.approx(1.0)
+        assert (split >= 0).all()
+        # Balanced means the policy's fixed point: it requests no
+        # further shift at the returned split (either the dead-band
+        # holds or the slowest tier carries no share to move).
+        assert balancer.compute(eq.latencies_ns, split) is None
+        # Starting uniform, balancing must have drained probability off
+        # the narrow alternate tiers toward the wide default tier.
+        assert split[0] > 1.0 / 3.0
+
+    def test_budget_exhaustion_raises(self):
+        from repro.core.multitier import find_balanced_split
+        from repro.errors import ConvergenceError
+        from repro.memhw.corestate import CoreGroup
+        from repro.memhw.fixedpoint import EquilibriumSolver
+
+        machine = three_tier_machine(scale=1.0)
+        solver = EquilibriumSolver(machine.tiers)
+        app = CoreGroup("app", 15, 7.0, randomness=1.0,
+                        read_fraction=0.5)
+        with pytest.raises(ConvergenceError):
+            find_balanced_split(solver, app, max_rounds=1)

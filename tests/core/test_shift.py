@@ -249,3 +249,68 @@ class TestConvergence:
                 count += 1
             quanta_to_reset[name] = count
         assert quanta_to_reset["fast"] <= quanta_to_reset["slow"]
+
+
+class TestFindEquilibriumP:
+    def test_p_star_balances_latencies(self):
+        from repro.core.shift import find_equilibrium_p
+        from repro.memhw.antagonist import antagonist_core_group
+        from repro.memhw.corestate import CoreGroup
+        from repro.memhw.fixedpoint import EquilibriumSolver
+        from repro.memhw.topology import paper_testbed
+
+        machine = paper_testbed()
+        solver = EquilibriumSolver(machine.tiers)
+        app = CoreGroup("app", 15, 7.0, randomness=1.0,
+                        read_fraction=0.5)
+        ant = antagonist_core_group(1, machine.antagonist)
+        p_star = find_equilibrium_p(solver, app, pinned=[(ant, 0)],
+                                    tolerance=1e-5)
+        assert 0.0 < p_star < 1.0
+        eq = solver.solve(app, [p_star, 1.0 - p_star],
+                          pinned=[(ant, 0)])
+        gap = abs(eq.latencies_ns[0] - eq.latencies_ns[1])
+        assert gap < 0.01 * eq.latencies_ns[1]
+
+    def test_heavy_contention_degenerates_to_zero(self):
+        from repro.core.shift import find_equilibrium_p
+        from repro.memhw.antagonist import antagonist_core_group
+        from repro.memhw.corestate import CoreGroup
+        from repro.memhw.fixedpoint import EquilibriumSolver
+        from repro.memhw.topology import paper_testbed
+
+        machine = paper_testbed()
+        solver = EquilibriumSolver(machine.tiers)
+        app = CoreGroup("app", 15, 7.0, randomness=1.0,
+                        read_fraction=0.5)
+        ant = antagonist_core_group(3, machine.antagonist)
+        # The antagonist alone makes the default tier slower than the
+        # alternate at every split: all traffic belongs off-tier.
+        assert find_equilibrium_p(solver, app,
+                                  pinned=[(ant, 0)]) == 0.0
+
+    def test_idle_app_degenerates_to_one(self):
+        from repro.core.shift import find_equilibrium_p
+        from repro.memhw.corestate import CoreGroup
+        from repro.memhw.fixedpoint import EquilibriumSolver
+        from repro.memhw.topology import paper_testbed
+
+        solver = EquilibriumSolver(paper_testbed().tiers)
+        idle = CoreGroup("idle", 0, 7.0)
+        # With no traffic at all the default tier (65 ns) is faster at
+        # every split, so the balance point is all-default.
+        assert find_equilibrium_p(solver, idle) == 1.0
+
+    def test_two_tier_only(self):
+        import dataclasses
+
+        from repro.core.shift import find_equilibrium_p
+        from repro.memhw.corestate import CoreGroup
+        from repro.memhw.fixedpoint import EquilibriumSolver
+        from repro.memhw.topology import paper_testbed
+
+        base = paper_testbed()
+        third = dataclasses.replace(base.tiers[1], name="third")
+        solver = EquilibriumSolver(base.tiers + (third,))
+        with pytest.raises(ConfigurationError):
+            find_equilibrium_p(solver, CoreGroup("app", 15, 7.0))
