@@ -8,12 +8,19 @@ which machine recorded which side. Each case gets a verdict —
 ``improve`` / ``within`` / ``regress`` — against a symmetric threshold,
 and the comparison as a whole reports ``has_regression`` so the CLI can
 exit non-zero.
+
+When both records carry a v2 ``diagnostics`` summary the comparison
+also judges *behavior*: convergence quanta, oscillation score and
+thrash score from the diagnosed representative run. A change can leave
+wall time flat while the controller starts oscillating — the behavioral
+verdicts catch that class of regression. Pre-v2 baselines skip the
+behavioral section with a note, never a failure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.bench.record import BenchRecord
 
@@ -21,6 +28,16 @@ from repro.bench.record import BenchRecord
 #: regression is always flagged, but loose enough to ride out run-to-run
 #: noise at bench scales.
 DEFAULT_THRESHOLD = 0.15
+
+#: Behavioral thresholds — deliberately lenient: detector scores are
+#: noisier than wall time, and the diagnostics engine itself already
+#: flags absolute misbehavior. Convergence regresses only past 2x the
+#: baseline plus a slack floor; scores regress only when they both
+#: cross the diagnostics warning level and rise meaningfully.
+CONVERGENCE_RATIO_LIMIT = 2.0
+CONVERGENCE_SLACK_QUANTA = 5
+SCORE_WARN_LEVEL = {"oscillation_score": 0.35, "thrash_score": 0.25}
+SCORE_RISE_LIMIT = 0.15
 
 
 @dataclass(frozen=True)
@@ -50,6 +67,29 @@ class CaseVerdict:
 
 
 @dataclass(frozen=True)
+class BehavioralVerdict:
+    """One diagnostics-summary metric's baseline-vs-current outcome.
+
+    ``verdict`` is ``"within"``, ``"regress"``, ``"improve"`` or
+    ``"not-comparable"`` (a side is missing the metric).
+    """
+
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    verdict: str
+    note: str = ""
+
+    def format(self) -> str:
+        def show(value):
+            return "-" if value is None else f"{value:g}"
+
+        line = (f"{self.metric:<20} {show(self.baseline):>10} "
+                f"{show(self.current):>10}  {self.verdict}")
+        return line + (f"  ({self.note})" if self.note else "")
+
+
+@dataclass(frozen=True)
 class BenchComparison:
     """All case verdicts plus the overall regression flag."""
 
@@ -57,14 +97,21 @@ class BenchComparison:
     current_name: str
     threshold: float
     verdicts: Tuple[CaseVerdict, ...]
+    behavioral: Tuple[BehavioralVerdict, ...] = ()
+    behavioral_note: str = ""
 
     @property
     def has_regression(self) -> bool:
-        return any(v.verdict == "regress" for v in self.verdicts)
+        return bool(self.regressions or self.behavioral_regressions)
 
     @property
     def regressions(self) -> Tuple[CaseVerdict, ...]:
         return tuple(v for v in self.verdicts if v.verdict == "regress")
+
+    @property
+    def behavioral_regressions(self) -> Tuple[BehavioralVerdict, ...]:
+        return tuple(v for v in self.behavioral
+                     if v.verdict == "regress")
 
     def format(self) -> str:
         lines = [
@@ -77,10 +124,18 @@ class BenchComparison:
             f"{'delta':>8}  verdict",
         ]
         lines.extend(v.format() for v in self.verdicts)
+        if self.behavioral:
+            lines.append("")
+            lines.append("behavioral (diagnosed representative run):")
+            lines.extend(v.format() for v in self.behavioral)
+        elif self.behavioral_note:
+            lines.append("")
+            lines.append(f"behavioral: {self.behavioral_note}")
         lines.append("")
-        if self.has_regression:
-            names = ", ".join(v.name for v in self.regressions)
-            lines.append(f"REGRESSION: {names}")
+        names = [v.name for v in self.regressions]
+        names += [v.metric for v in self.behavioral_regressions]
+        if names:
+            lines.append(f"REGRESSION: {', '.join(names)}")
         else:
             lines.append("no regressions")
         return "\n".join(lines)
@@ -122,16 +177,82 @@ def compare_records(baseline: BenchRecord,
             verdicts.append(CaseVerdict(name=name, baseline_score=0.0,
                                         current_score=cur, ratio=0.0,
                                         verdict="new"))
+    behavioral, note = _compare_behavior(baseline, current)
     return BenchComparison(
         baseline_name=baseline.name,
         current_name=current.name,
         threshold=threshold,
         verdicts=tuple(verdicts),
+        behavioral=behavioral,
+        behavioral_note=note,
     )
+
+
+def _first_convergence(diagnostics: dict) -> Optional[float]:
+    """The representative run's initial-epoch convergence quanta."""
+    for quanta in diagnostics.get("convergence_quanta", []):
+        if quanta is not None:
+            return float(quanta)
+    return None
+
+
+def _compare_behavior(baseline: BenchRecord, current: BenchRecord,
+                      ) -> Tuple[Tuple[BehavioralVerdict, ...], str]:
+    """Judge the diagnostics summaries (lenient, see module docstring)."""
+    if baseline.diagnostics is None or current.diagnostics is None:
+        missing = ("baseline" if baseline.diagnostics is None
+                   else "current")
+        return (), (f"not comparable — the {missing} record predates "
+                    f"the diagnostics summary (schema v1)")
+    verdicts = []
+
+    base_conv = _first_convergence(baseline.diagnostics)
+    cur_conv = _first_convergence(current.diagnostics)
+    if base_conv is None or cur_conv is None:
+        verdicts.append(BehavioralVerdict(
+            metric="convergence_quanta", baseline=base_conv,
+            current=cur_conv,
+            verdict=("not-comparable"
+                     if base_conv is None else "regress"),
+            note=("no converged epoch on a side" if base_conv is None
+                  else "representative run no longer converges"),
+        ))
+    else:
+        limit = (base_conv * CONVERGENCE_RATIO_LIMIT
+                 + CONVERGENCE_SLACK_QUANTA)
+        if cur_conv > limit:
+            verdict, note = "regress", f"limit {limit:g} quanta"
+        elif cur_conv * CONVERGENCE_RATIO_LIMIT < base_conv:
+            verdict, note = "improve", ""
+        else:
+            verdict, note = "within", ""
+        verdicts.append(BehavioralVerdict(
+            metric="convergence_quanta", baseline=base_conv,
+            current=cur_conv, verdict=verdict, note=note,
+        ))
+
+    for metric, warn_level in SCORE_WARN_LEVEL.items():
+        base_score = float(baseline.diagnostics.get(metric, 0.0))
+        cur_score = float(current.diagnostics.get(metric, 0.0))
+        if (cur_score >= warn_level
+                and cur_score > base_score + SCORE_RISE_LIMIT):
+            verdict = "regress"
+            note = f"crossed the {warn_level:g} warning level"
+        elif (base_score >= warn_level
+                and base_score > cur_score + SCORE_RISE_LIMIT):
+            verdict, note = "improve", ""
+        else:
+            verdict, note = "within", ""
+        verdicts.append(BehavioralVerdict(
+            metric=metric, baseline=base_score, current=cur_score,
+            verdict=verdict, note=note,
+        ))
+    return tuple(verdicts), ""
 
 
 __all__ = [
     "DEFAULT_THRESHOLD",
+    "BehavioralVerdict",
     "BenchComparison",
     "CaseVerdict",
     "compare_records",

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import platform
 import sys
+import warnings
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -24,7 +25,12 @@ from repro.errors import ConfigurationError
 PathLike = Union[str, Path]
 
 #: Bump whenever a record field is renamed, removed, or changes meaning.
-BENCH_SCHEMA_VERSION = 1
+#: v2 added the ``diagnostics`` behavioral summary; v1 records still
+#: load (with a warning) so the trajectory keeps reaching back.
+BENCH_SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`BenchRecord.from_dict` accepts.
+_COMPATIBLE_SCHEMAS = (1, 2)
 
 #: Calibration loop geometry — small enough to run in well under a
 #: second, big enough to exercise the solver/placement hot paths.
@@ -123,6 +129,10 @@ class BenchRecord:
         python: Interpreter version string.
         machine: Platform identifier (informational only).
         metrics: Fleet metrics snapshot dict (None unless enabled).
+        diagnostics: Behavioral summary of a diagnosed representative
+            colloid run (:class:`repro.obs.diagnose.DiagnosticsSummary`
+            as a dict: convergence quanta, oscillation score, thrash
+            score, watermark resets). None on pre-v2 records.
     """
 
     name: str
@@ -139,6 +149,7 @@ class BenchRecord:
     python: str = ""
     machine: str = ""
     metrics: Optional[dict] = None
+    diagnostics: Optional[dict] = None
 
     @staticmethod
     def now_utc() -> str:
@@ -178,15 +189,24 @@ class BenchRecord:
             "python": self.python,
             "machine": self.machine,
             "metrics": self.metrics,
+            "diagnostics": self.diagnostics,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "BenchRecord":
         schema = data.get("bench_schema")
-        if schema != BENCH_SCHEMA_VERSION:
+        if schema not in _COMPATIBLE_SCHEMAS:
             raise ConfigurationError(
                 f"unsupported bench record schema {schema!r} (expected "
-                f"{BENCH_SCHEMA_VERSION})"
+                f"one of {_COMPATIBLE_SCHEMAS})"
+            )
+        if schema != BENCH_SCHEMA_VERSION:
+            warnings.warn(
+                f"bench record {data.get('name', '<unnamed>')!r} uses "
+                f"schema v{schema}; it predates the diagnostics summary "
+                f"(current v{BENCH_SCHEMA_VERSION}) — behavioral "
+                f"comparison will be skipped",
+                stacklevel=2,
             )
         return cls(
             name=data["name"],
@@ -205,6 +225,7 @@ class BenchRecord:
             python=data.get("python", ""),
             machine=data.get("machine", ""),
             metrics=data.get("metrics"),
+            diagnostics=data.get("diagnostics"),
         )
 
     def write(self, path: PathLike) -> Path:

@@ -178,6 +178,44 @@ SUITES: Dict[str, BenchSuite] = {
 }
 
 
+def _diagnostics_summary(config: ExperimentConfig,
+                         duration_s: float) -> dict:
+    """Diagnose one traced representative colloid run.
+
+    The behavioral companion to the phase profile: a short
+    ``hemem+colloid`` run with a mid-run contention step (the Fig. 4c
+    dynamism) is traced in memory and distilled into the
+    :class:`~repro.obs.diagnose.DiagnosticsSummary` scores — so every
+    bench record pins convergence quanta, oscillation and thrash
+    alongside wall time, and ``bench compare`` can flag behavioral
+    regressions that cost no wall time at all.
+    """
+    from repro.experiments.common import make_system, scaled_machine
+    from repro.obs.diagnose import diagnose_events
+    from repro.obs.tracer import Tracer
+    from repro.runtime.loop import SimulationLoop
+    from repro.workloads.gups import GupsWorkload
+
+    quanta = int(duration_s * 1000.0 / 10.0)
+    tracer = Tracer(ring_size=max(4096, quanta * 16))
+    step_time = duration_s / 2.0
+    # Deliberately the loop's default migration limit, not the bench
+    # cap: the representative run measures controller behavior, and the
+    # tighter bench budget rate-limits the post-reset re-walk of p so
+    # the second epoch cannot converge within the run.
+    loop = SimulationLoop(
+        machine=scaled_machine(config.scale),
+        workload=GupsWorkload(scale=config.scale, seed=config.seed),
+        system=make_system("hemem+colloid"),
+        contention=lambda t: 0 if t < step_time else 2,
+        seed=config.seed,
+        tracer=tracer,
+    )
+    loop.run(duration_s=duration_s)
+    loop.emit_run_end()
+    return diagnose_events(tracer.events()).summary.to_dict()
+
+
 def _profiled_phase_totals(config: ExperimentConfig,
                            duration_s: float) -> Dict[str, int]:
     """Run one profiled representative loop; return per-phase totals."""
@@ -256,6 +294,17 @@ def run_suite(suite_name: str,
         cells_executed=0,
         cache_hits=0,
     ))
+    if progress is not None:
+        progress("diagnostics-rep")
+    diag_start = perf_counter()
+    diagnostics = _diagnostics_summary(
+        config, max(3.0, suite.profile_duration_s))
+    cases.append(CaseTiming(
+        name="diagnostics-rep",
+        wall_s=perf_counter() - diag_start,
+        cells_executed=0,
+        cache_hits=0,
+    ))
     total_wall_s = perf_counter() - total_start
 
     lookups = runner.stats.cache_hits + runner.stats.cache_misses
@@ -277,6 +326,7 @@ def run_suite(suite_name: str,
         machine=BenchRecord.platform_id(),
         metrics=(METRICS.snapshot().to_dict()
                  if METRICS.enabled else None),
+        diagnostics=diagnostics,
     )
 
 

@@ -11,6 +11,8 @@ paper's figures (or all of them). Examples::
     python -m repro figure fig5 --scale 0.0625 --jobs 4
     python -m repro figure all --jobs 4 --cache
     python -m repro report --out results.md --jobs 2 --cache
+    python -m repro run --duration 4 --hotset-shift 2 --trace t.jsonl
+    python -m repro diagnose t.jsonl --chrome-trace t.chrome.json
     python -m repro calibrate
     python -m repro bench run --suite tiny --out BENCH_tiny.json
     python -m repro bench compare benchmarks/baselines/BENCH_tiny.json \\
@@ -75,6 +77,11 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
                              "(propagates to --jobs workers via "
                              "REPRO_SOLVER_CACHE=0); solves are then "
                              "always computed fresh")
+    parser.add_argument("--diagnose", action="store_true",
+                        help="run the run-health detectors over every "
+                             "simulated cell (propagates to --jobs "
+                             "workers via REPRO_DIAGNOSE) and attach a "
+                             "diagnostics summary to its result")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workload", choices=WORKLOADS, default="gups")
     run.add_argument("--contention", type=int, default=0,
                      help="antagonist intensity (0-3+)")
+    run.add_argument("--contention-step", type=str, action="append",
+                     default=None, metavar="TIME_S:LEVEL",
+                     help="switch the antagonist to LEVEL at simulated "
+                          "TIME_S (repeatable) — the Fig. 4c dynamic-"
+                          "contention methodology; starts from "
+                          "--contention")
     run.add_argument("--duration", type=float, default=10.0,
                      help="simulated seconds")
     run.add_argument("--scale", type=float, default=None,
@@ -121,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-solver-cache", action="store_true",
                      help="disable equilibrium-solve memoization "
                           "(REPRO_SOLVER_CACHE=0)")
+    run.add_argument("--hotset-shift", type=float, action="append",
+                     default=None, metavar="TIME_S",
+                     help="reshuffle the workload's hot set at this "
+                          "simulated time (repeatable; gups only) — "
+                          "the §5.2 dynamic-workload methodology")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=FIGURES + ("all",))
@@ -151,6 +169,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only sections whose title starts with "
                              "this (repeatable)")
     _add_exec_options(report)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="run-health diagnostics over a recorded JSONL "
+                         "trace: convergence, oscillation, watermark "
+                         "reset storms, migration thrash; exits 2 on "
+                         "critical findings"
+    )
+    diagnose.add_argument("trace", metavar="TRACE",
+                          help="JSONL trace from 'repro run --trace'")
+    diagnose.add_argument("--json", action="store_true",
+                          help="emit findings + summary as JSON instead "
+                               "of text")
+    diagnose.add_argument("--out", type=str, default=None, metavar="PATH",
+                          help="write the report to PATH instead of "
+                               "stdout")
+    diagnose.add_argument("--chrome-trace", type=str, default=None,
+                          metavar="PATH",
+                          help="also export the trace in Chrome Trace "
+                               "Event Format (chrome://tracing / "
+                               "Perfetto)")
+    diagnose.add_argument("--epsilon", type=float, default=None,
+                          help="relative latency-imbalance threshold "
+                               "for convergence (default 0.10)")
+    diagnose.add_argument("--sustain", type=int, default=None,
+                          help="consecutive balanced quanta required "
+                               "for convergence (default 5)")
 
     bench = sub.add_parser(
         "bench", help="record and compare performance-trajectory "
@@ -233,6 +277,12 @@ def _enable_instrumentation(args) -> None:
         # Sets REPRO_SOLVER_CACHE=0, so process-pool workers inherit
         # the setting along with the parent.
         disable_solver_cache()
+    if getattr(args, "diagnose", False):
+        from repro.obs.diagnose import enable_diagnostics
+
+        # Sets REPRO_DIAGNOSE, so process-pool workers diagnose their
+        # own cells and return the summary with the result.
+        enable_diagnostics()
 
 
 def _export_metrics(args) -> None:
@@ -300,6 +350,36 @@ def _build_system(name: str):
     return make_system(name)
 
 
+def _contention_schedule(args):
+    """The run's antagonist schedule: the constant ``--contention``
+    level, or a step function over it when ``--contention-step`` is
+    given (the paper's Fig. 4c dynamic-contention methodology)."""
+    if not getattr(args, "contention_step", None):
+        return args.contention
+    from repro.errors import ConfigurationError
+
+    steps = []
+    for spec in args.contention_step:
+        try:
+            time_text, level_text = spec.split(":", 1)
+            steps.append((float(time_text), int(level_text)))
+        except ValueError:
+            raise ConfigurationError(
+                f"--contention-step expects TIME_S:LEVEL, got {spec!r}"
+            )
+    steps.sort()
+    base = int(args.contention)
+
+    def schedule(t: float) -> int:
+        level = base
+        for step_time, step_level in steps:
+            if t >= step_time:
+                level = step_level
+        return level
+
+    return schedule
+
+
 def cmd_run(args) -> int:
     """Handle ``repro run``: one simulation, printed summary."""
     from repro.experiments.common import scaled_machine
@@ -309,6 +389,16 @@ def cmd_run(args) -> int:
 
     scale = _resolved_scale(args)
     workload = _build_workload(args, scale)
+    if args.hotset_shift:
+        from repro.errors import ConfigurationError
+        from repro.workloads.dynamic import HotSetShiftWorkload
+        from repro.workloads.gups import GupsWorkload
+
+        if not isinstance(workload, GupsWorkload):
+            raise ConfigurationError(
+                "--hotset-shift is only defined for the gups workload"
+            )
+        workload = HotSetShiftWorkload(workload, args.hotset_shift)
     tracer = Tracer(jsonl_path=args.trace) if args.trace else None
     # Before loop construction: the loop registers its histograms only
     # when metrics are already enabled.
@@ -317,7 +407,7 @@ def cmd_run(args) -> int:
         machine=scaled_machine(scale),
         workload=workload,
         system=_build_system(args.system),
-        contention=args.contention,
+        contention=_contention_schedule(args),
         seed=args.seed,
         tracer=tracer,
         profile=args.profile,
@@ -333,7 +423,11 @@ def cmd_run(args) -> int:
     print(f"system        : {args.system}")
     print(f"workload      : {workload.name} "
           f"({workload.working_set_bytes / 1e9:.1f} GB working set)")
-    print(f"contention    : {args.contention}x")
+    if args.contention_step:
+        steps = ", ".join(sorted(args.contention_step))
+        print(f"contention    : {args.contention}x, then {steps}")
+    else:
+        print(f"contention    : {args.contention}x")
     print(f"throughput    : {metrics.steady_state_throughput():.2f} GB/s")
     print("tier latencies: "
           + "  ".join(f"{x:.0f} ns" for x in latency))
@@ -420,6 +514,44 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_diagnose(args) -> int:
+    """Handle ``repro diagnose``: judge a recorded trace's run health.
+
+    Exit codes: 0 = no critical findings, 2 = at least one critical
+    finding (1 is reserved for errors, as everywhere else).
+    """
+    from pathlib import Path
+
+    from repro.obs.chrometrace import export_chrome_trace
+    from repro.obs.diagnose import (
+        DEFAULT_CONFIG,
+        diagnose_timeline,
+        format_diagnostics,
+        with_overrides,
+    )
+    from repro.obs.timeline import build_timeline
+    from repro.obs.tracer import load_events
+
+    events = load_events(args.trace)
+    timeline = build_timeline(events)
+    config = with_overrides(DEFAULT_CONFIG, epsilon=args.epsilon,
+                            sustain_quanta=args.sustain)
+    diagnostics = diagnose_timeline(timeline, config)
+    if args.json:
+        text = diagnostics.to_json() + "\n"
+    else:
+        text = format_diagnostics(diagnostics, timeline=timeline) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    if args.chrome_trace:
+        export_chrome_trace(events, args.chrome_trace, timeline=timeline)
+        print(f"wrote {args.chrome_trace}")
+    return 2 if diagnostics.has_critical else 0
+
+
 def cmd_bench(args) -> int:
     """Handle ``repro bench run`` / ``repro bench compare``."""
     if args.bench_command == "run":
@@ -468,6 +600,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_figure(args)
         if args.command == "report":
             return cmd_report(args)
+        if args.command == "diagnose":
+            return cmd_diagnose(args)
         if args.command == "bench":
             return cmd_bench(args)
         return cmd_calibrate()

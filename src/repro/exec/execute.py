@@ -28,7 +28,7 @@ from repro.runtime.loop import SimulationLoop
 from repro.workloads.base import Workload
 
 
-def build_loop(spec: RunSpec) -> SimulationLoop:
+def build_loop(spec: RunSpec, tracer=None) -> SimulationLoop:
     """Construct the simulation loop a spec describes."""
     workload = spec.workload.build()
     machine = spec.machine.build(workload)
@@ -41,7 +41,35 @@ def build_loop(spec: RunSpec) -> SimulationLoop:
         cha_noise_sigma=spec.cha_noise_sigma,
         migration_limit_bytes=spec.migration_limit_bytes,
         seed=spec.seed,
+        tracer=tracer,
     )
+
+
+def _diagnostics_tracer(spec: RunSpec):
+    """An in-memory tracer sized to hold the whole cell, when per-cell
+    diagnostics are enabled (``REPRO_DIAGNOSE`` / ``--diagnose``)."""
+    from repro.obs.diagnose import diagnostics_enabled
+    from repro.obs.tracer import DEFAULT_RING_SIZE, Tracer
+
+    if not diagnostics_enabled():
+        return None
+    duration_s = spec.duration_s or spec.max_duration_s or 10.0
+    quanta = duration_s * 1000.0 / spec.quantum_ms
+    # ~8 events per quantum with tracing on; 2x headroom.
+    return Tracer(ring_size=max(DEFAULT_RING_SIZE, int(quanta * 16)))
+
+
+def _diagnose_cell(loop, tracer) -> "dict | None":
+    """Distill the cell's trace into a diagnostics-summary dict."""
+    if tracer is None:
+        return None
+    from repro.obs.diagnose import diagnose_events
+
+    loop.emit_run_end()
+    events = tracer.events()
+    if not events:
+        return None
+    return diagnose_events(events).summary.to_dict()
 
 
 def run_spec_steady(spec: RunSpec) -> SteadyStateResult:
@@ -114,7 +142,8 @@ def _execute_best_case(spec: RunSpec) -> CellResult:
 
 
 def _execute_steady(spec: RunSpec) -> CellResult:
-    loop = build_loop(spec)
+    tracer = _diagnostics_tracer(spec)
+    loop = build_loop(spec, tracer=tracer)
     result = run_steady_state(
         loop,
         min_duration_s=spec.resolved_min_duration_s(),
@@ -129,11 +158,13 @@ def _execute_steady(spec: RunSpec) -> CellResult:
         tail_latencies_ns=latencies,
         tail_default_share=share,
         cpu_work=_cpu_work(loop.system),
+        diagnostics=_diagnose_cell(loop, tracer),
     )
 
 
 def _execute_trace(spec: RunSpec) -> CellResult:
-    loop = build_loop(spec)
+    tracer = _diagnostics_tracer(spec)
+    loop = build_loop(spec, tracer=tracer)
     metrics = loop.run(duration_s=spec.duration_s)
     latencies, share = _tail_stats(metrics)
     tail = max(1, len(metrics) // 4)
@@ -146,6 +177,7 @@ def _execute_trace(spec: RunSpec) -> CellResult:
         tail_default_share=share,
         cpu_work=_cpu_work(loop.system),
         series=TraceSeries.from_metrics(metrics),
+        diagnostics=_diagnose_cell(loop, tracer),
     )
 
 

@@ -14,11 +14,19 @@ run with a reporter is bit-identical to one without.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from typing import Optional, TextIO
 
 from repro.obs.tracer import NULL_TRACER
+
+#: Elapsed-time floor for throughput/ETA math. Sub-millisecond cells
+#: (tiny grids, warm caches) would otherwise divide by a near-zero
+#: elapsed and report astronomically large cells/s and garbage ETAs on
+#: the first cell; a clamped rate is merely optimistic for a few
+#: milliseconds and correct thereafter.
+MIN_RATE_ELAPSED_S = 1e-3
 
 
 def _format_eta(seconds: float) -> str:
@@ -77,10 +85,13 @@ class FleetProgress:
         if not self._active:
             return
         self._completed += 1
-        elapsed = max(self._clock() - self._started_at, 1e-9)
+        elapsed = max(self._clock() - self._started_at,
+                      MIN_RATE_ELAPSED_S)
         rate = self._completed / elapsed
         remaining = self._total - self._completed
         eta_s = remaining / rate if rate > 0 else None
+        if eta_s is not None and not math.isfinite(eta_s):
+            eta_s = None
         if self._tracer.enabled:
             self._tracer.emit(
                 "run_progress",
@@ -94,7 +105,7 @@ class FleetProgress:
         percent = self._completed / self._total
         message = (f"[{self._completed}/{self._total}] {percent:>4.0%} "
                    f"{label}  {rate:.2f} cells/s")
-        if remaining:
+        if remaining and eta_s is not None:
             message += f"  eta {_format_eta(eta_s)}"
         self._render(message, newline=not self._isatty)
 
@@ -120,4 +131,4 @@ class FleetProgress:
         self._stream.flush()
 
 
-__all__ = ["FleetProgress"]
+__all__ = ["FleetProgress", "MIN_RATE_ELAPSED_S"]

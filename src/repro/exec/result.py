@@ -87,6 +87,11 @@ class CellResult:
         cpu_work: The tiering system's CPU-work counters at the end of
             the run (empty for best-case cells).
         series: Trace-mode time series (None otherwise).
+        diagnostics: Run-health summary dict
+            (:meth:`repro.obs.diagnose.DiagnosticsSummary.to_dict`) when
+            per-cell diagnostics were enabled via ``REPRO_DIAGNOSE`` /
+            ``--diagnose``; None otherwise. Results written before the
+            field existed load as None.
     """
 
     mode: str
@@ -97,9 +102,10 @@ class CellResult:
     tail_default_share: float
     cpu_work: Dict[str, float]
     series: Optional[TraceSeries] = None
+    diagnostics: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "mode": self.mode,
             "throughput": self.throughput,
             "converged": self.converged,
@@ -109,6 +115,11 @@ class CellResult:
             "cpu_work": dict(self.cpu_work),
             "series": self.series.to_dict() if self.series else None,
         }
+        # Omitted when absent so undiagnosed payloads (and the golden
+        # fixtures pinning them) keep their pre-diagnostics shape.
+        if self.diagnostics is not None:
+            data["diagnostics"] = self.diagnostics
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CellResult":
@@ -123,4 +134,5 @@ class CellResult:
             cpu_work={k: float(v)
                       for k, v in data.get("cpu_work", {}).items()},
             series=TraceSeries.from_dict(series) if series else None,
+            diagnostics=data.get("diagnostics"),
         )

@@ -6,8 +6,22 @@ The simulation hot path is instrumented with guarded emit sites
 check. A real :class:`~repro.obs.tracer.Tracer` records schema-validated
 events (see :mod:`repro.obs.events`) into a ring buffer and optionally a
 JSONL file that ``repro report trace.jsonl`` turns into a run report.
+
+On top of recorded traces sits the run-health diagnostics engine:
+:mod:`repro.obs.timeline` folds events into typed per-quantum samples,
+:mod:`repro.obs.diagnose` judges them with convergence / oscillation /
+reset-storm / thrash detectors (``repro diagnose trace.jsonl``), and
+:mod:`repro.obs.chrometrace` exports the same timeline as Chrome Trace
+Event Format JSON for ``chrome://tracing`` / Perfetto.
 """
 
+from repro.obs.chrometrace import export_chrome_trace
+from repro.obs.diagnose import (
+    DiagnosticsSummary,
+    diagnose_events,
+    diagnose_timeline,
+    format_diagnostics,
+)
 from repro.obs.events import (
     EVENT_SCHEMAS,
     TRACE_SCHEMA_VERSION,
@@ -34,6 +48,7 @@ from repro.obs.report import (
     report_from_file,
     summarize_events,
 )
+from repro.obs.timeline import Timeline, build_timeline
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -53,15 +68,22 @@ __all__ = [
     "METRICS_SCHEMA_VERSION",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "DiagnosticsSummary",
     "NULL_TRACER",
     "NullTracer",
     "PhaseProfiler",
     "TRACE_SCHEMA_VERSION",
+    "Timeline",
     "TraceSummary",
     "Tracer",
+    "build_timeline",
     "describe_schema",
+    "diagnose_events",
+    "diagnose_timeline",
     "disable_metrics",
     "enable_metrics",
+    "export_chrome_trace",
+    "format_diagnostics",
     "format_summary",
     "iter_events",
     "load_events",

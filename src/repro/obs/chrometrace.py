@@ -1,0 +1,188 @@
+"""Chrome Trace Event Format export of recorded traces.
+
+``repro diagnose <trace> --chrome-trace out.json`` converts a JSONL
+trace into the JSON Object Format of the Trace Event specification, so
+a run opens directly in ``chrome://tracing`` or Perfetto:
+
+* **quantum spans** — one complete (``"ph": "X"``) event per simulated
+  quantum on the ``quanta`` track, in simulated microseconds;
+* **phase spans** — the profiler's per-quantum wall-clock phase laps
+  (``phase_timing`` events, needs ``--profile``) laid end-to-end on a
+  wall-clock-scaled process so relative phase cost is visible;
+* **instant markers** (``"ph": "i"``) — watermark resets, hot-set
+  shifts, contention changes, and invariant violations on the
+  simulated track;
+* **counter tracks** (``"ph": "C"``) — per-tier loaded latency, the
+  controller's ``p``, and migration bytes per quantum.
+
+The two processes deliberately use different time bases (simulated vs
+wall): the Trace Event Format has no notion of dual clocks, and pids
+keep the tracks separate and individually zoomable.
+
+:class:`~repro.obs.profile.PhaseProfiler` spans (the nested push/pop
+API) export through :func:`profiler_chrome_events` on their own wall
+process — that contract is pinned by ``tests/obs/test_profile.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.timeline import Timeline, build_timeline
+from repro.obs.tracer import PathLike
+
+#: Process ids (Trace Event Format groups tracks by pid/tid).
+PID_SIMULATED = 1
+PID_WALL = 2
+
+_METADATA = (
+    {"name": "process_name", "ph": "M", "pid": PID_SIMULATED, "tid": 0,
+     "args": {"name": "simulated time (quanta, markers, counters)"}},
+    {"name": "process_name", "ph": "M", "pid": PID_WALL, "tid": 0,
+     "args": {"name": "wall-clock time (loop phases)"}},
+)
+
+
+def _instant(name: str, ts_us: float, args: Dict) -> dict:
+    return {"name": name, "ph": "i", "s": "t", "ts": ts_us,
+            "pid": PID_SIMULATED, "tid": 0, "args": args}
+
+
+def _counter(name: str, ts_us: float, values: Dict) -> dict:
+    return {"name": name, "ph": "C", "ts": ts_us,
+            "pid": PID_SIMULATED, "tid": 0, "args": values}
+
+
+def chrome_trace_events(events: List[dict],
+                        timeline: Optional[Timeline] = None,
+                        ) -> List[dict]:
+    """Convert trace events to Trace Event Format event dicts.
+
+    Args:
+        events: Events as loaded by
+            :func:`~repro.obs.tracer.load_events`.
+        timeline: Pre-built timeline (rebuilt from ``events`` when
+            omitted).
+    """
+    timeline = timeline or build_timeline(events)
+    out: List[dict] = list(_METADATA)
+    quantum_us = (timeline.quantum_s * 1e6
+                  if timeline.quantum_s else None)
+
+    for sample in timeline.samples:
+        ts_us = sample.time_s * 1e6
+        if quantum_us is not None:
+            out.append({
+                "name": f"quantum {sample.index}", "ph": "X",
+                "ts": ts_us, "dur": quantum_us,
+                "pid": PID_SIMULATED, "tid": 1,
+                "args": {
+                    "index": sample.index,
+                    "executed_bytes": sample.executed_bytes,
+                    "solver_iterations": sample.solver_iterations,
+                },
+            })
+        if sample.latencies_ns is not None:
+            out.append(_counter(
+                "loaded latency (ns)", ts_us,
+                {f"tier{i}": value
+                 for i, value in enumerate(sample.latencies_ns)},
+            ))
+        if sample.p is not None:
+            out.append(_counter("p (default-tier share)", ts_us,
+                                {"p": sample.p}))
+        if sample.executed_bytes or sample.planned_bytes:
+            out.append(_counter(
+                "migration bytes", ts_us,
+                {"planned": sample.planned_bytes,
+                 "executed": sample.executed_bytes},
+            ))
+        for side in sample.reset_sides:
+            out.append(_instant(
+                f"watermark reset ({side})", ts_us,
+                {"side": side, "quantum": sample.index},
+            ))
+        if sample.workload_shift:
+            out.append(_instant("hot-set shift", ts_us,
+                                {"quantum": sample.index}))
+        if sample.contention_change:
+            out.append(_instant(
+                "contention change", ts_us,
+                {"quantum": sample.index,
+                 "intensity": sample.contention},
+            ))
+
+    for event in events:
+        if event.get("type") == "invariant_violation":
+            out.append(_instant(
+                f"invariant violation: {event.get('invariant', '?')}",
+                float(event.get("time_s", 0.0)) * 1e6,
+                {"message": event.get("message", "")},
+            ))
+
+    # Wall-clock phase spans: lay each quantum's profiled laps
+    # end-to-end so the track shows where wall time actually went.
+    wall_ns = 0
+    for sample in timeline.samples:
+        for phase, ns in sample.phases_ns.items():
+            out.append({
+                "name": phase, "ph": "X",
+                "ts": wall_ns / 1e3, "dur": int(ns) / 1e3,
+                "pid": PID_WALL, "tid": 1,
+                "args": {"quantum": sample.index},
+            })
+            wall_ns += int(ns)
+    return out
+
+
+def profiler_chrome_events(profiler) -> List[dict]:
+    """Trace Event Format events for a profiler's recorded spans.
+
+    Spans come from :meth:`~repro.obs.profile.PhaseProfiler.span` /
+    ``push``/``pop``; nesting depth maps to track depth implicitly via
+    Chrome's stacking of overlapping ``X`` events on one tid. Unclosed
+    spans are auto-closed by ``drain_spans`` and carry an
+    ``"unclosed": true`` arg.
+    """
+    events: List[dict] = [dict(_METADATA[1])]
+    origin: Optional[int] = None
+    for span in profiler.drain_spans():
+        if origin is None:
+            origin = span.start_ns
+        args = {"depth": span.depth}
+        if span.unclosed:
+            args["unclosed"] = True
+        events.append({
+            "name": span.name, "ph": "X",
+            "ts": (span.start_ns - origin) / 1e3,
+            "dur": (span.end_ns - span.start_ns) / 1e3,
+            "pid": PID_WALL, "tid": 1, "args": args,
+        })
+    return events
+
+
+def export_chrome_trace(events: List[dict], path: PathLike,
+                        timeline: Optional[Timeline] = None) -> Path:
+    """Write the Trace Event Format JSON object for a trace.
+
+    The output is the JSON Object Format (``{"traceEvents": [...]}``),
+    which both ``chrome://tracing`` and Perfetto accept.
+    """
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(events, timeline=timeline),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload) + "\n")
+    return path
+
+
+__all__ = [
+    "PID_SIMULATED",
+    "PID_WALL",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "profiler_chrome_events",
+]

@@ -65,6 +65,19 @@ EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
         "moves_skipped": "moves dropped for capacity reasons",
         "moves_deferred": "moves dropped because the budget ran out",
     },
+    "workload_shift": {
+        "epoch": "1-based index of the access-pattern epoch that just "
+                 "began (0 is the initial pattern); the diagnostics "
+                 "timeline segments convergence analysis at these "
+                 "events",
+    },
+    "contention_change": {
+        "intensity": "antagonist intensity the schedule switched to",
+        "previous": "intensity before the switch",
+        "epoch": "1-based index of the epoch the change opens (shared "
+                 "counter with workload_shift; the diagnostics timeline "
+                 "treats both as epoch boundaries)",
+    },
     "run_end": {
         "simulated_s": "total simulated time covered by the run",
         "n_quanta": "quanta executed",

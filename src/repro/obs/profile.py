@@ -11,10 +11,34 @@ immediately after a single attribute check, mirroring the null tracer.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from dataclasses import dataclass
 from time import perf_counter_ns
-from typing import Dict
+from typing import Dict, List
 
 from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One recorded (possibly nested) phase interval.
+
+    ``depth`` is the nesting level at entry (0 = top level); re-entrant
+    pushes of the same name record distinct spans at increasing depth.
+    ``unclosed`` marks spans that were still open when the spans were
+    drained — they are auto-closed at drain time so an exporter never
+    sees a half-open interval.
+    """
+
+    name: str
+    start_ns: int
+    end_ns: int
+    depth: int
+    unclosed: bool = False
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
 
 
 class Counters:
@@ -55,6 +79,8 @@ class PhaseProfiler:
         self.enabled = bool(enabled)
         self._totals: Dict[str, list] = {}
         self._mark = 0
+        self._spans: List[PhaseSpan] = []
+        self._open: List[list] = []
 
     def start(self) -> None:
         """Begin a measurement window (call at the top of each quantum)."""
@@ -77,6 +103,76 @@ class PhaseProfiler:
             entry[0] += elapsed
             entry[1] += 1
         return elapsed
+
+    # -- nested spans (the Chrome-trace exporter's contract) -----------
+
+    def push(self, name: str) -> None:
+        """Open a nested span. Re-entrant: pushing a name already on the
+        stack records a second, deeper span of the same name."""
+        if not self.enabled:
+            return
+        self._open.append([name, perf_counter_ns(), len(self._open)])
+
+    def pop(self) -> int:
+        """Close the innermost open span; returns its duration in ns
+        (0 when disabled).
+
+        Raises:
+            ConfigurationError: If no span is open.
+        """
+        if not self.enabled:
+            return 0
+        if not self._open:
+            raise ConfigurationError("pop() without a matching push()")
+        name, start, depth = self._open.pop()
+        end = perf_counter_ns()
+        self._spans.append(PhaseSpan(name=name, start_ns=start,
+                                     end_ns=end, depth=depth))
+        entry = self._totals.get(name)
+        if entry is None:
+            self._totals[name] = [end - start, 1]
+        else:
+            entry[0] += end - start
+            entry[1] += 1
+        return end - start
+
+    @contextmanager
+    def span(self, name: str):
+        """Context manager form of :meth:`push`/:meth:`pop`."""
+        self.push(name)
+        try:
+            yield
+        finally:
+            self.pop()
+
+    def drain_spans(self) -> List[PhaseSpan]:
+        """Return all recorded spans (start order) and clear them.
+
+        Spans still open — a run that ended mid-phase — are auto-closed
+        at the current clock and flagged ``unclosed``; their totals are
+        charged like any other span so ``phases`` stays consistent with
+        what the exporter renders.
+        """
+        now = perf_counter_ns()
+        while self._open:
+            name, start, depth = self._open.pop()
+            self._spans.append(PhaseSpan(name=name, start_ns=start,
+                                         end_ns=now, depth=depth,
+                                         unclosed=True))
+            entry = self._totals.get(name)
+            if entry is None:
+                self._totals[name] = [now - start, 1]
+            else:
+                entry[0] += now - start
+                entry[1] += 1
+        spans = sorted(self._spans, key=lambda s: (s.start_ns, s.depth))
+        self._spans = []
+        return spans
+
+    @property
+    def open_depth(self) -> int:
+        """Number of currently-open nested spans."""
+        return len(self._open)
 
     @property
     def phases(self) -> Dict[str, int]:
@@ -113,9 +209,11 @@ class PhaseProfiler:
         return "\n".join(lines)
 
     def reset(self) -> None:
-        """Clear all accumulated phase totals."""
+        """Clear all accumulated phase totals and spans."""
         self._totals.clear()
         self._mark = 0
+        self._spans.clear()
+        self._open.clear()
 
 
 def merge_phase_events(phase_events) -> Dict[str, int]:
@@ -139,4 +237,5 @@ def merge_phase_events(phase_events) -> Dict[str, int]:
     return totals
 
 
-__all__ = ["Counters", "PhaseProfiler", "merge_phase_events"]
+__all__ = ["Counters", "PhaseProfiler", "PhaseSpan",
+           "merge_phase_events"]

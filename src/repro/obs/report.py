@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.events import EVENT_SCHEMAS
 from repro.obs.profile import merge_phase_events
 from repro.obs.tracer import PathLike, iter_events, load_events
 
@@ -50,6 +51,13 @@ class TraceSummary:
         fleet_progress: The last ``run_progress`` event's fields —
             completed/total cells, wall time, completion throughput —
             for fleet-level traces (None otherwise).
+        unknown_event_counts: Events whose kind is absent from
+            :data:`~repro.obs.events.EVENT_SCHEMAS` — traces written by
+            newer code must still summarize, so these are counted and
+            skipped, never fatal.
+        malformed_events: Events of a known kind whose payload could not
+            be folded (e.g. ``phase_timing`` without a ``phases``
+            mapping) — also skip-and-count.
     """
 
     meta: Dict = field(default_factory=dict)
@@ -68,6 +76,8 @@ class TraceSummary:
     invariant_violations: List[Dict] = field(default_factory=list)
     runtime_counters: Dict[str, int] = field(default_factory=dict)
     fleet_progress: Optional[Dict] = None
+    unknown_event_counts: Dict[str, int] = field(default_factory=dict)
+    malformed_events: int = 0
 
     @property
     def migration_efficiency(self) -> Optional[float]:
@@ -87,6 +97,10 @@ def summarize_events(events: List[dict]) -> TraceSummary:
         summary.event_counts[etype] = (
             summary.event_counts.get(etype, 0) + 1
         )
+        if etype not in EVENT_SCHEMAS:
+            summary.unknown_event_counts[etype] = (
+                summary.unknown_event_counts.get(etype, 0) + 1
+            )
 
     meta_events = list(iter_events(events, "run_start"))
     if meta_events:
@@ -162,9 +176,15 @@ def summarize_events(events: List[dict]) -> TraceSummary:
             k: v for k, v in last.items() if k not in ("type", "time_s")
         }
 
-    summary.phase_totals_ns = merge_phase_events(
-        iter_events(events, "phase_timing")
-    )
+    # Tolerate malformed phase_timing payloads: a report must always
+    # render, so fold what parses and count the rest.
+    well_formed = []
+    for event in iter_events(events, "phase_timing"):
+        if isinstance(event.get("phases"), dict):
+            well_formed.append(event)
+        else:
+            summary.malformed_events += 1
+    summary.phase_totals_ns = merge_phase_events(well_formed)
     return summary
 
 
@@ -195,6 +215,21 @@ def format_summary(summary: TraceSummary) -> str:
         for name, count in sorted(summary.event_counts.items())
     )
     lines.append(f"events        : {total_events} ({counts})")
+    if summary.unknown_event_counts:
+        skipped = ", ".join(
+            f"{name}={count}" for name, count in
+            sorted(summary.unknown_event_counts.items())
+        )
+        lines.append(
+            f"unknown kinds : {sum(summary.unknown_event_counts.values())}"
+            f" event(s) skipped ({skipped}) — recorded by a newer "
+            f"schema?"
+        )
+    if summary.malformed_events:
+        lines.append(
+            f"malformed     : {summary.malformed_events} event(s) "
+            f"skipped (unparseable payload)"
+        )
 
     if summary.invariant_violations:
         lines.append("-- INVARIANT VIOLATIONS --")
@@ -277,8 +312,21 @@ def format_summary(summary: TraceSummary) -> str:
 
 
 def report_from_file(path: PathLike) -> str:
-    """Load a JSONL trace and return the formatted report text."""
-    return format_summary(summarize_events(load_events(path)))
+    """Load a JSONL trace and return the formatted report text.
+
+    The report ends with the run-health diagnostics section — the same
+    detectors ``repro diagnose`` runs (:mod:`repro.obs.diagnose`).
+    """
+    from repro.obs.diagnose import diagnose_timeline, format_diagnostics
+    from repro.obs.timeline import build_timeline
+
+    events = load_events(path)
+    text = format_summary(summarize_events(events))
+    timeline = build_timeline(events)
+    if timeline.samples:
+        diagnostics = diagnose_timeline(timeline)
+        text += "\n" + format_diagnostics(diagnostics, timeline=timeline)
+    return text
 
 
 __all__ = [

@@ -1,0 +1,284 @@
+"""Per-quantum timelines folded from recorded traces.
+
+A raw JSONL trace is a flat stream of heterogeneous events; the
+diagnostics engine (:mod:`repro.obs.diagnose`) wants the run as the loop
+experienced it — one typed sample per quantum carrying the solved
+latencies, the controller's ``p`` and watermark bracket, migration
+volume, solver cost, and phase wall time. :func:`build_timeline` is that
+fold. Events are grouped by their ``time_s`` stamp (the tracer stamps
+every event of a quantum with the same simulated time, set once per
+quantum by the loop), so the builder needs no quantum markers in the
+stream and works on ring-buffer slices as well as full files.
+
+Unknown/future event kinds are counted and skipped — a timeline built by
+today's code must load tomorrow's traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.events import EVENT_SCHEMAS
+from repro.obs.tracer import PathLike, load_events
+
+#: Event kinds folded into per-quantum samples. Everything else (run
+#: metadata, fleet progress, per-system extras) is either lifted into
+#: the timeline header or left to the generic per-type counts.
+_QUANTUM_EVENT_KINDS = (
+    "solver_converged",
+    "compute_shift",
+    "watermark_reset",
+    "colloid_decision",
+    "migration_executed",
+    "phase_timing",
+    "workload_shift",
+    "contention_change",
+)
+
+
+@dataclass
+class QuantumSample:
+    """Everything the trace recorded about one quantum.
+
+    Fields are ``None`` (or empty) when the corresponding event kind was
+    not recorded for the quantum — e.g. a non-colloid system emits no
+    ``compute_shift`` events, and ``phases_ns`` needs ``--profile``.
+    """
+
+    index: int
+    time_s: float
+    latencies_ns: Optional[Tuple[float, ...]] = None
+    solver_iterations: Optional[int] = None
+    solver_cached: Optional[bool] = None
+    measured_p: Optional[float] = None
+    p: Optional[float] = None
+    p_lo: Optional[float] = None
+    p_hi: Optional[float] = None
+    dp: Optional[float] = None
+    latency_default_ns: Optional[float] = None
+    latency_alternate_ns: Optional[float] = None
+    watermark_resets: int = 0
+    reset_sides: Tuple[str, ...] = ()
+    planned_bytes: int = 0
+    executed_bytes: int = 0
+    moves_deferred: int = 0
+    moves_skipped: int = 0
+    workload_shift: bool = False
+    contention_change: bool = False
+    contention: Optional[int] = None
+    phases_ns: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def imbalance(self) -> Optional[float]:
+        """Relative latency imbalance |L_D - L_A| / L_A (the quantity
+        Colloid drives to zero); None without compute_shift data."""
+        l_d = self.latency_default_ns
+        l_a = self.latency_alternate_ns
+        if l_d is None or l_a is None or l_a <= 0:
+            return None
+        return abs(l_d - l_a) / l_a
+
+    @property
+    def epoch_boundary(self) -> bool:
+        """Whether this quantum opens a new epoch (hot-set reshuffle or
+        antagonist intensity change — both move the equilibrium)."""
+        return self.workload_shift or self.contention_change
+
+
+@dataclass
+class Epoch:
+    """A maximal run of quanta with stable access pattern and contention.
+
+    Epoch 0 starts at the first quantum; each ``workload_shift``
+    (hot-set reshuffle) or ``contention_change`` (antagonist intensity
+    step) event opens a new epoch at the quantum it fired in. ``stop``
+    is exclusive.
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def n_quanta(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class Timeline:
+    """A trace folded into per-quantum samples plus run metadata.
+
+    Attributes:
+        meta: The ``run_start`` event's fields (empty if absent).
+        quantum_s: Quantum length in seconds (None when the trace has no
+            ``run_start`` metadata).
+        samples: One :class:`QuantumSample` per observed quantum, in
+            time order.
+        epochs: Access-pattern epochs (always at least one when samples
+            exist).
+        event_counts: Per-kind event counts over the whole trace.
+        unknown_event_counts: Counts of kinds absent from
+            :data:`~repro.obs.events.EVENT_SCHEMAS` (skipped, never
+            fatal).
+        runtime_counters: ``run_end`` counter totals (empty if absent).
+    """
+
+    meta: Dict = field(default_factory=dict)
+    quantum_s: Optional[float] = None
+    samples: List[QuantumSample] = field(default_factory=list)
+    epochs: List[Epoch] = field(default_factory=list)
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    unknown_event_counts: Dict[str, int] = field(default_factory=dict)
+    runtime_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_quanta(self) -> int:
+        return len(self.samples)
+
+    def epoch_samples(self, epoch: Epoch) -> List[QuantumSample]:
+        """The samples belonging to one epoch."""
+        return self.samples[epoch.start:epoch.stop]
+
+    def series(self, attr: str) -> List:
+        """One attribute across all samples (None where unrecorded)."""
+        return [getattr(sample, attr) for sample in self.samples]
+
+
+def _fold_into(sample: QuantumSample, event: dict) -> None:
+    """Apply one quantum-scoped event to its sample."""
+    etype = event["type"]
+    if etype == "solver_converged":
+        if "latencies_ns" in event:
+            sample.latencies_ns = tuple(
+                float(x) for x in event["latencies_ns"]
+            )
+        if "iterations" in event:
+            sample.solver_iterations = int(event["iterations"])
+        if "cached" in event:
+            sample.solver_cached = bool(event["cached"])
+        if "measured_p" in event:
+            sample.measured_p = float(event["measured_p"])
+    elif etype == "compute_shift":
+        for src, dst in (("p", "p"), ("p_lo", "p_lo"), ("p_hi", "p_hi"),
+                         ("dp", "dp"),
+                         ("latency_default_ns", "latency_default_ns"),
+                         ("latency_alternate_ns", "latency_alternate_ns")):
+            if src in event:
+                setattr(sample, dst, float(event[src]))
+    elif etype == "watermark_reset":
+        side = str(event.get("side", "?"))
+        sample.reset_sides = sample.reset_sides + (side,)
+        if side != "init":
+            sample.watermark_resets += 1
+    elif etype == "migration_executed":
+        sample.planned_bytes += int(event.get("planned_bytes", 0))
+        sample.executed_bytes += int(event.get("executed_bytes", 0))
+        sample.moves_deferred += int(event.get("moves_deferred", 0))
+        sample.moves_skipped += int(event.get("moves_skipped", 0))
+    elif etype == "workload_shift":
+        sample.workload_shift = True
+    elif etype == "contention_change":
+        sample.contention_change = True
+        if "intensity" in event:
+            sample.contention = int(event["intensity"])
+    elif etype == "phase_timing":
+        phases = event.get("phases")
+        if isinstance(phases, dict):
+            for name, ns in phases.items():
+                sample.phases_ns[name] = (
+                    sample.phases_ns.get(name, 0) + int(ns)
+                )
+
+
+def build_timeline(events: List[dict]) -> Timeline:
+    """Fold a list of trace events into a :class:`Timeline`.
+
+    Raises:
+        ConfigurationError: If ``events`` is empty. Unknown event kinds
+            and malformed quantum events never raise — they are counted
+            in :attr:`Timeline.unknown_event_counts` / skipped so that
+            traces from newer code remain diagnosable.
+    """
+    if not events:
+        raise ConfigurationError("trace contains no events")
+    timeline = Timeline()
+    samples_by_time: Dict[float, QuantumSample] = {}
+    for event in events:
+        etype = event.get("type", "<untyped>")
+        timeline.event_counts[etype] = (
+            timeline.event_counts.get(etype, 0) + 1
+        )
+        if etype not in EVENT_SCHEMAS:
+            timeline.unknown_event_counts[etype] = (
+                timeline.unknown_event_counts.get(etype, 0) + 1
+            )
+            continue
+        if etype == "run_start":
+            if not timeline.meta:
+                timeline.meta = {k: v for k, v in event.items()
+                                 if k not in ("type", "time_s")}
+            continue
+        if etype == "run_end":
+            counters = event.get("counters")
+            if isinstance(counters, dict):
+                timeline.runtime_counters = {
+                    name: int(value) for name, value in counters.items()
+                }
+            continue
+        if etype not in _QUANTUM_EVENT_KINDS:
+            continue
+        try:
+            time_s = float(event.get("time_s", 0.0))
+        except (TypeError, ValueError):
+            continue
+        sample = samples_by_time.get(time_s)
+        if sample is None:
+            sample = QuantumSample(index=len(samples_by_time),
+                                   time_s=time_s)
+            samples_by_time[time_s] = sample
+        try:
+            _fold_into(sample, event)
+        except (TypeError, ValueError):
+            # A malformed field in an otherwise-known event: keep the
+            # sample with whatever folded cleanly.
+            continue
+
+    timeline.samples = sorted(samples_by_time.values(),
+                              key=lambda s: s.time_s)
+    for index, sample in enumerate(timeline.samples):
+        sample.index = index
+
+    quantum_ms = timeline.meta.get("quantum_ms")
+    if isinstance(quantum_ms, (int, float)) and quantum_ms > 0:
+        timeline.quantum_s = float(quantum_ms) / 1e3
+
+    # Epochs: a workload shift (or contention step) observed in quantum
+    # k means the equilibrium moved *during* k, so k starts the new
+    # epoch.
+    starts = [0]
+    for sample in timeline.samples:
+        if sample.epoch_boundary and sample.index > 0:
+            starts.append(sample.index)
+    if timeline.samples:
+        bounds = starts + [len(timeline.samples)]
+        timeline.epochs = [
+            Epoch(index=i, start=bounds[i], stop=bounds[i + 1])
+            for i in range(len(starts))
+        ]
+    return timeline
+
+
+def timeline_from_file(path: PathLike) -> Timeline:
+    """Load a JSONL trace and fold it into a :class:`Timeline`."""
+    return build_timeline(load_events(path))
+
+
+__all__ = [
+    "Epoch",
+    "QuantumSample",
+    "Timeline",
+    "build_timeline",
+    "timeline_from_file",
+]

@@ -168,6 +168,10 @@ class SimulationLoop:
         )
         self.metrics = MetricsRecorder()
         self.time_s = 0.0
+        self._epoch = 0
+        # Last antagonist intensity observed; a change mid-run is the
+        # paper's Fig. 4c dynamism and opens a new diagnostics epoch.
+        self._last_intensity: Optional[int] = None
         # Copy "debt": bytes of migration traffic not yet charged to the
         # hardware model. Batched migrations (MEMTIS's 500 ms kmigrated)
         # update placement instantly but their copies are streamed at the
@@ -249,7 +253,13 @@ class SimulationLoop:
         if tracer.enabled:
             tracer.time_s = t
         profiler.start()
-        self.workload.advance(t)
+        shifted = self.workload.advance(t)
+        # Dynamic workloads report hot-set reshuffles; the event is what
+        # lets repro.obs.diagnose segment the run into epochs and judge
+        # per-epoch (re)convergence.
+        if shifted and tracer.enabled:
+            self._epoch += 1
+            tracer.emit("workload_shift", epoch=self._epoch)
         probs = self.workload.access_probabilities()
         split = self.placement.tier_probabilities(probs)
         # Hardware-managed systems (memory mode) steer traffic without
@@ -260,6 +270,17 @@ class SimulationLoop:
             if override is not None:
                 split = override
         intensity = int(self._contention(t))
+        if intensity != self._last_intensity:
+            previous = self._last_intensity
+            self._last_intensity = intensity
+            if previous is not None and tracer.enabled:
+                self._epoch += 1
+                tracer.emit(
+                    "contention_change",
+                    intensity=intensity,
+                    previous=previous,
+                    epoch=self._epoch,
+                )
         antagonist = antagonist_core_group(intensity,
                                            self.machine.antagonist)
         app = self.app_core_group

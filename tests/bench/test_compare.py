@@ -14,7 +14,8 @@ from repro.bench import (
 from repro.errors import ConfigurationError
 
 
-def make_record(name="tiny", calibration=0.01, walls=None):
+def make_record(name="tiny", calibration=0.01, walls=None,
+                diagnostics=None):
     walls = walls if walls is not None else {"fig5": 2.0, "fig6": 1.0}
     return BenchRecord(
         name=name,
@@ -32,7 +33,18 @@ def make_record(name="tiny", calibration=0.01, walls=None):
         peak_rss_bytes=100 * 1024 * 1024,
         python="3.12.0",
         machine="Linux-x86_64",
+        diagnostics=diagnostics,
     )
+
+
+def make_diagnostics(convergence=(12,), oscillation=0.0, thrash=0.0,
+                     resets=0):
+    return {"convergence_quanta": list(convergence),
+            "oscillation_score": oscillation,
+            "thrash_score": thrash,
+            "watermark_resets": resets,
+            "critical_findings": 0,
+            "warning_findings": 0}
 
 
 class TestRecordSerialization:
@@ -164,6 +176,120 @@ class TestCompareCli:
                             str(tmp_path / "missing.json"), str(current))
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestSchemaCompat:
+    def test_v2_diagnostics_round_trip(self, tmp_path):
+        record = make_record(diagnostics=make_diagnostics())
+        path = record.write(tmp_path / "BENCH_v2.json")
+        loaded = load_record(path)
+        assert loaded == record
+        assert loaded.diagnostics["convergence_quanta"] == [12]
+
+    def test_v1_record_loads_with_warning(self, tmp_path):
+        # A pre-diagnostics baseline must stay loadable: warn, not fail.
+        data = make_record().to_dict()
+        del data["diagnostics"]
+        data["bench_schema"] = 1
+        path = tmp_path / "BENCH_v1.json"
+        path.write_text(json.dumps(data))
+        with pytest.warns(UserWarning, match="predates the diagnostics"):
+            loaded = load_record(path)
+        assert loaded.diagnostics is None
+
+    def test_v1_vs_v2_compare_skips_behavioral(self, tmp_path):
+        data = make_record().to_dict()
+        del data["diagnostics"]
+        data["bench_schema"] = 1
+        path = tmp_path / "BENCH_v1.json"
+        path.write_text(json.dumps(data))
+        with pytest.warns(UserWarning):
+            baseline = load_record(path)
+        current = make_record(diagnostics=make_diagnostics())
+        comparison = compare_records(baseline, current)
+        assert comparison.behavioral == ()
+        assert "schema v1" in comparison.behavioral_note
+        assert not comparison.has_regression
+        assert "not comparable" in comparison.format()
+
+
+class TestBehavioralVerdicts:
+    def compare(self, base_diag, cur_diag):
+        return compare_records(make_record(diagnostics=base_diag),
+                               make_record(diagnostics=cur_diag))
+
+    def by_metric(self, comparison):
+        return {v.metric: v for v in comparison.behavioral}
+
+    def test_identical_diagnostics_within(self):
+        comparison = self.compare(make_diagnostics(),
+                                  make_diagnostics())
+        verdicts = self.by_metric(comparison)
+        assert verdicts["convergence_quanta"].verdict == "within"
+        assert verdicts["oscillation_score"].verdict == "within"
+        assert verdicts["thrash_score"].verdict == "within"
+        assert not comparison.has_regression
+
+    def test_convergence_regresses_past_double_plus_slack(self):
+        # baseline 12 -> limit 12*2+5 = 29; 30 regresses, 29 doesn't.
+        ok = self.compare(make_diagnostics(convergence=(12,)),
+                          make_diagnostics(convergence=(29,)))
+        assert not ok.has_regression
+        bad = self.compare(make_diagnostics(convergence=(12,)),
+                           make_diagnostics(convergence=(30,)))
+        verdict = self.by_metric(bad)["convergence_quanta"]
+        assert verdict.verdict == "regress"
+        assert bad.has_regression
+        assert "convergence_quanta" in bad.format()
+
+    def test_no_longer_converging_regresses(self):
+        comparison = self.compare(
+            make_diagnostics(convergence=(12,)),
+            make_diagnostics(convergence=(None,)))
+        verdict = self.by_metric(comparison)["convergence_quanta"]
+        assert verdict.verdict == "regress"
+        assert "no longer converges" in verdict.note
+
+    def test_first_finite_epoch_is_compared(self):
+        # A None leading entry (unconverged first epoch on both sides)
+        # falls through to the first finite one.
+        comparison = self.compare(
+            make_diagnostics(convergence=(None, 10)),
+            make_diagnostics(convergence=(None, 11)))
+        verdict = self.by_metric(comparison)["convergence_quanta"]
+        assert verdict.verdict == "within"
+        assert verdict.baseline == 10 and verdict.current == 11
+
+    def test_score_regresses_only_past_warn_level_and_rise(self):
+        # Big rise but below the warning level: within.
+        quiet = self.compare(make_diagnostics(oscillation=0.0),
+                             make_diagnostics(oscillation=0.3))
+        assert self.by_metric(quiet)["oscillation_score"].verdict == \
+            "within"
+        # Above warn level but barely rose: within (already was noisy).
+        stable = self.compare(make_diagnostics(oscillation=0.4),
+                              make_diagnostics(oscillation=0.45))
+        assert self.by_metric(stable)["oscillation_score"].verdict == \
+            "within"
+        # Crossed the level AND rose meaningfully: regress.
+        bad = self.compare(make_diagnostics(oscillation=0.1),
+                           make_diagnostics(oscillation=0.5))
+        verdict = self.by_metric(bad)["oscillation_score"]
+        assert verdict.verdict == "regress"
+        assert bad.has_regression
+
+    def test_thrash_score_judged_too(self):
+        comparison = self.compare(make_diagnostics(thrash=0.0),
+                                  make_diagnostics(thrash=0.6))
+        assert self.by_metric(comparison)["thrash_score"].verdict == \
+            "regress"
+
+    def test_format_renders_behavioral_section(self):
+        comparison = self.compare(make_diagnostics(),
+                                  make_diagnostics())
+        text = comparison.format()
+        assert "behavioral (diagnosed representative run):" in text
+        assert "convergence_quanta" in text
 
 
 class TestSuiteContents:

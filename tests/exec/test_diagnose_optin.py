@@ -1,0 +1,67 @@
+"""Per-cell diagnostics opt-in (REPRO_DIAGNOSE) in the exec layer."""
+
+import pytest
+
+from repro.exec.execute import execute_spec
+from repro.exec.result import CellResult
+from repro.experiments.common import ExperimentConfig, steady_cell_spec
+from repro.obs.diagnose import DIAGNOSE_ENV_VAR
+
+TINY = ExperimentConfig(scale=0.03, seed=7)
+
+
+def tiny_spec():
+    return steady_cell_spec("hemem+colloid", 1, TINY,
+                            max_duration_s=4.0)
+
+
+class TestExecuteOptIn:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(DIAGNOSE_ENV_VAR, raising=False)
+        result = execute_spec(tiny_spec())
+        assert result.diagnostics is None
+
+    def test_enabled_attaches_summary(self, monkeypatch):
+        monkeypatch.setenv(DIAGNOSE_ENV_VAR, "1")
+        result = execute_spec(tiny_spec())
+        assert isinstance(result.diagnostics, dict)
+        quanta = result.diagnostics["convergence_quanta"]
+        assert quanta and all(q is not None for q in quanta)
+        assert result.diagnostics["oscillation_score"] < 0.35
+
+    def test_diagnostics_do_not_perturb_results(self, monkeypatch):
+        # Tracing is observation only: the simulated outcome must be
+        # bit-identical with and without diagnostics.
+        monkeypatch.delenv(DIAGNOSE_ENV_VAR, raising=False)
+        plain = execute_spec(tiny_spec())
+        monkeypatch.setenv(DIAGNOSE_ENV_VAR, "1")
+        diagnosed = execute_spec(tiny_spec())
+        assert diagnosed.throughput == plain.throughput
+        assert diagnosed.tail_latencies_ns == plain.tail_latencies_ns
+
+
+def make_result(**overrides):
+    fields = dict(mode="steady", throughput=1.5, converged=True,
+                  duration_s=2.0, tail_latencies_ns=(150.0, 100.0),
+                  tail_default_share=0.7, cpu_work={"scan": 3.0})
+    fields.update(overrides)
+    return CellResult(**fields)
+
+
+class TestResultRoundTrip:
+    def test_diagnostics_survive_serialization(self):
+        result = make_result(
+            diagnostics={"convergence_quanta": [4],
+                         "oscillation_score": 0.0})
+        clone = CellResult.from_dict(result.to_dict())
+        assert clone == result
+        assert clone.diagnostics["convergence_quanta"] == [4]
+
+    def test_pre_diagnostics_payload_loads_as_none(self):
+        # Undiagnosed results serialize without the key at all (the
+        # golden fixtures pin that shape), and older payloads without
+        # it load as None.
+        data = make_result().to_dict()
+        assert "diagnostics" not in data
+        loaded = CellResult.from_dict(data)
+        assert loaded.diagnostics is None

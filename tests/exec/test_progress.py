@@ -1,6 +1,7 @@
 """FleetProgress rendering, tracing, and Runner integration."""
 
 import io
+import math
 
 from repro.exec.progress import FleetProgress
 from repro.exec.runner import Runner
@@ -73,6 +74,31 @@ class TestRendering:
         assert _format_eta(5.0) == "5s"
         assert _format_eta(150.0) == "2m30s"
         assert _format_eta(7200.0) == "2h00m"
+
+    def test_zero_elapsed_clamped_no_inf_or_garbage(self):
+        # Sub-millisecond cells (warm caches, tiny grids) used to
+        # divide by ~0 elapsed: astronomical cells/s and a garbage ETA.
+        from repro.exec.progress import MIN_RATE_ELAPSED_S
+
+        stream = io.StringIO()
+        tracer = Tracer()
+        progress = FleetProgress(stream=stream, tracer=tracer,
+                                 clock=FakeClock(tick_s=0.0))
+        progress.begin(3)
+        progress.cell_done("instant-a")
+        progress.cell_done("instant-b")
+        progress.finish()
+        events = tracer.events("run_progress")
+        for event in events:
+            assert event["wall_elapsed_s"] >= MIN_RATE_ELAPSED_S
+            assert math.isfinite(event["cells_per_s"])
+            assert event["eta_s"] is None or \
+                math.isfinite(event["eta_s"])
+        output = stream.getvalue()
+        assert "inf" not in output and "nan" not in output
+        # A clamped rate still yields a (tiny, finite) ETA for the
+        # remaining cell.
+        assert "eta" in output.splitlines()[-1]
 
 
 class TestTraceEvents:

@@ -1,0 +1,144 @@
+"""Chrome Trace Event Format export: structural validity and content."""
+
+import json
+
+from repro.obs.chrometrace import (
+    PID_SIMULATED,
+    PID_WALL,
+    chrome_trace_events,
+    export_chrome_trace,
+    profiler_chrome_events,
+)
+from repro.obs.profile import PhaseProfiler
+
+META = {"type": "run_start", "time_s": 0.0, "system": "hemem+colloid",
+        "workload": "gups", "n_tiers": 2, "quantum_ms": 10.0,
+        "migration_limit_bytes": 1 << 20}
+
+#: Every Trace Event Format phase type this exporter may emit.
+_VALID_PHASES = {"X", "i", "C", "M"}
+
+
+def sample_events():
+    events = [META]
+    for i in range(3):
+        time_s = round(i * 0.01, 6)
+        events.append({"type": "solver_converged", "time_s": time_s,
+                       "iterations": 5, "latencies_ns": [150.0, 100.0],
+                       "app_read_rate": 1.0, "measured_p": 0.5,
+                       "cached": False})
+        events.append({"type": "compute_shift", "time_s": time_s,
+                       "p": 0.5 + 0.05 * i, "p_lo": 0.0, "p_hi": 1.0,
+                       "dp": 0.0, "latency_default_ns": 150.0,
+                       "latency_alternate_ns": 100.0})
+        events.append({"type": "migration_executed", "time_s": time_s,
+                       "planned_moves": 1, "planned_bytes": 256,
+                       "executed_bytes": 256, "budget_bytes": 256,
+                       "moves_applied": 1, "moves_skipped": 0,
+                       "moves_deferred": 0})
+        events.append({"type": "phase_timing", "time_s": time_s,
+                       "phases": {"solve": 1000, "migrate": 500}})
+    events.append({"type": "watermark_reset", "time_s": 0.01,
+                   "side": "lo", "p": 0.4, "resets": 1})
+    events.append({"type": "workload_shift", "time_s": 0.02,
+                   "epoch": 1})
+    events.append({"type": "contention_change", "time_s": 0.02,
+                   "intensity": 2, "previous": 0, "epoch": 2})
+    events.append({"type": "invariant_violation", "time_s": 0.02,
+                   "invariant": "capacity", "message": "tier over"})
+    return events
+
+
+def assert_valid_trace_event(event):
+    """Assert one dict obeys the Trace Event Format contract."""
+    assert event["ph"] in _VALID_PHASES
+    assert isinstance(event["name"], str) and event["name"]
+    assert isinstance(event["pid"], int)
+    assert isinstance(event["tid"], int)
+    if event["ph"] != "M":
+        assert isinstance(event["ts"], (int, float))
+        assert event["ts"] >= 0
+    if event["ph"] == "X":
+        assert isinstance(event["dur"], (int, float))
+        assert event["dur"] >= 0
+    if event["ph"] == "i":
+        assert event["s"] in {"t", "p", "g"}
+    if event["ph"] == "C":
+        assert all(isinstance(v, (int, float))
+                   for v in event["args"].values())
+
+
+class TestChromeTraceEvents:
+    def test_every_event_is_valid(self):
+        for event in chrome_trace_events(sample_events()):
+            assert_valid_trace_event(event)
+
+    def test_has_both_process_metadata(self):
+        events = chrome_trace_events(sample_events())
+        meta_pids = {e["pid"] for e in events if e["ph"] == "M"}
+        assert meta_pids == {PID_SIMULATED, PID_WALL}
+
+    def test_quantum_spans_cover_all_quanta(self):
+        events = chrome_trace_events(sample_events())
+        spans = [e for e in events if e["ph"] == "X"
+                 and e["pid"] == PID_SIMULATED]
+        assert [s["name"] for s in spans] == \
+            ["quantum 0", "quantum 1", "quantum 2"]
+        assert all(s["dur"] == 10_000 for s in spans)  # 10ms quanta
+
+    def test_markers_present(self):
+        names = {e["name"] for e in chrome_trace_events(sample_events())
+                 if e["ph"] == "i"}
+        assert "watermark reset (lo)" in names
+        assert "hot-set shift" in names
+        assert "contention change" in names
+        assert any(n.startswith("invariant violation") for n in names)
+
+    def test_counter_tracks_present(self):
+        counters = {e["name"]
+                    for e in chrome_trace_events(sample_events())
+                    if e["ph"] == "C"}
+        assert {"loaded latency (ns)", "p (default-tier share)",
+                "migration bytes"} <= counters
+
+    def test_wall_phase_spans_laid_end_to_end(self):
+        events = chrome_trace_events(sample_events())
+        wall = [e for e in events
+                if e["ph"] == "X" and e["pid"] == PID_WALL]
+        assert len(wall) == 6  # 3 quanta x 2 phases
+        for prev, cur in zip(wall, wall[1:]):
+            assert cur["ts"] >= prev["ts"]
+
+
+class TestExport:
+    def test_export_writes_json_object_format(self, tmp_path):
+        path = export_chrome_trace(sample_events(),
+                                   tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+        for event in payload["traceEvents"]:
+            assert_valid_trace_event(event)
+
+
+class TestProfilerExport:
+    def test_spans_export_with_depth_and_origin(self):
+        profiler = PhaseProfiler(enabled=True)
+        with profiler.span("step"):
+            with profiler.span("solve"):
+                pass
+        events = profiler_chrome_events(profiler)
+        for event in events:
+            assert_valid_trace_event(event)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert [s["name"] for s in spans] == ["step", "solve"]
+        assert spans[0]["args"]["depth"] == 0
+        assert spans[1]["args"]["depth"] == 1
+        assert spans[0]["ts"] == 0  # origin-relative timestamps
+
+    def test_unclosed_span_flagged(self):
+        profiler = PhaseProfiler(enabled=True)
+        profiler.push("dangling")
+        events = profiler_chrome_events(profiler)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans[0]["args"].get("unclosed") is True

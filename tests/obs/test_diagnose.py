@@ -1,0 +1,247 @@
+"""Diagnostics engine: detectors over synthetic timelines, the summary
+round-trip, and the CLI exit code on a misbehaving trace."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diagnose import (
+    DEFAULT_CONFIG,
+    DiagnosticsSummary,
+    diagnose_events,
+    diagnostics_enabled,
+    disable_diagnostics,
+    enable_diagnostics,
+    format_diagnostics,
+    with_overrides,
+)
+from repro.obs.timeline import build_timeline
+
+META = {"type": "run_start", "time_s": 0.0, "system": "hemem+colloid",
+        "workload": "gups", "n_tiers": 2, "quantum_ms": 10.0,
+        "migration_limit_bytes": 1 << 20}
+
+
+def quantum(index, p, l_d, l_a, executed=0):
+    time_s = round(index * 0.01, 6)
+    return [
+        {"type": "compute_shift", "time_s": time_s, "p": p,
+         "p_lo": 0.0, "p_hi": 1.0, "dp": 0.0,
+         "latency_default_ns": l_d, "latency_alternate_ns": l_a},
+        {"type": "migration_executed", "time_s": time_s,
+         "planned_moves": 1, "planned_bytes": executed,
+         "executed_bytes": executed, "budget_bytes": executed,
+         "moves_applied": 1, "moves_skipped": 0, "moves_deferred": 0},
+    ]
+
+
+def reset(index, side="lo"):
+    return {"type": "watermark_reset", "time_s": round(index * 0.01, 6),
+            "side": side, "p": 0.5, "resets": 1}
+
+
+def oscillating_trace(n=60):
+    """p alternates well above the deadband while latencies stay
+    imbalanced — the pathological bracket-bouncing run."""
+    events = [META]
+    for i in range(n):
+        p = 0.5 + (0.1 if i % 2 else -0.1)
+        events += quantum(i, p=p, l_d=200.0, l_a=100.0)
+    return events
+
+
+def converging_trace():
+    """p walks down for 10 quanta, then latencies balance and hold."""
+    events = [META]
+    for i in range(10):
+        events += quantum(i, p=0.9 - 0.04 * i, l_d=200.0, l_a=100.0,
+                          executed=10 << 20)
+    for i in range(10, 20):
+        events += quantum(i, p=0.5, l_d=103.0, l_a=100.0)
+    return events
+
+
+class TestConvergence:
+    def test_latency_balance_criterion(self):
+        diagnostics = diagnose_events(converging_trace())
+        assert diagnostics.summary.convergence_quanta == (10,)
+        finding = [f for f in diagnostics.findings
+                   if f.detector == "convergence"][0]
+        assert finding.severity == "info"
+        assert finding.evidence["criterion"] == "latency-balance"
+
+    def test_p_settled_corner_criterion(self):
+        # Latencies never balance (capacity-bound corner) but p is
+        # flat — the run is converged, not broken.
+        events = [META]
+        for i in range(25):
+            events += quantum(i, p=0.7, l_d=130.0, l_a=100.0)
+        diagnostics = diagnose_events(events)
+        assert diagnostics.summary.convergence_quanta == (0,)
+        finding = [f for f in diagnostics.findings
+                   if f.detector == "convergence"][0]
+        assert finding.evidence["criterion"] == "p-settled"
+
+    def test_never_converges_warns(self):
+        events = [META]
+        for i in range(30):
+            p = 0.5 + (0.1 if i % 2 else -0.1)
+            events += quantum(i, p=p, l_d=200.0, l_a=100.0)
+        diagnostics = diagnose_events(events)
+        assert diagnostics.summary.convergence_quanta == (None,)
+        warnings = [f for f in diagnostics.findings
+                    if f.detector == "convergence"]
+        assert warnings[0].severity == "warning"
+
+
+class TestOscillation:
+    def test_oscillating_trace_is_critical(self):
+        diagnostics = diagnose_events(oscillating_trace())
+        oscillation = [f for f in diagnostics.findings
+                       if f.detector == "oscillation"]
+        assert oscillation and oscillation[0].severity == "critical"
+        assert diagnostics.has_critical
+        assert diagnostics.summary.oscillation_score >= 0.9
+
+    def test_noise_below_deadband_ignored(self):
+        # CHA noise moves p a little every quantum; successive iid
+        # differences flip sign ~2/3 of the time, so sub-deadband
+        # jitter must not read as oscillation.
+        events = [META]
+        for i in range(60):
+            p = 0.5 + (0.01 if i % 2 else -0.01)  # < deadband_p
+            events += quantum(i, p=p, l_d=103.0, l_a=100.0)
+        diagnostics = diagnose_events(events)
+        assert not [f for f in diagnostics.findings
+                    if f.detector == "oscillation"]
+        assert diagnostics.summary.oscillation_score == 0.0
+
+
+class TestResetStorm:
+    def test_storm_outside_grace_is_flagged(self):
+        events = [META]
+        for i in range(60):
+            events += quantum(i, p=0.7, l_d=130.0, l_a=100.0)
+        for i in (30, 33, 36, 39, 42, 45):
+            events.append(reset(i))
+        diagnostics = diagnose_events(events)
+        storm = [f for f in diagnostics.findings
+                 if f.detector == "reset-storm"
+                 and f.severity != "info"]
+        assert storm and storm[0].severity == "critical"
+
+    def test_resets_after_boundary_are_expected(self):
+        events = [META]
+        for i in range(60):
+            events += quantum(i, p=0.7, l_d=130.0, l_a=100.0)
+        events.append({"type": "workload_shift", "time_s": 0.10,
+                       "epoch": 1})
+        events.append(reset(12))
+        events.append(reset(14))
+        diagnostics = diagnose_events(events)
+        storm = [f for f in diagnostics.findings
+                 if f.detector == "reset-storm"]
+        assert all(f.severity == "info" for f in storm)
+        assert "Fig. 4c" in storm[0].message
+
+    def test_isolated_reset_reported_as_info(self):
+        events = [META]
+        for i in range(60):
+            events += quantum(i, p=0.7, l_d=130.0, l_a=100.0)
+        events.append(reset(40))
+        diagnostics = diagnose_events(events)
+        isolated = [f for f in diagnostics.findings
+                    if f.detector == "reset-storm"]
+        assert isolated and isolated[0].severity == "info"
+        assert "isolated" in isolated[0].message
+
+
+class TestThrash:
+    def test_post_convergence_migration_flagged(self):
+        events = [META]
+        for i in range(10):
+            events += quantum(i, p=0.9 - 0.04 * i, l_d=200.0,
+                              l_a=100.0, executed=10 << 20)
+        for i in range(10, 20):
+            events += quantum(i, p=0.5, l_d=103.0, l_a=100.0,
+                              executed=8 << 20)
+        diagnostics = diagnose_events(events)
+        thrash = [f for f in diagnostics.findings
+                  if f.detector == "migration-thrash"]
+        assert thrash and thrash[0].severity == "critical"
+        assert diagnostics.summary.thrash_score == pytest.approx(0.8)
+
+    def test_quiet_tail_not_flagged(self):
+        diagnostics = diagnose_events(converging_trace())
+        assert not [f for f in diagnostics.findings
+                    if f.detector == "migration-thrash"]
+        assert diagnostics.summary.thrash_score == 0.0
+
+
+class TestSummaryAndFormat:
+    def test_summary_round_trip(self):
+        summary = diagnose_events(converging_trace()).summary
+        clone = DiagnosticsSummary.from_dict(
+            json.loads(json.dumps(summary.to_dict())))
+        assert clone == summary
+
+    def test_format_lists_findings_by_severity(self):
+        diagnostics = diagnose_events(oscillating_trace())
+        timeline = build_timeline(oscillating_trace())
+        text = format_diagnostics(diagnostics, timeline=timeline)
+        assert "-- diagnostics --" in text
+        assert "[CRITICAL]" in text
+        assert text.index("CRITICAL") < text.index("WARNING")
+
+    def test_with_overrides_skips_none(self):
+        config = with_overrides(DEFAULT_CONFIG, epsilon=0.2,
+                                sustain_quanta=None)
+        assert config.epsilon == 0.2
+        assert config.sustain_quanta == DEFAULT_CONFIG.sustain_quanta
+
+    def test_env_toggle(self):
+        disable_diagnostics()
+        assert not diagnostics_enabled()
+        enable_diagnostics()
+        try:
+            assert diagnostics_enabled()
+        finally:
+            disable_diagnostics()
+
+
+class TestCli:
+    def write_trace(self, tmp_path, events):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        return path
+
+    def test_exit_nonzero_on_critical(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path, oscillating_trace())
+        code = main(["diagnose", str(path)])
+        assert code == 2
+        assert "oscillat" in capsys.readouterr().out
+
+    def test_exit_zero_on_healthy_trace(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path, converging_trace())
+        code = main(["diagnose", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path, converging_trace())
+        code = main(["diagnose", str(path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["convergence_quanta"] == [10]
+
+    def test_out_writes_json_file(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path, converging_trace())
+        out_path = tmp_path / "diag.json"
+        code = main(["diagnose", str(path), "--json",
+                     "--out", str(out_path)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["summary"]["convergence_quanta"] == [10]

@@ -97,6 +97,41 @@ class TestSummarize:
         summary = summarize_events(events)
         assert summary.phase_totals_ns["equilibrium_solve"] == 150
 
+    def test_unknown_kinds_skipped_and_counted(self):
+        # A trace written by newer code must still summarize.
+        events = [META, shift_event(0.0, dp=0.0),
+                  {"type": "future_event", "time_s": 0.0, "x": 1},
+                  {"type": "future_event", "time_s": 0.01, "x": 2},
+                  {"type": "other_future", "time_s": 0.01}]
+        summary = summarize_events(events)
+        assert summary.unknown_event_counts == \
+            {"future_event": 2, "other_future": 1}
+        assert summary.convergence_time_s is not None
+        text = format_summary(summary)
+        assert "unknown kinds : 3 event(s) skipped" in text
+        assert "future_event=2" in text
+
+    def test_malformed_phase_timing_skipped_and_counted(self):
+        events = [META,
+                  {"type": "phase_timing", "time_s": 0.0,
+                   "phases": {"equilibrium_solve": 100}},
+                  {"type": "phase_timing", "time_s": 0.01,
+                   "phases": "not-a-mapping"},
+                  {"type": "phase_timing", "time_s": 0.02}]
+        summary = summarize_events(events)
+        assert summary.malformed_events == 2
+        assert summary.phase_totals_ns == {"equilibrium_solve": 100}
+        assert "malformed     : 2 event(s) skipped" in \
+            format_summary(summary)
+
+    def test_clean_trace_reports_no_skips(self):
+        summary = summarize_events([META, shift_event(0.0, dp=0.0)])
+        assert summary.unknown_event_counts == {}
+        assert summary.malformed_events == 0
+        text = format_summary(summary)
+        assert "unknown kinds" not in text
+        assert "malformed" not in text
+
 
 class TestFormat:
     def test_report_sections_present(self):

@@ -1,0 +1,124 @@
+"""Timeline folding: grouping, tolerance, and epoch segmentation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.timeline import build_timeline
+
+META = {"type": "run_start", "time_s": 0.0, "system": "hemem+colloid",
+        "workload": "gups", "n_tiers": 2, "quantum_ms": 10.0,
+        "migration_limit_bytes": 1 << 20}
+
+
+def quantum_events(time_s, p=0.5, l_d=200.0, l_a=100.0,
+                   iterations=5, cached=False, executed=0):
+    return [
+        {"type": "solver_converged", "time_s": time_s,
+         "iterations": iterations, "latencies_ns": [l_d, l_a],
+         "app_read_rate": 1.0, "measured_p": p, "cached": cached},
+        {"type": "compute_shift", "time_s": time_s, "p": p,
+         "p_lo": 0.0, "p_hi": 1.0, "dp": 0.1,
+         "latency_default_ns": l_d, "latency_alternate_ns": l_a},
+        {"type": "migration_executed", "time_s": time_s,
+         "planned_moves": 1, "planned_bytes": executed,
+         "executed_bytes": executed, "budget_bytes": executed,
+         "moves_applied": 1, "moves_skipped": 0, "moves_deferred": 0},
+    ]
+
+
+class TestFolding:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_timeline([])
+
+    def test_groups_by_quantum_timestamp(self):
+        events = [META]
+        events += quantum_events(0.00, p=0.5, executed=100)
+        events += quantum_events(0.01, p=0.6, executed=200)
+        timeline = build_timeline(events)
+        assert timeline.n_quanta == 2
+        assert timeline.quantum_s == pytest.approx(0.01)
+        first, second = timeline.samples
+        assert first.index == 0 and second.index == 1
+        assert first.p == pytest.approx(0.5)
+        assert second.executed_bytes == 200
+        assert first.latencies_ns == (200.0, 100.0)
+        assert first.solver_iterations == 5
+
+    def test_imbalance_property(self):
+        events = [META] + quantum_events(0.0, l_d=150.0, l_a=100.0)
+        sample = build_timeline(events).samples[0]
+        assert sample.imbalance == pytest.approx(0.5)
+
+    def test_unknown_kinds_counted_not_fatal(self):
+        events = [META] + quantum_events(0.0)
+        events.append({"type": "from_the_future", "time_s": 0.0,
+                       "payload": 1})
+        timeline = build_timeline(events)
+        assert timeline.unknown_event_counts == {"from_the_future": 1}
+        assert timeline.n_quanta == 1
+
+    def test_malformed_fields_skipped_not_fatal(self):
+        events = [META]
+        events.append({"type": "solver_converged", "time_s": 0.0,
+                       "iterations": "not-a-number"})
+        events += quantum_events(0.0)
+        timeline = build_timeline(events)
+        # The malformed event contributes nothing; the clean ones fold.
+        assert timeline.samples[0].p == pytest.approx(0.5)
+
+    def test_init_reset_recorded_but_not_dynamic(self):
+        events = [META]
+        events.append({"type": "watermark_reset", "time_s": 0.0,
+                       "side": "init", "p": 0.5, "resets": 0})
+        events += quantum_events(0.0)
+        events.append({"type": "watermark_reset", "time_s": 0.01,
+                       "side": "lo", "p": 0.4, "resets": 1})
+        events += quantum_events(0.01)
+        timeline = build_timeline(events)
+        assert timeline.samples[0].reset_sides == ("init",)
+        assert timeline.samples[0].watermark_resets == 0
+        assert timeline.samples[1].watermark_resets == 1
+
+    def test_run_end_counters_lifted(self):
+        events = [META] + quantum_events(0.0)
+        events.append({"type": "run_end", "time_s": 0.01,
+                       "simulated_s": 0.01, "n_quanta": 1,
+                       "counters": {"quanta": 1}})
+        timeline = build_timeline(events)
+        assert timeline.runtime_counters == {"quanta": 1}
+
+
+class TestEpochs:
+    def test_single_epoch_without_shifts(self):
+        events = [META]
+        for i in range(3):
+            events += quantum_events(i * 0.01)
+        timeline = build_timeline(events)
+        assert len(timeline.epochs) == 1
+        assert timeline.epochs[0].n_quanta == 3
+
+    def test_workload_shift_opens_epoch(self):
+        events = [META]
+        for i in range(4):
+            events += quantum_events(i * 0.01)
+        events.append({"type": "workload_shift", "time_s": 0.02,
+                       "epoch": 1})
+        timeline = build_timeline(events)
+        assert [(e.start, e.stop) for e in timeline.epochs] == \
+            [(0, 2), (2, 4)]
+        assert timeline.epoch_samples(timeline.epochs[1])[0].index == 2
+
+    def test_contention_change_opens_epoch(self):
+        events = [META]
+        for i in range(4):
+            events += quantum_events(i * 0.01)
+        events.append({"type": "contention_change", "time_s": 0.03,
+                       "intensity": 2, "previous": 0, "epoch": 1})
+        timeline = build_timeline(events)
+        assert [(e.start, e.stop) for e in timeline.epochs] == \
+            [(0, 3), (3, 4)]
+        boundary = timeline.samples[3]
+        assert boundary.contention_change
+        assert boundary.contention == 2
+        assert boundary.epoch_boundary
