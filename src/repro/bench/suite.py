@@ -126,6 +126,47 @@ def _solver_micro_case() -> BenchCase:
     return BenchCase(name="solver-micro", run=run)
 
 
+def _colocation_micro_case(duration_s: float = 2.0) -> BenchCase:
+    """Direct microbenchmark of the two-tenant colocated loop.
+
+    One GUPS + Silo pair, each under its own ``hemem+colloid``
+    controller, stepped for a fixed simulated duration under external
+    contention. Runs outside the exec layer so its wall time tracks the
+    colocation machinery itself — the shared multi-app solve, per-tenant
+    observation/decision/migration, and capacity arbitration — rather
+    than spec plumbing.
+    """
+
+    def run(config: ExperimentConfig, runner: Runner):
+        from repro.experiments.common import make_system, scaled_machine
+        from repro.runtime.colocation import ColocatedLoop, TenantSpec
+        from repro.workloads.gups import GupsWorkload
+        from repro.workloads.silo import SiloYcsbWorkload
+
+        half = config.scale / 2.0
+        tenants = [
+            TenantSpec(name="gups",
+                       workload=GupsWorkload(scale=half,
+                                             seed=config.seed),
+                       system=make_system("hemem+colloid")),
+            TenantSpec(name="silo",
+                       workload=SiloYcsbWorkload(scale=half,
+                                                 seed=config.seed + 1),
+                       system=make_system("hemem+colloid")),
+        ]
+        loop = ColocatedLoop(
+            machine=scaled_machine(config.scale),
+            tenants=tenants,
+            contention=2,
+            migration_limit_bytes=config.resolved_migration_limit(),
+            seed=config.seed,
+        )
+        loop.run(duration_s=duration_s)
+        return None
+
+    return BenchCase(name="colocation-micro", run=run)
+
+
 def _fig9_case(scenarios, base_systems) -> BenchCase:
     def run(config: ExperimentConfig, runner: Runner):
         from repro.experiments import fig9
@@ -144,6 +185,7 @@ SUITES: Dict[str, BenchSuite] = {
             _fig6_case(intensities=(0, 3), systems=("hemem",)),
             _fig5_case(intensities=(0, 3), systems=("hemem",)),
             _solver_micro_case(),
+            _colocation_micro_case(duration_s=1.0),
         ),
         profile_duration_s=1.0,
     ),
@@ -158,6 +200,7 @@ SUITES: Dict[str, BenchSuite] = {
             _fig9_case(scenarios=("contention",),
                        base_systems=("hemem",)),
             _solver_micro_case(),
+            _colocation_micro_case(duration_s=2.0),
         ),
         profile_duration_s=2.0,
     ),
@@ -172,6 +215,7 @@ SUITES: Dict[str, BenchSuite] = {
             _fig9_case(scenarios=("hotshift-0x", "contention"),
                        base_systems=("hemem",)),
             _solver_micro_case(),
+            _colocation_micro_case(duration_s=4.0),
         ),
         profile_duration_s=4.0,
     ),

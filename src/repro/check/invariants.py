@@ -20,6 +20,11 @@ The checks, and where the loop invokes them:
                           placement ground truth, capacity respected, and
                           migration bytes never exceeding the dynamic limit
                           (post-execute, against a pre-execute snapshot)
+``check_colocation``      cross-tenant conservation: per tier, the tenants'
+                          placed bytes (and their arbitrated grants) sum to at
+                          most the machine tier's capacity, and each tenant
+                          stays within its own grant (colocated loop,
+                          post-migration each quantum)
 ========================  =====================================================
 """
 
@@ -80,6 +85,9 @@ class NullChecker:
         """No-op (returns None; check_migration ignores it)."""
 
     def check_migration(self, *args, **kwargs) -> None:
+        """No-op."""
+
+    def check_colocation(self, *args, **kwargs) -> None:
         """No-op."""
 
 
@@ -299,6 +307,59 @@ class Checker:
                 time_s, bytes_moved=int(result.bytes_moved),
                 moves_applied=int(result.moves_applied),
             )
+
+    # -- colocation -------------------------------------------------------
+
+    def check_colocation(self, time_s: float, machine_capacities,
+                         tenants) -> None:
+        """Cross-tenant conservation over one machine's tiers.
+
+        Tenant placements enforce their own grants quantum by quantum;
+        this check closes the loop at the machine level: per tier, the
+        granted bytes sum to at most the physical capacity and every
+        tenant's placed bytes stay within its own grant — so no
+        combination of per-tenant migrations (each within its own
+        budget) can over-commit the hardware.
+
+        Args:
+            time_s: Simulated time of the check.
+            machine_capacities: Physical per-tier capacities in bytes.
+            tenants: ``(name, placement)`` pairs; each placement's
+                capacities are that tenant's arbitrated grant.
+        """
+        self.checks_run += 1
+        capacities = np.asarray(machine_capacities, dtype=np.int64)
+        n_tiers = len(capacities)
+        for t in range(n_tiers):
+            granted = 0
+            used = 0
+            for name, placement in tenants:
+                grant = placement.capacity_bytes(t)
+                placed = placement.used_bytes(t)
+                granted += grant
+                used += placed
+                if placed > grant:
+                    self._violate(
+                        "colocation.tenant_within_grant",
+                        f"tenant {name!r} exceeds its tier-{t} grant",
+                        time_s, tenant=name, tier=t, used=placed,
+                        grant=grant,
+                    )
+            if granted > int(capacities[t]):
+                self._violate(
+                    "colocation.grants_within_capacity",
+                    f"tier-{t} grants exceed the machine capacity",
+                    time_s, tier=t, granted=granted,
+                    capacity=int(capacities[t]),
+                )
+            if used > int(capacities[t]):
+                self._violate(
+                    "colocation.bytes_conserved",
+                    f"tenants' tier-{t} bytes exceed the machine "
+                    "capacity",
+                    time_s, tier=t, used=used,
+                    capacity=int(capacities[t]),
+                )
 
 
 def _plain(value):

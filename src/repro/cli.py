@@ -36,7 +36,7 @@ from repro.errors import ReproError
 
 FIGURES = ("fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
            "fig9", "fig10", "fig11", "overheads", "sensitivity",
-           "appendix")
+           "colocation", "appendix")
 
 WORKLOADS = ("gups", "gapbs", "silo", "cachelib")
 
@@ -139,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reshuffle the workload's hot set at this "
                           "simulated time (repeatable; gups only) — "
                           "the §5.2 dynamic-workload methodology")
+    run.add_argument("--tenant", type=str, action="append",
+                     default=None, metavar="WORKLOAD[:SYSTEM]",
+                     help="colocate this tenant on the machine "
+                          "(repeatable; two or more turn the run into a "
+                          "multi-tenant colocation and --system/"
+                          "--workload are ignored); SYSTEM defaults to "
+                          "hemem+colloid, tenant working sets are scaled "
+                          "to share the machine")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=FIGURES + ("all",))
@@ -312,20 +320,52 @@ def _build_runner(args):
                   reporter=_build_reporter(args))
 
 
-def _build_workload(args, scale: float):
+def _make_workload(kind: str, scale: float, seed: int,
+                   object_bytes: int = 64):
     from repro.workloads.cachelib import CacheLibWorkload
     from repro.workloads.graph import GraphWorkload
     from repro.workloads.gups import GupsWorkload
     from repro.workloads.silo import SiloYcsbWorkload
 
-    if args.workload == "gups":
-        return GupsWorkload(scale=scale, seed=args.seed,
-                            object_bytes=args.object_bytes)
-    if args.workload == "gapbs":
-        return GraphWorkload.synthetic(scale=scale, seed=args.seed)
-    if args.workload == "silo":
-        return SiloYcsbWorkload(scale=scale, seed=args.seed)
-    return CacheLibWorkload(scale=scale, seed=args.seed)
+    if kind == "gups":
+        return GupsWorkload(scale=scale, seed=seed,
+                            object_bytes=object_bytes)
+    if kind == "gapbs":
+        return GraphWorkload.synthetic(scale=scale, seed=seed)
+    if kind == "silo":
+        return SiloYcsbWorkload(scale=scale, seed=seed)
+    return CacheLibWorkload(scale=scale, seed=seed)
+
+
+def _build_workload(args, scale: float):
+    return _make_workload(args.workload, scale, args.seed,
+                          object_bytes=args.object_bytes)
+
+
+def _parse_tenants(specs):
+    """Parse repeated ``--tenant WORKLOAD[:SYSTEM]`` flags into unique
+    (name, workload_kind, system_name) triples."""
+    from repro.errors import ConfigurationError
+
+    parsed = []
+    counts: dict = {}
+    for text in specs:
+        kind, __, system = text.partition(":")
+        if kind not in WORKLOADS:
+            raise ConfigurationError(
+                f"--tenant workload must be one of {WORKLOADS}, "
+                f"got {kind!r}"
+            )
+        system = system or "hemem+colloid"
+        if system not in SYSTEMS:
+            raise ConfigurationError(
+                f"--tenant system must be one of {SYSTEMS}, "
+                f"got {system!r}"
+            )
+        counts[kind] = counts.get(kind, 0) + 1
+        name = kind if counts[kind] == 1 else f"{kind}{counts[kind]}"
+        parsed.append((name, kind, system))
+    return parsed
 
 
 def _build_system(name: str):
@@ -380,6 +420,77 @@ def _contention_schedule(args):
     return schedule
 
 
+def cmd_run_colocated(args) -> int:
+    """Handle ``repro run --tenant ...``: N tenants on one machine."""
+    from repro.experiments.common import scaled_machine
+    from repro.obs.tracer import Tracer
+    from repro.runtime.colocation import ColocatedLoop, TenantSpec
+    from repro.runtime.export import to_csv, to_json
+
+    scale = _resolved_scale(args)
+    parsed = _parse_tenants(args.tenant)
+    # Tenants share the machine, so each gets an equal slice of the
+    # scale budget; the arbiter then grants capacity per tier.
+    tenant_scale = scale / len(parsed)
+    tenants = [
+        TenantSpec(
+            name=name,
+            workload=_make_workload(kind, tenant_scale, args.seed + i,
+                                    object_bytes=args.object_bytes),
+            system=_build_system(system),
+        )
+        for i, (name, kind, system) in enumerate(parsed)
+    ]
+    tracer = Tracer(jsonl_path=args.trace) if args.trace else None
+    _enable_instrumentation(args)
+    loop = ColocatedLoop(
+        machine=scaled_machine(scale),
+        tenants=tenants,
+        contention=_contention_schedule(args),
+        seed=args.seed,
+        tracer=tracer,
+        profile=args.profile,
+    )
+    try:
+        metrics = loop.run(duration_s=args.duration)
+        loop.emit_run_end()
+    finally:
+        if tracer is not None:
+            tracer.close()
+    tail = max(1, len(metrics) // 4)
+    latency = metrics.latencies_ns[-tail:].mean(axis=0)
+    print("tenants       : " + ", ".join(
+        f"{t.name}={t.workload.name}/{t.system.name}" for t in tenants))
+    print(f"contention    : {args.contention}x")
+    print(f"throughput    : {metrics.steady_state_throughput():.2f} GB/s "
+          "(all tenants)")
+    print("tier latencies: "
+          + "  ".join(f"{x:.0f} ns" for x in latency))
+    grants = loop.tenant_grants
+    for name, tenant_metrics in loop.tenant_metrics.items():
+        t_tail = max(1, len(tenant_metrics) // 4)
+        share = tenant_metrics.p_true[-t_tail:].mean()
+        grant_gb = " + ".join(f"{g / 1e9:.2f}" for g in grants[name])
+        print(f"  {name:<10}: "
+              f"{tenant_metrics.steady_state_throughput():.2f} GB/s, "
+              f"default share {share:.1%}, grant {grant_gb} GB")
+    if args.csv:
+        print(f"wrote {to_csv(metrics, args.csv)}")
+    if args.json:
+        print(f"wrote {to_json(metrics, args.json)}")
+    if args.trace:
+        events = sum(tracer.counts.values())
+        print(f"wrote {args.trace} ({events} events)")
+    if args.profile:
+        print("phase profile :")
+        print(loop.profiler.format_summary())
+    if args.check:
+        print(f"invariants    : {loop.checker.checks_run} machine checks "
+              "passed")
+    _export_metrics(args)
+    return 0
+
+
 def cmd_run(args) -> int:
     """Handle ``repro run``: one simulation, printed summary."""
     from repro.experiments.common import scaled_machine
@@ -387,6 +498,8 @@ def cmd_run(args) -> int:
     from repro.runtime.export import to_csv, to_json
     from repro.runtime.loop import SimulationLoop
 
+    if getattr(args, "tenant", None):
+        return cmd_run_colocated(args)
     scale = _resolved_scale(args)
     workload = _build_workload(args, scale)
     if args.hotset_shift:
@@ -522,6 +635,8 @@ def cmd_diagnose(args) -> int:
     """
     from pathlib import Path
 
+    import json as json_module
+
     from repro.obs.chrometrace import export_chrome_trace
     from repro.obs.diagnose import (
         DEFAULT_CONFIG,
@@ -529,6 +644,7 @@ def cmd_diagnose(args) -> int:
         format_diagnostics,
         with_overrides,
     )
+    from repro.obs.report import tenant_names_of, tenant_view
     from repro.obs.timeline import build_timeline
     from repro.obs.tracer import load_events
 
@@ -536,11 +652,37 @@ def cmd_diagnose(args) -> int:
     timeline = build_timeline(events)
     config = with_overrides(DEFAULT_CONFIG, epsilon=args.epsilon,
                             sustain_quanta=args.sustain)
-    diagnostics = diagnose_timeline(timeline, config)
-    if args.json:
-        text = diagnostics.to_json() + "\n"
+    tenants = tenant_names_of(events)
+    if tenants:
+        # Colocated trace: each tenant's controller is judged on its own
+        # view (its labeled events plus the shared machine context);
+        # criticals in any tenant make the run critical.
+        sections = {}
+        timelines = {}
+        for tenant in tenants:
+            tenant_timeline = build_timeline(tenant_view(events, tenant))
+            timelines[tenant] = tenant_timeline
+            sections[tenant] = diagnose_timeline(tenant_timeline, config)
+        has_critical = any(d.has_critical for d in sections.values())
+        if args.json:
+            payload = {"tenants": {name: diag.to_dict()
+                                   for name, diag in sections.items()}}
+            text = json_module.dumps(payload, indent=2) + "\n"
+        else:
+            parts = []
+            for name, diag in sections.items():
+                parts.append(f"== tenant: {name} ==")
+                parts.append(format_diagnostics(
+                    diag, timeline=timelines[name]))
+            text = "\n".join(parts) + "\n"
     else:
-        text = format_diagnostics(diagnostics, timeline=timeline) + "\n"
+        diagnostics = diagnose_timeline(timeline, config)
+        has_critical = diagnostics.has_critical
+        if args.json:
+            text = diagnostics.to_json() + "\n"
+        else:
+            text = format_diagnostics(diagnostics,
+                                      timeline=timeline) + "\n"
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}")
@@ -549,7 +691,7 @@ def cmd_diagnose(args) -> int:
     if args.chrome_trace:
         export_chrome_trace(events, args.chrome_trace, timeline=timeline)
         print(f"wrote {args.chrome_trace}")
-    return 2 if diagnostics.has_critical else 0
+    return 2 if has_critical else 0
 
 
 def cmd_bench(args) -> int:

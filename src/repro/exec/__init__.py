@@ -37,9 +37,11 @@ from repro.exec.runner import (
 )
 from repro.exec.spec import (
     BEST_CASE_SYSTEM,
+    COLOCATION_SYSTEM,
     SPEC_SCHEMA_VERSION,
     MachineSpec,
     RunSpec,
+    TenantCellSpec,
     WorkloadSpec,
     static_contention,
 )
@@ -49,6 +51,7 @@ __all__ = [
     "BEST_CASE_SYSTEM",
     "CACHE_DIR_ENV_VAR",
     "CACHE_SCHEMA_VERSION",
+    "COLOCATION_SYSTEM",
     "CellResult",
     "DEFAULT_CACHE_DIR",
     "FleetProgress",
@@ -58,6 +61,7 @@ __all__ = [
     "Runner",
     "RunnerStats",
     "SPEC_SCHEMA_VERSION",
+    "TenantCellSpec",
     "TraceSeries",
     "WorkloadSpec",
     "aggregate",

@@ -28,14 +28,44 @@ from repro.runtime.loop import SimulationLoop
 from repro.workloads.base import Workload
 
 
-def build_loop(spec: RunSpec, tracer=None) -> SimulationLoop:
-    """Construct the simulation loop a spec describes."""
+def build_loop(spec: RunSpec, tracer=None):
+    """Construct the loop a spec describes: a
+    :class:`~repro.runtime.loop.SimulationLoop`, or a
+    :class:`~repro.runtime.colocation.ColocatedLoop` when the spec
+    declares tenants."""
+    if spec.tenants:
+        return _build_colocated_loop(spec, tracer=tracer)
     workload = spec.workload.build()
     machine = spec.machine.build(workload)
     return SimulationLoop(
         machine=machine,
         workload=workload,
         system=make_system(spec.system, **dict(spec.system_kwargs)),
+        quantum_ms=spec.quantum_ms,
+        contention=spec.contention_input(),
+        cha_noise_sigma=spec.cha_noise_sigma,
+        migration_limit_bytes=spec.migration_limit_bytes,
+        seed=spec.seed,
+        tracer=tracer,
+    )
+
+
+def _build_colocated_loop(spec: RunSpec, tracer=None):
+    """Construct the colocated loop for a multi-tenant spec."""
+    from repro.runtime.colocation import ColocatedLoop, TenantSpec
+
+    tenants = []
+    for cell in spec.tenants:
+        tenants.append(TenantSpec(
+            name=cell.name,
+            workload=cell.workload.build(),
+            system=make_system(cell.system, **dict(cell.system_kwargs)),
+            weight=cell.weight,
+        ))
+    machine = spec.machine.build(tenants[0].workload)
+    return ColocatedLoop(
+        machine=machine,
+        tenants=tenants,
         quantum_ms=spec.quantum_ms,
         contention=spec.contention_input(),
         cha_noise_sigma=spec.cha_noise_sigma,
@@ -122,6 +152,40 @@ def _cpu_work(system) -> dict:
     return {key: float(value) for key, value in system.cpu_work.items()}
 
 
+def _loop_cpu_work(loop) -> dict:
+    """The loop's CPU-work counters; colocated loops merge every
+    tenant's counters under tenant-prefixed keys."""
+    systems = getattr(loop, "tenant_systems", None)
+    if systems is None:
+        return _cpu_work(loop.system)
+    merged = {}
+    for name, system in systems.items():
+        for key, value in system.cpu_work.items():
+            merged[f"{name}.{key}"] = float(value)
+    return merged
+
+
+def _tenant_payload(loop) -> "dict | None":
+    """Per-tenant summaries for a colocated loop (None otherwise)."""
+    metrics_by_tenant = getattr(loop, "tenant_metrics", None)
+    if metrics_by_tenant is None:
+        return None
+    systems = loop.tenant_systems
+    payload = {}
+    for name, metrics in metrics_by_tenant.items():
+        latencies, share = _tail_stats(metrics)
+        tail = max(1, len(metrics) // 4)
+        payload[name] = {
+            "throughput": float(metrics.throughput[-tail:].mean()),
+            "tail_latencies_ns": list(latencies),
+            "tail_default_share": share,
+            "cpu_work": _cpu_work(systems[name]),
+            "migration_bytes_total": float(
+                metrics.migration_bytes.sum()),
+        }
+    return payload
+
+
 def _execute_best_case(spec: RunSpec) -> CellResult:
     workload = spec.workload.build()
     machine = spec.machine.build(workload)
@@ -157,8 +221,9 @@ def _execute_steady(spec: RunSpec) -> CellResult:
         duration_s=float(result.duration_s),
         tail_latencies_ns=latencies,
         tail_default_share=share,
-        cpu_work=_cpu_work(loop.system),
+        cpu_work=_loop_cpu_work(loop),
         diagnostics=_diagnose_cell(loop, tracer),
+        tenants=_tenant_payload(loop),
     )
 
 
@@ -175,9 +240,10 @@ def _execute_trace(spec: RunSpec) -> CellResult:
         duration_s=float(spec.duration_s),
         tail_latencies_ns=latencies,
         tail_default_share=share,
-        cpu_work=_cpu_work(loop.system),
+        cpu_work=_loop_cpu_work(loop),
         series=TraceSeries.from_metrics(metrics),
         diagnostics=_diagnose_cell(loop, tracer),
+        tenants=_tenant_payload(loop),
     )
 
 

@@ -92,6 +92,11 @@ class CellResult:
             per-cell diagnostics were enabled via ``REPRO_DIAGNOSE`` /
             ``--diagnose``; None otherwise. Results written before the
             field existed load as None.
+        tenants: For colocated cells, per-tenant summaries keyed by
+            tenant name — each a dict with ``throughput``,
+            ``tail_latencies_ns``, ``tail_default_share``, ``cpu_work``
+            and ``migration_bytes_total``. None for single-tenant cells
+            (and for results written before the field existed).
     """
 
     mode: str
@@ -103,6 +108,7 @@ class CellResult:
     cpu_work: Dict[str, float]
     series: Optional[TraceSeries] = None
     diagnostics: Optional[dict] = None
+    tenants: Optional[Dict[str, dict]] = None
 
     def to_dict(self) -> dict:
         data = {
@@ -116,9 +122,12 @@ class CellResult:
             "series": self.series.to_dict() if self.series else None,
         }
         # Omitted when absent so undiagnosed payloads (and the golden
-        # fixtures pinning them) keep their pre-diagnostics shape.
+        # fixtures pinning them) keep their pre-diagnostics shape; the
+        # same applies to single-tenant payloads and ``tenants``.
         if self.diagnostics is not None:
             data["diagnostics"] = self.diagnostics
+        if self.tenants is not None:
+            data["tenants"] = self.tenants
         return data
 
     @classmethod
@@ -135,4 +144,5 @@ class CellResult:
                       for k, v in data.get("cpu_work", {}).items()},
             series=TraceSeries.from_dict(series) if series else None,
             diagnostics=data.get("diagnostics"),
+            tenants=data.get("tenants"),
         )

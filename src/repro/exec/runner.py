@@ -90,6 +90,24 @@ class AggregatedCell:
             return 0.0
         return (self.maximum - self.minimum) / self.throughput
 
+    @property
+    def tenants(self):
+        """Per-tenant summaries for colocated cells, with throughput
+        averaged across runs (other fields from the first run); None
+        for single-tenant cells."""
+        payloads = [r.tenants for r in self.runs if r.tenants]
+        if not payloads:
+            return None
+        merged = {}
+        for name, first in payloads[0].items():
+            entry = dict(first)
+            entry["throughput"] = (
+                sum(p[name]["throughput"] for p in payloads)
+                / len(payloads)
+            )
+            merged[name] = entry
+        return merged
+
 
 def aggregate(results: Sequence[CellResult]) -> AggregatedCell:
     """Fold repeated runs of one cell into an :class:`AggregatedCell`.

@@ -29,8 +29,17 @@ from repro.workloads.base import Workload
 #: with this so stale cache entries can never be confused for current
 #: ones. v2: repetition seeds derive from the spec content hash
 #: (``repro.exec.runner.derive_run_seed``) instead of ``seed + i``, so
-#: cached multi-run grids from v1 are stale.
-SPEC_SCHEMA_VERSION = 2
+#: cached multi-run grids from v1 are stale. v3: colocated cells carry a
+#: ``tenants`` list; single-tenant specs serialize without the field and
+#: keep hashing under v2 (:data:`_SINGLE_TENANT_SCHEMA_VERSION`), so
+#: every pre-colocation cache entry and golden fixture stays valid.
+SPEC_SCHEMA_VERSION = 3
+
+#: Hash salt for specs with no ``tenants`` — the pre-colocation schema.
+_SINGLE_TENANT_SCHEMA_VERSION = 2
+
+#: Conventional system name for colocated (multi-tenant) cells.
+COLOCATION_SYSTEM = "colocation"
 
 #: Valid workload kinds (mirrors the CLI's ``--workload`` choices).
 WORKLOAD_KINDS = ("gups", "gapbs", "silo", "cachelib")
@@ -207,6 +216,66 @@ def static_contention(level: int) -> Tuple[Tuple[float, int], ...]:
 
 
 @dataclass(frozen=True)
+class TenantCellSpec:
+    """One tenant of a colocated cell: a named (workload, system) pair.
+
+    Attributes:
+        name: Unique tenant label (appears in traces, metrics, reports).
+        workload: The tenant's workload description.
+        system: Tiering system driving this tenant's pages (a
+            ``repro.tiering`` registry name, e.g. ``"hemem+colloid"``).
+        system_kwargs: Canonical (sorted) system constructor kwargs.
+        weight: Optional capacity-arbitration weight; ``None`` lets the
+            :class:`~repro.pages.placement.CapacityArbiter` weight by
+            working-set size.
+    """
+
+    name: str
+    workload: WorkloadSpec
+    system: str
+    system_kwargs: Params = ()
+    weight: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if not self.system:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs a tiering system"
+            )
+        if self.weight is not None and self.weight <= 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r} weight must be positive"
+            )
+
+    @classmethod
+    def make(cls, name: str, workload: WorkloadSpec, system: str,
+             weight: Optional[float] = None, **system_kwargs
+             ) -> "TenantCellSpec":
+        """Build a tenant spec from plain kwargs (canonicalizes order)."""
+        return cls(name=name, workload=workload, system=system,
+                   system_kwargs=_freeze_params(system_kwargs),
+                   weight=weight)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "workload": self.workload.to_dict(),
+            "system": self.system,
+            "system_kwargs": dict(self.system_kwargs),
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantCellSpec":
+        return cls.make(data["name"],
+                        WorkloadSpec.from_dict(data["workload"]),
+                        data["system"],
+                        weight=data.get("weight"),
+                        **data.get("system_kwargs", {}))
+
+
+@dataclass(frozen=True)
 class RunSpec:
     """Everything that determines one simulation cell's outcome.
 
@@ -223,6 +292,14 @@ class RunSpec:
 
     The contention schedule is a tuple of ``(start_time_s, level)``
     steps, first entry at t=0; a single entry means constant contention.
+
+    Colocated cells set ``tenants`` to two or more
+    :class:`TenantCellSpec` entries; the run is then driven by a
+    :class:`~repro.runtime.colocation.ColocatedLoop` and the top-level
+    ``system``/``workload``/``system_kwargs`` fields are conventional
+    only (``system`` should be :data:`COLOCATION_SYSTEM`, ``workload``
+    the first tenant's). Single-tenant specs leave ``tenants`` empty and
+    serialize/hash exactly as before the field existed.
     """
 
     system: str
@@ -238,8 +315,20 @@ class RunSpec:
     min_duration_s: Optional[float] = None
     max_duration_s: Optional[float] = None
     duration_s: Optional[float] = None
+    tenants: Tuple[TenantCellSpec, ...] = ()
 
     def __post_init__(self) -> None:
+        if self.tenants:
+            if self.mode == "best_case":
+                raise ConfigurationError(
+                    "best_case mode has no colocated variant; "
+                    "tenants require steady or trace mode"
+                )
+            names = [t.name for t in self.tenants]
+            if len(set(names)) != len(names):
+                raise ConfigurationError(
+                    f"tenant names must be unique, got {names}"
+                )
         if self.mode not in RUN_MODES:
             raise ConfigurationError(
                 f"unknown run mode {self.mode!r}; expected one of "
@@ -310,6 +399,11 @@ class RunSpec:
 
     def describe(self) -> str:
         """Short human label for progress output."""
+        if self.tenants:
+            label = "+".join(t.name for t in self.tenants)
+            return (f"{self.mode}:{self.system} "
+                    f"[{label}]@{self.initial_contention()}x "
+                    f"seed={self.seed}")
         return (f"{self.mode}:{self.system} "
                 f"{self.workload.kind}@{self.initial_contention()}x "
                 f"seed={self.seed}")
@@ -317,7 +411,7 @@ class RunSpec:
     # -- serialization ---------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "system": self.system,
             "workload": self.workload.to_dict(),
             "machine": self.machine.to_dict(),
@@ -332,6 +426,11 @@ class RunSpec:
             "max_duration_s": self.max_duration_s,
             "duration_s": self.duration_s,
         }
+        # Single-tenant specs keep their pre-colocation shape so their
+        # content hashes (and everything keyed on them) stay stable.
+        if self.tenants:
+            data["tenants"] = [t.to_dict() for t in self.tenants]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
@@ -350,15 +449,21 @@ class RunSpec:
             min_duration_s=data.get("min_duration_s"),
             max_duration_s=data.get("max_duration_s"),
             duration_s=data.get("duration_s"),
+            tenants=tuple(TenantCellSpec.from_dict(t)
+                          for t in data.get("tenants", ())),
         )
 
     def content_hash(self) -> str:
         """Stable content address of this spec.
 
-        Salted with :data:`SPEC_SCHEMA_VERSION` so schema changes
-        invalidate every previously cached result.
+        Salted with the schema version so schema changes invalidate
+        every previously cached result. Specs without tenants hash under
+        :data:`_SINGLE_TENANT_SCHEMA_VERSION` — the v3 field addition
+        must not invalidate existing single-tenant caches or fixtures.
         """
-        payload = {"schema": SPEC_SCHEMA_VERSION, "spec": self.to_dict()}
+        schema = (SPEC_SCHEMA_VERSION if self.tenants
+                  else _SINGLE_TENANT_SCHEMA_VERSION)
+        payload = {"schema": schema, "spec": self.to_dict()}
         canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,233 @@
+"""Colocation: the contention story with a real co-runner.
+
+The paper's contention experiments (Figures 2, 5, 6) drive the alternate
+traffic with a synthetic antagonist. This experiment adds a *real
+tenant*: a Silo/YCSB co-runner with its own Colloid controller, sharing
+the machine with the primary GUPS tenant through one hardware
+equilibrium. Under external contention, a latency-agnostic primary
+(HeMem) keeps its hot set on the overloaded default tier and drags both
+tenants' latency up, while the Colloid variant vacates it and balances
+per-tier loaded latency — the Figure 6 mechanism, but with both sources
+of load being managed applications whose placements react to each
+other (the multi-tenant deployment §6 of the paper sketches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exec.runner import Runner
+from repro.exec.spec import (
+    COLOCATION_SYSTEM,
+    RunSpec,
+    TenantCellSpec,
+    WorkloadSpec,
+)
+from repro.experiments.common import (
+    ExperimentConfig,
+    base_system_of,
+    format_table,
+    machine_spec,
+)
+
+#: Primary-tenant systems compared (baseline vs +colloid).
+DEFAULT_SYSTEMS = ("hemem", "hemem+colloid")
+
+#: Antagonist intensities layered on top of the co-runner.
+DEFAULT_INTENSITIES = (0, 2)
+
+#: The co-runner always runs under the paper's headline system.
+CORUNNER_SYSTEM = "hemem+colloid"
+
+PRIMARY = "gups"
+CORUNNER = "silo"
+
+SOLO = "solo"
+
+Key = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ColocationResult:
+    """Outcomes of the primary + co-runner pairing per (system,
+    intensity) cell.
+
+    Attributes:
+        systems: Primary-tenant systems, presentation order.
+        intensities: Antagonist levels swept.
+        solo_throughput: intensity -> primary throughput running alone
+            on the same machine (GB/s).
+        primary_throughput: (system, intensity) -> primary throughput
+            colocated.
+        corunner_throughput: (system, intensity) -> co-runner
+            throughput colocated.
+        latencies: (system, intensity) -> (L_D, L_A) tail means,
+            CPU-observed ns (shared by both tenants — one machine, one
+            equilibrium).
+    """
+
+    systems: Tuple[str, ...]
+    intensities: Tuple[int, ...]
+    solo_throughput: Dict[int, float]
+    primary_throughput: Dict[Key, float]
+    corunner_throughput: Dict[Key, float]
+    latencies: Dict[Key, Tuple[float, float]]
+
+    def primary_retention(self, system: str, intensity: int) -> float:
+        """Colocated primary throughput as a fraction of solo."""
+        solo = self.solo_throughput[intensity]
+        if solo <= 0:
+            return 0.0
+        return self.primary_throughput[(system, intensity)] / solo
+
+    def latency_ratio(self, system: str, intensity: int) -> float:
+        """L_D / L_A at the tail (1.0 = balanced)."""
+        l_d, l_a = self.latencies[(system, intensity)]
+        return l_d / l_a if l_a > 0 else float("inf")
+
+
+def migration_limit(config: ExperimentConfig) -> int:
+    """Per-quantum migration budget for the colocation cells.
+
+    Floored at 8 MiB: Colloid's page finder admits a page only when it
+    fits the *current* quantum's byte budget (no token accrual, unlike
+    the executor), so a scaled budget below the 2 MiB page size would
+    freeze every Colloid tenant regardless of imbalance — the same
+    floor the evaluation report config applies.
+    """
+    return max(config.resolved_migration_limit(), 8 << 20)
+
+
+def tenant_workloads(config: ExperimentConfig
+                     ) -> Tuple[WorkloadSpec, WorkloadSpec]:
+    """(primary, co-runner) workload specs, each sized to half the
+    machine scale so two tenants share the geometry the way one
+    application owns it in the single-app experiments."""
+    half = config.scale / 2.0
+    primary = WorkloadSpec.make("gups", scale=half, seed=config.seed)
+    corunner = WorkloadSpec.make("silo", scale=half,
+                                 seed=config.seed + 1)
+    return primary, corunner
+
+
+def colocated_spec(config: ExperimentConfig, primary_system: str,
+                   intensity: int, max_duration_s: float) -> RunSpec:
+    """A two-tenant steady cell: primary GUPS under ``primary_system``,
+    Silo co-runner under :data:`CORUNNER_SYSTEM`, plus the antagonist
+    at ``intensity``."""
+    primary, corunner = tenant_workloads(config)
+    return RunSpec(
+        system=COLOCATION_SYSTEM,
+        workload=primary,
+        machine=machine_spec(config),
+        mode="steady",
+        contention=((0.0, int(intensity)),),
+        quantum_ms=config.quantum_ms,
+        cha_noise_sigma=config.cha_noise_sigma,
+        migration_limit_bytes=migration_limit(config),
+        seed=config.seed,
+        max_duration_s=max_duration_s,
+        tenants=(
+            TenantCellSpec.make(PRIMARY, primary, primary_system),
+            TenantCellSpec.make(CORUNNER, corunner, CORUNNER_SYSTEM),
+        ),
+    )
+
+
+def build_cells(config: ExperimentConfig,
+                systems: Sequence[str] = DEFAULT_SYSTEMS,
+                intensities: Sequence[int] = DEFAULT_INTENSITIES
+                ) -> Dict[Key, RunSpec]:
+    """The colocation grid: one colocated cell per (primary system,
+    intensity), plus the primary's solo run per intensity."""
+    primary, __ = tenant_workloads(config)
+    caps = {s: config.duration_cap(base_system_of(s)) for s in systems}
+    cells: Dict[Key, RunSpec] = {}
+    for intensity in intensities:
+        cells[(SOLO, intensity)] = RunSpec(
+            system=CORUNNER_SYSTEM,
+            workload=primary,
+            machine=machine_spec(config),
+            mode="steady",
+            contention=((0.0, int(intensity)),),
+            quantum_ms=config.quantum_ms,
+            cha_noise_sigma=config.cha_noise_sigma,
+            migration_limit_bytes=migration_limit(config),
+            seed=config.seed,
+            max_duration_s=min(caps.values()),
+        )
+        for system in systems:
+            cells[(system, intensity)] = colocated_spec(
+                config, system, intensity, max_duration_s=caps[system]
+            )
+    return cells
+
+
+def run(config: Optional[ExperimentConfig] = None,
+        systems: Sequence[str] = DEFAULT_SYSTEMS,
+        intensities: Sequence[int] = DEFAULT_INTENSITIES,
+        runner: Optional[Runner] = None) -> ColocationResult:
+    if config is None:
+        config = ExperimentConfig.from_env()
+    if runner is None:
+        runner = Runner()
+    cells = runner.run_grid(build_cells(config, systems, intensities),
+                            n_runs=max(1, config.n_runs))
+    solo: Dict[int, float] = {}
+    primary_tput: Dict[Key, float] = {}
+    corunner_tput: Dict[Key, float] = {}
+    latencies: Dict[Key, Tuple[float, float]] = {}
+    for intensity in intensities:
+        solo[intensity] = float(cells[(SOLO, intensity)].throughput)
+        for system in systems:
+            cell = cells[(system, intensity)]
+            tenants = cell.tenants or {}
+            key = (system, intensity)
+            primary_tput[key] = float(
+                tenants.get(PRIMARY, {}).get("throughput", 0.0))
+            corunner_tput[key] = float(
+                tenants.get(CORUNNER, {}).get("throughput", 0.0))
+            l_d, l_a = cell.tail_latencies_ns[:2]
+            latencies[key] = (float(l_d), float(l_a))
+    return ColocationResult(
+        systems=tuple(systems),
+        intensities=tuple(intensities),
+        solo_throughput=solo,
+        primary_throughput=primary_tput,
+        corunner_throughput=corunner_tput,
+        latencies=latencies,
+    )
+
+
+def format_rows(result: ColocationResult) -> str:
+    headers = ["intensity", "primary system", "gups GB/s", "vs solo",
+               "silo GB/s", "L_D/L_A"]
+    rows = []
+    for intensity in result.intensities:
+        for system in result.systems:
+            key = (system, intensity)
+            l_d, l_a = result.latencies[key]
+            rows.append([
+                f"{intensity}x",
+                system,
+                f"{result.primary_throughput[key]:.1f}",
+                f"{result.primary_retention(system, intensity):.0%}",
+                f"{result.corunner_throughput[key]:.1f}",
+                f"{l_d:.0f}/{l_a:.0f} ns "
+                f"({result.latency_ratio(system, intensity):.2f}x)",
+            ])
+    solo_line = ", ".join(
+        f"{i}x: {result.solo_throughput[i]:.1f} GB/s"
+        for i in result.intensities
+    )
+    return (
+        f"gups solo on the same machine ({solo_line})\n"
+        "colocated with a silo/ycsb co-runner "
+        f"(under {CORUNNER_SYSTEM}):\n"
+        + format_table(headers, rows)
+    )
+
+
+if __name__ == "__main__":
+    print(format_rows(run()))

@@ -97,6 +97,58 @@ def disable_solver_cache() -> None:
 
 
 @dataclass(frozen=True)
+class AppEquilibrium:
+    """One application's share of a multi-app equilibrium.
+
+    Attributes:
+        avg_latency_ns: Placement-weighted latency this application sees.
+        read_rate: Demand-read bandwidth (bytes/ns) of this application.
+        split: The traffic split this application was solved with.
+        tier_read_rate: This application's demand reads per tier
+            (bytes/ns).
+    """
+
+    avg_latency_ns: float
+    read_rate: float
+    split: np.ndarray
+    tier_read_rate: np.ndarray
+
+
+@dataclass(frozen=True)
+class MultiEquilibrium:
+    """Solved steady-state of the memory system shared by N applications.
+
+    The aggregate fields describe the hardware (what the CHA observes);
+    :attr:`apps` carries each application's own view, in the order the
+    applications were passed to :meth:`EquilibriumSolver.solve_multi`.
+    Instances may be shared by the solver's memoization cache — treat
+    them (including the array attributes) as immutable.
+    """
+
+    latencies_ns: np.ndarray
+    apps: Tuple[AppEquilibrium, ...]
+    tier_wire_traffic: np.ndarray
+    tier_read_request_rate: np.ndarray
+    utilizations: np.ndarray
+    effective_bandwidths: np.ndarray
+    iterations: int
+
+    @property
+    def total_read_rate(self) -> float:
+        """Summed demand-read bandwidth across all applications."""
+        return float(sum(app.read_rate for app in self.apps))
+
+    @property
+    def measured_p(self) -> float:
+        """Traffic share of tier 0 as the CHA would measure it (all
+        applications, antagonist, and migration reads together)."""
+        total = float(self.tier_read_request_rate.sum())
+        if total <= 0:
+            return 0.0
+        return float(self.tier_read_request_rate[0]) / total
+
+
+@dataclass(frozen=True)
 class Equilibrium:
     """Solved steady-state of the memory system for one configuration.
 
@@ -153,24 +205,24 @@ class _SolveProblem:
     aggregates are accumulated in the per-tier class order (and the
     application and pinned contributions added after, in that order) so
     float addition order — and hence the computed sums — matches the
-    historical per-tier list construction exactly.
+    historical per-tier list construction exactly. With several
+    application groups the additions run in input order, which for one
+    group is bit-identical to the historical single-app path.
     """
 
-    __slots__ = ("app", "has_app", "split", "app_mult", "app_rand",
-                 "app_wrf", "app_one_minus_wrf", "pinned", "extra_total",
-                 "extra_rand", "extra_write", "extra_read", "extra_req")
+    __slots__ = ("apps", "pinned", "extra_total", "extra_rand",
+                 "extra_write", "extra_read", "extra_req")
 
-    def __init__(self, app: CoreGroup, split: np.ndarray,
+    def __init__(self, apps: Sequence[Tuple[CoreGroup, np.ndarray]],
                  pinned: Sequence[Tuple[CoreGroup, int]],
                  extra: Sequence[Sequence[TrafficClass]]) -> None:
         n = len(extra)
-        self.app = app
-        self.has_app = app.n_cores > 0
-        self.split = split
-        self.app_mult = app.traffic_multiplier()
-        self.app_rand = app.randomness
-        self.app_wrf = app.wire_read_fraction()
-        self.app_one_minus_wrf = 1.0 - self.app_wrf
+        self.apps = tuple(
+            (group, split, group.n_cores > 0, group.traffic_multiplier(),
+             group.randomness, group.wire_read_fraction(),
+             1.0 - group.wire_read_fraction())
+            for group, split in apps
+        )
         self.pinned = tuple(
             (group, tier_idx, group.traffic_multiplier(), group.randomness,
              group.wire_read_fraction(), 1.0 - group.wire_read_fraction())
@@ -246,7 +298,10 @@ class EquilibriumSolver:
         self._any_duplex = bool(self._duplex.any())
         if cache_size < 1:
             raise ConfigurationError("cache_size must be >= 1")
-        self._cache: "OrderedDict[tuple, Equilibrium]" = OrderedDict()
+        # Holds Equilibrium and MultiEquilibrium entries; the two key
+        # families are structurally disjoint (multi keys lead with a
+        # "multi" marker tuple).
+        self._cache: "OrderedDict[tuple, object]" = OrderedDict()
         self._cache_size = int(cache_size)
         self._cache_enabled = (solver_cache_enabled() if use_cache is None
                                else bool(use_cache))
@@ -336,6 +391,124 @@ class EquilibriumSolver:
             ConfigurationError: On malformed inputs.
             ConvergenceError: If the damped iteration fails to settle.
         """
+        split_arr = self._normalize_split(app, split)
+        pinned_t = self._normalize_pinned(pinned)
+        extra = self._normalize_extra(extra_traffic)
+        warm = self._normalize_warm(initial_latencies)
+
+        self.last_was_cache_hit = False
+        self.last_hit_residual = None
+        key = None
+        apps = ((app, split_arr),)
+        if self._cache_enabled:
+            key = (app, split_arr.tobytes(), pinned_t,
+                   tuple(tuple(classes) for classes in extra))
+            cached = self._cache_hit(key, apps, pinned_t, extra)
+            if cached is not None:
+                return cached
+
+        problem = _SolveProblem(apps, pinned_t, extra)
+        latencies, state, iteration = self._iterate(problem, warm)
+        app_states, wire, req, utils, beffs = state
+        app_avg_latency, app_read_rate, app_tier_read = app_states[0]
+        equilibrium = Equilibrium(
+            latencies_ns=latencies,
+            app_avg_latency_ns=app_avg_latency,
+            app_read_rate=app_read_rate,
+            app_split=split_arr,
+            app_tier_read_rate=app_tier_read,
+            tier_wire_traffic=wire,
+            tier_read_request_rate=req,
+            utilizations=utils,
+            effective_bandwidths=beffs,
+            iterations=iteration,
+        )
+        self._record_miss(iteration)
+        if self._cache_enabled:
+            self._cache_store(key, equilibrium)
+        return equilibrium
+
+    def solve_multi(
+        self,
+        apps: Sequence[Tuple[CoreGroup, Sequence[float]]],
+        pinned: Sequence[Tuple[CoreGroup, int]] = (),
+        extra_traffic: Optional[Sequence[Sequence[TrafficClass]]] = None,
+        initial_latencies: Optional[Sequence[float]] = None,
+    ) -> MultiEquilibrium:
+        """Solve one shared steady state for several application groups.
+
+        Every group closes its own rate/latency loop through its own
+        placement split, but all of them load the same tiers — this is
+        the colocation coupling: tier latencies (and therefore what the
+        CHA observes) reflect *total* traffic, while each application's
+        demand follows only its own placement-weighted latency.
+
+        Args:
+            apps: ``(core_group, split)`` pairs, one per application, in
+                a stable order (the order tenants are declared). Each
+                split obeys the same rules as :meth:`solve`'s.
+            pinned: As in :meth:`solve`.
+            extra_traffic: As in :meth:`solve` — typically the summed
+                migration traffic of every tenant.
+            initial_latencies: As in :meth:`solve`.
+
+        Returns:
+            A :class:`MultiEquilibrium` whose ``apps`` tuple is in input
+            order. For a single application the aggregate fields equal,
+            bit for bit, what :meth:`solve` returns for the same inputs
+            (both run the identical sweep); the two methods memoize
+            under distinct keys.
+        """
+        if not apps:
+            raise ConfigurationError(
+                "at least one application group is required"
+            )
+        normalized = tuple(
+            (group, self._normalize_split(group, split))
+            for group, split in apps
+        )
+        pinned_t = self._normalize_pinned(pinned)
+        extra = self._normalize_extra(extra_traffic)
+        warm = self._normalize_warm(initial_latencies)
+
+        self.last_was_cache_hit = False
+        self.last_hit_residual = None
+        key = None
+        if self._cache_enabled:
+            key = (("multi",) + tuple((group, split.tobytes())
+                                      for group, split in normalized),
+                   pinned_t,
+                   tuple(tuple(classes) for classes in extra))
+            cached = self._cache_hit(key, normalized, pinned_t, extra)
+            if cached is not None:
+                return cached
+
+        problem = _SolveProblem(normalized, pinned_t, extra)
+        latencies, state, iteration = self._iterate(problem, warm)
+        app_states, wire, req, utils, beffs = state
+        equilibrium = MultiEquilibrium(
+            latencies_ns=latencies,
+            apps=tuple(
+                AppEquilibrium(avg_latency_ns=avg, read_rate=rate,
+                               split=split, tier_read_rate=tier_read)
+                for (avg, rate, tier_read), (_, split)
+                in zip(app_states, normalized)
+            ),
+            tier_wire_traffic=wire,
+            tier_read_request_rate=req,
+            utilizations=utils,
+            effective_bandwidths=beffs,
+            iterations=iteration,
+        )
+        self._record_miss(iteration)
+        if self._cache_enabled:
+            self._cache_store(key, equilibrium)
+        return equilibrium
+
+    # -- shared solve plumbing -------------------------------------------
+
+    def _normalize_split(self, app: CoreGroup,
+                         split: Sequence[float]) -> np.ndarray:
         n = self.n_tiers
         split_arr = np.asarray(split, dtype=float)
         if split_arr.shape != (n,):
@@ -352,6 +525,12 @@ class EquilibriumSolver:
                     f"split must sum to 1, got {total_split}"
                 )
             split_arr = split_arr / total_split
+        return split_arr
+
+    def _normalize_pinned(
+        self, pinned: Sequence[Tuple[CoreGroup, int]],
+    ) -> Tuple[Tuple[CoreGroup, int], ...]:
+        n = self.n_tiers
         pinned_t = tuple((group, int(tier_idx))
                          for group, tier_idx in pinned)
         for _, tier_idx in pinned_t:
@@ -359,52 +538,63 @@ class EquilibriumSolver:
                 raise ConfigurationError(
                     f"pinned tier index {tier_idx} out of range"
                 )
+        return pinned_t
+
+    def _normalize_extra(
+        self,
+        extra_traffic: Optional[Sequence[Sequence[TrafficClass]]],
+    ) -> List[List[TrafficClass]]:
+        n = self.n_tiers
         if extra_traffic is None:
-            extra: List[List[TrafficClass]] = [[] for _ in range(n)]
-        else:
-            if len(extra_traffic) != n:
-                raise ConfigurationError(
-                    "extra_traffic must have one entry per tier"
-                )
-            extra = [list(classes) for classes in extra_traffic]
-        if initial_latencies is not None:
-            warm = np.asarray(initial_latencies, dtype=float)
-            if warm.shape != (n,):
-                raise ConfigurationError(
-                    f"initial_latencies must have {n} entries, got shape "
-                    f"{warm.shape}"
-                )
-            if not np.isfinite(warm).all() or (warm <= 0).any():
-                raise ConfigurationError(
-                    "initial_latencies must be finite and positive"
-                )
+            return [[] for _ in range(n)]
+        if len(extra_traffic) != n:
+            raise ConfigurationError(
+                "extra_traffic must have one entry per tier"
+            )
+        return [list(classes) for classes in extra_traffic]
 
-        self.last_was_cache_hit = False
-        self.last_hit_residual = None
-        key = None
-        if self._cache_enabled:
-            key = (app, split_arr.tobytes(), pinned_t,
-                   tuple(tuple(classes) for classes in extra))
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache.move_to_end(key)
-                self.last_was_cache_hit = True
-                self.cache_hits += 1
-                if self._m_cache_hits is not None:
-                    self._m_cache_hits.inc()
-                if self._validate_cache_hits:
-                    problem = _SolveProblem(app, split_arr, pinned_t,
-                                            extra)
-                    check_lat, _ = self._evaluate(problem,
-                                                  cached.latencies_ns)
-                    self.last_hit_residual = float(np.max(
-                        np.abs(check_lat - cached.latencies_ns)
-                        / cached.latencies_ns
-                    ))
-                return cached
+    def _normalize_warm(
+        self, initial_latencies: Optional[Sequence[float]],
+    ) -> Optional[np.ndarray]:
+        if initial_latencies is None:
+            return None
+        n = self.n_tiers
+        warm = np.asarray(initial_latencies, dtype=float)
+        if warm.shape != (n,):
+            raise ConfigurationError(
+                f"initial_latencies must have {n} entries, got shape "
+                f"{warm.shape}"
+            )
+        if not np.isfinite(warm).all() or (warm <= 0).any():
+            raise ConfigurationError(
+                "initial_latencies must be finite and positive"
+            )
+        return warm
 
-        problem = _SolveProblem(app, split_arr, pinned_t, extra)
-        if initial_latencies is not None:
+    def _cache_hit(self, key: tuple,
+                   apps: Sequence[Tuple[CoreGroup, np.ndarray]],
+                   pinned_t: Tuple[Tuple[CoreGroup, int], ...],
+                   extra: Sequence[Sequence[TrafficClass]]):
+        cached = self._cache.get(key)
+        if cached is None:
+            return None
+        self._cache.move_to_end(key)
+        self.last_was_cache_hit = True
+        self.cache_hits += 1
+        if self._m_cache_hits is not None:
+            self._m_cache_hits.inc()
+        if self._validate_cache_hits:
+            problem = _SolveProblem(apps, pinned_t, extra)
+            check_lat, _ = self._evaluate(problem, cached.latencies_ns)
+            self.last_hit_residual = float(np.max(
+                np.abs(check_lat - cached.latencies_ns)
+                / cached.latencies_ns
+            ))
+        return cached
+
+    def _iterate(self, problem: _SolveProblem,
+                 warm: Optional[np.ndarray]):
+        if warm is not None:
             latencies = warm.copy()
         else:
             latencies = self._unloaded.copy()
@@ -431,57 +621,56 @@ class EquilibriumSolver:
             raise ConvergenceError(
                 f"equilibrium did not converge (residual {residual:.3e})"
             )
+        return latencies, state, iteration
 
-        (app_avg_latency, app_read_rate, app_tier_read, wire, req,
-         utils, beffs) = state
-        equilibrium = Equilibrium(
-            latencies_ns=latencies,
-            app_avg_latency_ns=app_avg_latency,
-            app_read_rate=app_read_rate,
-            app_split=split_arr,
-            app_tier_read_rate=app_tier_read,
-            tier_wire_traffic=wire,
-            tier_read_request_rate=req,
-            utilizations=utils,
-            effective_bandwidths=beffs,
-            iterations=iteration,
-        )
+    def _record_miss(self, iteration: int) -> None:
         self.cache_misses += 1
         if self._m_cache_misses is not None:
             self._m_cache_misses.inc()
             self._m_iterations.observe(iteration)
-        if self._cache_enabled:
-            self._cache[key] = equilibrium
-            if len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
-        return equilibrium
+
+    def _cache_store(self, key: tuple, equilibrium) -> None:
+        self._cache[key] = equilibrium
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
 
     def _evaluate(self, problem: _SolveProblem, latencies: np.ndarray):
         """One sweep of the fixed-point map.
 
         Returns ``(new_latencies, state)`` where ``state`` carries the
-        flows computed from the input latencies: ``(app_avg_latency,
-        app_read_rate, app_tier_read_rate, tier_wire_traffic,
-        tier_read_request_rate, utilizations, effective_bandwidths)``.
+        flows computed from the input latencies: ``(app_states,
+        tier_wire_traffic, tier_read_request_rate, utilizations,
+        effective_bandwidths)``; ``app_states`` holds one
+        ``(avg_latency, read_rate, tier_read_rate)`` triple per
+        application group, in input order.
         """
-        split = problem.split
-        if problem.has_app:
-            app_avg_latency = float(np.dot(split, latencies))
-            app_read_rate = problem.app.demand_read_rate(app_avg_latency)
-        else:
-            app_avg_latency = float(latencies[0])
-            app_read_rate = 0.0
-        app_tier_read = app_read_rate * split
-        app_bw = app_tier_read * problem.app_mult
-
         # Per-tier aggregates in historical addition order: extra
-        # classes (pre-summed), then the application class, then pinned
-        # groups.
-        total = problem.extra_total + app_bw
-        rand_sum = problem.extra_rand + app_bw * problem.app_rand
-        write_sum = problem.extra_write + app_bw * problem.app_one_minus_wrf
-        read_sum = problem.extra_read + app_bw * problem.app_wrf
-        req = problem.extra_req + app_tier_read / CACHELINE_BYTES
+        # classes (pre-summed), then the application classes in input
+        # order, then pinned groups. ``a.copy(); a += b`` computes the
+        # same floats as the historical ``a + b``.
+        total = problem.extra_total.copy()
+        rand_sum = problem.extra_rand.copy()
+        write_sum = problem.extra_write.copy()
+        read_sum = problem.extra_read.copy()
+        req = problem.extra_req.copy()
+        app_states = []
+        for group, split, has_cores, mult, rand, wrf, one_minus_wrf in \
+                problem.apps:
+            if has_cores:
+                app_avg_latency = float(np.dot(split, latencies))
+                app_read_rate = group.demand_read_rate(app_avg_latency)
+            else:
+                app_avg_latency = float(latencies[0])
+                app_read_rate = 0.0
+            app_tier_read = app_read_rate * split
+            app_bw = app_tier_read * mult
+            total += app_bw
+            rand_sum += app_bw * rand
+            write_sum += app_bw * one_minus_wrf
+            read_sum += app_bw * wrf
+            req += app_tier_read / CACHELINE_BYTES
+            app_states.append((app_avg_latency, app_read_rate,
+                               app_tier_read))
         for group, tier_idx, mult, rand, wrf, one_minus_wrf in \
                 problem.pinned:
             rate = group.demand_read_rate(float(latencies[tier_idx]))
@@ -512,6 +701,5 @@ class EquilibriumSolver:
         utils = np.zeros_like(total)
         np.divide(load, beffs, out=utils, where=beffs > 0.0)
         new_latencies = self._curve_array.latency_ns(utils)
-        state = (app_avg_latency, app_read_rate, app_tier_read, total,
-                 req, utils, beffs)
+        state = (app_states, total, req, utils, beffs)
         return new_latencies, state

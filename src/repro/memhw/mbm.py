@@ -56,9 +56,20 @@ class MbmMonitor:
 
     def observe(self, equilibrium: Equilibrium, duration_ns: float) -> None:
         """Integrate the application's per-tier traffic over a window."""
+        self.observe_rates(equilibrium.app_tier_read_rate, duration_ns)
+
+    def observe_rates(self, tier_read_rate: np.ndarray,
+                      duration_ns: float) -> None:
+        """Integrate one application's per-tier read rates directly.
+
+        The colocated loop feeds each tenant's monitor from its own
+        :class:`~repro.memhw.fixedpoint.AppEquilibrium` — MBM attributes
+        bandwidth per resource-monitoring ID on real hardware, so each
+        tenant sees only its own traffic here too.
+        """
         if duration_ns < 0:
             raise ConfigurationError("duration must be non-negative")
-        reads = equilibrium.app_tier_read_rate
+        reads = np.asarray(tier_read_rate, dtype=float)
         if reads.shape != (self._n_tiers,):
             raise ConfigurationError("tier count mismatch")
         self._traffic_integral += reads * self._multiplier * duration_ns

@@ -7,6 +7,15 @@ documented here. The schema is the contract between the instrumented
 hot path and the offline report (``repro report trace.jsonl``): renaming
 a field is a breaking change to recorded traces and must bump
 :data:`TRACE_SCHEMA_VERSION`.
+
+Colocated runs add an optional ``tenant`` field (the tenant's name) to
+any event emitted through a :class:`~repro.obs.tracer.TenantTracer` —
+per-tenant controller, executor, and invariant events carry it;
+machine-scoped events (``run_start``, ``solver_converged``,
+``contention_change``, ``run_end``) never do. Events without a
+``tenant`` field are shared context for every tenant; single-app traces
+contain no ``tenant`` fields at all, so the label is a pure addition and
+does not bump :data:`TRACE_SCHEMA_VERSION`.
 """
 
 from __future__ import annotations
@@ -26,6 +35,9 @@ EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
         "n_tiers": "number of memory tiers",
         "quantum_ms": "runtime quantum in milliseconds",
         "migration_limit_bytes": "static per-quantum migration budget",
+        "tenants": "colocated runs only: list of {tenant, workload, "
+                   "system} descriptors in declaration order (absent on "
+                   "single-app runs)",
     },
     "solver_converged": {
         "iterations": "fixed-point iterations the equilibrium solve took",

@@ -311,21 +311,55 @@ def format_summary(summary: TraceSummary) -> str:
     return "\n".join(lines)
 
 
+def tenant_names_of(events: List[dict]) -> List[str]:
+    """Tenant labels present in a trace, in first-appearance order.
+
+    Empty for single-app traces — only colocated runs label events
+    with ``tenant`` (see :class:`~repro.obs.tracer.TenantTracer`).
+    """
+    names: List[str] = []
+    seen = set()
+    for event in events:
+        tenant = event.get("tenant")
+        if tenant is not None and tenant not in seen:
+            seen.add(tenant)
+            names.append(tenant)
+    return names
+
+
+def tenant_view(events: List[dict], tenant: str) -> List[dict]:
+    """One tenant's view of a colocated trace: its own labeled events
+    plus the unlabeled machine-scoped ones (run_start, solver, ...)."""
+    return [e for e in events if e.get("tenant", tenant) == tenant]
+
+
 def report_from_file(path: PathLike) -> str:
     """Load a JSONL trace and return the formatted report text.
 
     The report ends with the run-health diagnostics section — the same
-    detectors ``repro diagnose`` runs (:mod:`repro.obs.diagnose`).
+    detectors ``repro diagnose`` runs (:mod:`repro.obs.diagnose`). For
+    a colocated trace, a per-tenant section follows for each tenant:
+    its view of the trace (own labeled events plus the shared machine
+    context) run through the same summary and diagnostics machinery.
     """
     from repro.obs.diagnose import diagnose_timeline, format_diagnostics
     from repro.obs.timeline import build_timeline
 
     events = load_events(path)
-    text = format_summary(summarize_events(events))
-    timeline = build_timeline(events)
-    if timeline.samples:
-        diagnostics = diagnose_timeline(timeline)
-        text += "\n" + format_diagnostics(diagnostics, timeline=timeline)
+
+    def render(view: List[dict]) -> str:
+        text = format_summary(summarize_events(view))
+        timeline = build_timeline(view)
+        if timeline.samples:
+            diagnostics = diagnose_timeline(timeline)
+            text += "\n" + format_diagnostics(diagnostics,
+                                              timeline=timeline)
+        return text
+
+    text = render(events)
+    for tenant in tenant_names_of(events):
+        text += (f"\n\n== tenant: {tenant} ==\n"
+                 + render(tenant_view(events, tenant)))
     return text
 
 
@@ -334,4 +368,6 @@ __all__ = [
     "format_summary",
     "report_from_file",
     "summarize_events",
+    "tenant_names_of",
+    "tenant_view",
 ]

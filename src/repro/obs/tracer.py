@@ -199,6 +199,56 @@ class Tracer:
         self.close()
 
 
+class TenantTracer:
+    """Per-tenant view of a shared tracer: labels every event.
+
+    A colocated run threads one of these into each tenant's executor,
+    checker, and tiering context, so every event those components emit
+    carries a ``tenant`` field without any of them knowing about
+    colocation. Machine-scoped events (``run_start``,
+    ``solver_converged``, ``contention_change``, ``run_end``) are emitted
+    on the underlying tracer directly and stay unlabeled — the
+    report/diagnose tooling treats unlabeled events as shared context
+    for every tenant.
+
+    ``enabled`` and ``time_s`` delegate to the wrapped tracer (time is
+    stamped once per quantum by the loop), so the wrapper is free when
+    tracing is off and adds one dict entry when it is on.
+    """
+
+    __slots__ = ("_inner", "tenant")
+
+    def __init__(self, inner, tenant: str) -> None:
+        self._inner = inner
+        self.tenant = str(tenant)
+
+    @property
+    def enabled(self) -> bool:
+        return self._inner.enabled
+
+    @property
+    def time_s(self) -> float:
+        return self._inner.time_s
+
+    def emit(self, event_type: str, **fields) -> None:
+        """Emit on the wrapped tracer with this tenant's label added."""
+        fields.setdefault("tenant", self.tenant)
+        self._inner.emit(event_type, **fields)
+
+    def events(self, event_type: Optional[str] = None) -> List[dict]:
+        """This tenant's labeled events from the wrapped tracer's ring."""
+        return [e for e in self._inner.events(event_type)
+                if e.get("tenant") == self.tenant]
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Delegates to the wrapped tracer (lifetime counts are shared)."""
+        return self._inner.counts
+
+    def close(self) -> None:
+        """Closing is the owner's job; the per-tenant view is a borrow."""
+
+
 def load_events(path: PathLike) -> List[dict]:
     """Read a JSONL trace (plain or gzip) back into event dicts.
 
@@ -245,6 +295,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "TRACE_SCHEMA_VERSION",
+    "TenantTracer",
     "Tracer",
     "iter_events",
     "load_events",

@@ -25,8 +25,12 @@ class PlacementState:
         if len(tier_capacities) < 1:
             raise ConfigurationError("need at least one tier capacity")
         capacities = np.asarray(tier_capacities, dtype=np.int64)
-        if (capacities <= 0).any():
-            raise ConfigurationError("tier capacities must be positive")
+        if (capacities < 0).any():
+            raise ConfigurationError("tier capacities must be non-negative")
+        if capacities.sum() <= 0:
+            raise ConfigurationError(
+                "at least one tier capacity must be positive"
+            )
         if pages.total_bytes > capacities.sum():
             raise CapacityError(
                 f"working set ({pages.total_bytes} B) exceeds total "
@@ -128,6 +132,130 @@ class PlacementState:
                 "accessed pages must be placed before solving"
             )
         return split
+
+
+class CapacityArbiter:
+    """Splits the machine's shared per-tier capacity between tenants.
+
+    Colocated tenants each own a private :class:`PlacementState`, but the
+    tiers underneath are one physical resource. The arbiter hands every
+    tenant an explicit per-tier byte grant so the tenant-local capacity
+    checks compose into the machine-level invariant: per tier, grants sum
+    to at most the tier's capacity, so tenant placements can never
+    over-commit the hardware no matter what their controllers do.
+
+    Policy: each tier is divided proportionally to the tenant weights
+    (working-set bytes by default) using largest-remainder rounding, then
+    grants are shifted — deterministically, from the highest-index tiers
+    first, so contention for the default tier stays proportional — until
+    every tenant's total grant covers its working set. Infeasible demand
+    (summed working sets exceed summed capacity) raises
+    :class:`CapacityError`.
+    """
+
+    def __init__(self, tier_capacities: Sequence[int]) -> None:
+        if len(tier_capacities) < 1:
+            raise ConfigurationError("need at least one tier capacity")
+        capacities = np.asarray(tier_capacities, dtype=np.int64)
+        if (capacities < 0).any():
+            raise ConfigurationError("tier capacities must be non-negative")
+        self._capacities = capacities
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of tiers being arbitrated."""
+        return len(self._capacities)
+
+    def grant(self, working_sets: Sequence[int],
+              weights: Optional[Sequence[float]] = None,
+              ) -> "list[tuple[int, ...]]":
+        """Compute per-tenant, per-tier byte grants.
+
+        Args:
+            working_sets: Total bytes each tenant must be able to place
+                (its page array's ``total_bytes``).
+            weights: Optional share weights; defaults to the working
+                sets, i.e. capacity proportional to footprint. All-zero
+                weights fall back to an equal split.
+
+        Returns:
+            One tuple of per-tier grants per tenant, in input order.
+            Per tier the grants sum to exactly the tier capacity, and
+            each tenant's grants sum to at least its working set.
+
+        Raises:
+            CapacityError: If the summed working sets exceed the summed
+                tier capacities (no feasible grant exists).
+            ConfigurationError: On malformed inputs.
+        """
+        n_tenants = len(working_sets)
+        if n_tenants < 1:
+            raise ConfigurationError("need at least one tenant")
+        ws = np.asarray(working_sets, dtype=np.int64)
+        if (ws < 0).any():
+            raise ConfigurationError("working sets must be non-negative")
+        total_capacity = int(self._capacities.sum())
+        if int(ws.sum()) > total_capacity:
+            raise CapacityError(
+                f"tenant working sets ({int(ws.sum())} B) exceed total "
+                f"capacity ({total_capacity} B)"
+            )
+        if weights is None:
+            w = ws.astype(float)
+        else:
+            if len(weights) != n_tenants:
+                raise ConfigurationError(
+                    "weights must have one entry per tenant"
+                )
+            w = np.asarray(weights, dtype=float)
+            if (w < 0).any() or not np.isfinite(w).all():
+                raise ConfigurationError(
+                    "weights must be finite and non-negative"
+                )
+        if w.sum() <= 0:
+            w = np.ones(n_tenants)
+        shares = w / w.sum()
+
+        # Largest-remainder proportional split of every tier.
+        grants = np.zeros((n_tenants, self.n_tiers), dtype=np.int64)
+        for t in range(self.n_tiers):
+            exact = shares * float(self._capacities[t])
+            floors = np.floor(exact).astype(np.int64)
+            leftover = int(self._capacities[t]) - int(floors.sum())
+            # Ties broken by tenant index for determinism (stable sort
+            # on the negated remainder).
+            order = np.argsort(-(exact - floors), kind="stable")
+            floors[order[:leftover]] += 1
+            grants[:, t] = floors
+
+        # Shift surplus to shortfall tenants until every tenant can hold
+        # its working set. Surpluses cover shortfalls whenever the total
+        # demand fits (checked above). Highest-index tiers donate first
+        # so the default tier keeps its proportional split.
+        totals = grants.sum(axis=1)
+        for i in range(n_tenants):
+            need = int(ws[i] - totals[i])
+            if need <= 0:
+                continue
+            for j in range(n_tenants):
+                if need <= 0:
+                    break
+                surplus = int(totals[j] - ws[j])
+                if j == i or surplus <= 0:
+                    continue
+                for t in range(self.n_tiers - 1, -1, -1):
+                    if need <= 0 or surplus <= 0:
+                        break
+                    take = min(need, surplus, int(grants[j, t]))
+                    if take <= 0:
+                        continue
+                    grants[j, t] -= take
+                    grants[i, t] += take
+                    totals[j] -= take
+                    totals[i] += take
+                    need -= take
+                    surplus -= take
+        return [tuple(int(b) for b in row) for row in grants]
 
 
 def fill_default_first(placement: PlacementState,

@@ -3,6 +3,7 @@ steady-state experiment running."""
 
 from repro.runtime.metrics import MetricsRecorder, QuantumRecord
 from repro.runtime.loop import SimulationLoop
+from repro.runtime.colocation import ColocatedLoop, TenantSpec
 from repro.runtime.experiment import (
     RepeatedResult,
     SteadyStateResult,
@@ -12,9 +13,11 @@ from repro.runtime.experiment import (
 from repro.runtime.export import to_csv, to_json
 
 __all__ = [
+    "ColocatedLoop",
     "MetricsRecorder",
     "QuantumRecord",
     "SimulationLoop",
+    "TenantSpec",
     "RepeatedResult",
     "SteadyStateResult",
     "repeat_steady_state",

@@ -58,6 +58,37 @@ DEFAULT_MIGRATION_LIMIT_PER_QUANTUM = 25 * mib(1)
 ContentionSchedule = Union[int, Callable[[float], int]]
 
 
+def coerce_intensity(value, time_s: Optional[float] = None) -> int:
+    """Validate one contention-schedule value to a non-negative int.
+
+    Schedules are user-supplied callables, so their returns are hostile
+    input: anything that is not cleanly a non-negative integer (None,
+    NaN, infinities, fractional floats, arbitrary objects) raises
+    :class:`ConfigurationError` naming the simulated time, instead of
+    silently truncating into a wrong antagonist intensity.
+    """
+    where = ("in the contention schedule" if time_s is None
+             else f"from the contention schedule at t={time_s:.3f}s")
+    try:
+        intensity = int(value)
+    except (TypeError, ValueError, OverflowError) as error:
+        raise ConfigurationError(
+            f"got {value!r} {where}; expected a non-negative integer "
+            "intensity"
+        ) from error
+    if isinstance(value, float) and not value.is_integer():
+        raise ConfigurationError(
+            f"got non-integer {value!r} {where}; expected a "
+            "non-negative integer intensity"
+        )
+    if intensity < 0:
+        raise ConfigurationError(
+            f"got negative intensity {value!r} {where}; expected a "
+            "non-negative integer"
+        )
+    return intensity
+
+
 class SimulationLoop:
     """Binds machine, workload, and tiering system into a running sim."""
 
@@ -120,7 +151,7 @@ class SimulationLoop:
         if callable(contention):
             self._contention = contention
         else:
-            level = int(contention)
+            level = coerce_intensity(contention)
             self._contention = lambda _t: level
         self._rng = np.random.default_rng(seed)
 
@@ -269,7 +300,7 @@ class SimulationLoop:
             override = override_fn()
             if override is not None:
                 split = override
-        intensity = int(self._contention(t))
+        intensity = coerce_intensity(self._contention(t), time_s=t)
         if intensity != self._last_intensity:
             previous = self._last_intensity
             self._last_intensity = intensity

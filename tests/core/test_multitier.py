@@ -148,3 +148,76 @@ class TestFindBalancedSplit:
                         read_fraction=0.5)
         with pytest.raises(ConvergenceError):
             find_balanced_split(solver, app, max_rounds=1)
+
+
+class TestBalancerCornerCases:
+    def test_equal_latency_tiers_are_balanced(self):
+        balancer = MultiTierBalancer(delta=0.05)
+        assert balancer.compute([200.0, 200.0, 200.0],
+                                [0.5, 0.3, 0.2]) is None
+
+    def test_degenerate_split_zero_on_slow_tier_holds(self):
+        # All probability already off the slow tier: nothing to shift,
+        # even though the latency gap exceeds the dead-band.
+        balancer = MultiTierBalancer(delta=0.05)
+        assert balancer.compute([100.0, 400.0], [1.0, 0.0]) is None
+
+    def test_degenerate_split_one_on_slow_tier_shifts(self):
+        balancer = MultiTierBalancer(delta=0.05, max_dp=0.10)
+        shift = balancer.compute([100.0, 400.0], [0.0, 1.0])
+        assert shift is not None
+        assert shift.src_tier == 1 and shift.dst_tier == 0
+        assert shift.dp == pytest.approx(0.10)
+
+    def test_dp_never_exceeds_source_share_at_the_edge(self):
+        balancer = MultiTierBalancer(delta=0.05, max_dp=0.5)
+        shift = balancer.compute([100.0, 900.0], [0.99, 0.01])
+        assert shift is not None
+        assert shift.dp <= 0.01 + 1e-12
+
+    def test_single_tier_vector_rejected(self):
+        balancer = MultiTierBalancer()
+        with pytest.raises(ConfigurationError, match=">=2"):
+            balancer.compute([200.0], [1.0])
+
+    def test_mismatched_vectors_rejected(self):
+        balancer = MultiTierBalancer()
+        with pytest.raises(ConfigurationError):
+            balancer.compute([200.0, 300.0], [1.0])
+
+    def test_nonpositive_latency_rejected(self):
+        balancer = MultiTierBalancer()
+        with pytest.raises(ConfigurationError, match="positive"):
+            balancer.compute([0.0, 300.0], [0.5, 0.5])
+
+
+class TestFindBalancedSplitCornerCases:
+    def test_single_tier_solver_rejected(self):
+        from repro.core.multitier import find_balanced_split
+        from repro.memhw.fixedpoint import EquilibriumSolver
+
+        base = paper_testbed()
+        solver = EquilibriumSolver(base.tiers[:1])
+        app = GupsWorkload(scale=FAST_SCALE, seed=1).core_group()
+        with pytest.raises(ConfigurationError, match="two tiers"):
+            find_balanced_split(solver, app)
+
+    def test_split_is_a_distribution_at_the_fixed_point(self):
+        from repro.core.multitier import find_balanced_split
+        from repro.memhw.fixedpoint import EquilibriumSolver
+
+        machine = three_tier_machine()
+        solver = EquilibriumSolver(machine.tiers)
+        app = GupsWorkload(scale=FAST_SCALE, seed=1).core_group()
+        balancer = MultiTierBalancer(delta=0.05)
+        split, eq = find_balanced_split(solver, app, balancer=balancer)
+        assert split.sum() == pytest.approx(1.0)
+        assert (split >= 0).all()
+        # A light app can't load the fast tier up to the slow tiers'
+        # unloaded latencies, so "balanced" degenerates to draining the
+        # slowest tier: either the dead-band holds or the slowest tier
+        # carries no share left to move.
+        assert balancer.compute(eq.latencies_ns, split) is None
+        lat = np.asarray(eq.latencies_ns)
+        if lat.max() - lat.min() >= 0.05 * lat.min():
+            assert split[int(np.argmax(lat))] == pytest.approx(0.0)

@@ -148,3 +148,104 @@ class TestDerivedViews:
         best = make_spec(system=BEST_CASE_SYSTEM, mode="best_case",
                          max_duration_s=None)
         assert not best.repeatable
+
+
+class TestTenantCellSpec:
+    def make_tenant(self, name="a", **overrides):
+        from repro.exec.spec import TenantCellSpec
+
+        kwargs = dict(
+            workload=WorkloadSpec.make("gups", scale=0.03, seed=1),
+            system="hemem+colloid",
+        )
+        kwargs.update(overrides)
+        return TenantCellSpec.make(name, **kwargs)
+
+    def make_colocated(self, tenants=None):
+        from repro.exec.spec import COLOCATION_SYSTEM
+
+        if tenants is None:
+            tenants = (self.make_tenant("a"),
+                       self.make_tenant("b", system="hemem"))
+        return make_spec(system=COLOCATION_SYSTEM,
+                         tenants=tuple(tenants))
+
+    def test_round_trips(self):
+        from repro.exec.spec import TenantCellSpec
+
+        tenant = self.make_tenant(weight=2.0, n_bins=7)
+        again = TenantCellSpec.from_dict(tenant.to_dict())
+        assert again == tenant
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.make_tenant(name="")
+        with pytest.raises(ConfigurationError):
+            self.make_tenant(system="")
+        with pytest.raises(ConfigurationError):
+            self.make_tenant(weight=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make_tenant(weight=-1.0)
+
+    def test_runspec_rejects_duplicate_tenant_names(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            self.make_colocated(tenants=(self.make_tenant("a"),
+                                         self.make_tenant("a")))
+
+    def test_runspec_rejects_best_case_with_tenants(self):
+        with pytest.raises(ConfigurationError, match="best.case"):
+            make_spec(system=BEST_CASE_SYSTEM, mode="best_case",
+                      max_duration_s=None,
+                      tenants=(self.make_tenant("a"),))
+
+    def test_colocated_spec_round_trips(self):
+        spec = self.make_colocated()
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.content_hash() == spec.content_hash()
+
+    def test_describe_names_tenants(self):
+        assert "[a+b]" in self.make_colocated().describe()
+
+
+class TestTenantHashCompatibility:
+    """Colocation must not disturb any pre-existing spec hash: the
+    content hash keys the on-disk result cache and the golden
+    fixtures."""
+
+    def test_single_tenant_dict_omits_tenants_key(self):
+        assert "tenants" not in make_spec().to_dict()
+
+    def test_single_tenant_hash_uses_pre_colocation_schema(self):
+        import json
+
+        from repro.exec.spec import _SINGLE_TENANT_SCHEMA_VERSION
+
+        spec = make_spec()
+        payload = {
+            "schema": _SINGLE_TENANT_SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+        }
+        import hashlib
+
+        expected = hashlib.sha256(
+            json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")).encode()
+        ).hexdigest()
+        assert spec.content_hash() == expected
+
+    def test_known_single_tenant_hash_is_stable(self):
+        # Pinned from the pre-colocation schema: changing it silently
+        # invalidates every cached result and golden fixture.
+        assert make_spec().content_hash() == (
+            "5d66ee38ec8e43147fb372fa97930c33"
+            "ad20efc9517aa363e36ba86facf9ea21")
+
+    def test_colocated_spec_hashes_differently(self):
+        from repro.exec.spec import COLOCATION_SYSTEM, TenantCellSpec
+
+        tenant = TenantCellSpec.make(
+            "a", WorkloadSpec.make("gups", scale=0.03, seed=1), "hemem")
+        spec = make_spec(system=COLOCATION_SYSTEM, tenants=(tenant,))
+        assert spec.content_hash() != make_spec().content_hash()
+        assert "tenants" in spec.to_dict()

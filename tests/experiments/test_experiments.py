@@ -148,3 +148,45 @@ class TestFig10Harness:
         trace = fig10.run_one("hemem+colloid", "hotshift-0x", config,
                               shift_s=9.0, duration_s=22.0)
         assert trace.steady_fraction() < 0.02
+
+
+class TestColocationHarness:
+    def test_build_cells_shapes(self, config):
+        from repro.experiments import colocation
+
+        cells = colocation.build_cells(
+            config, systems=("hemem", "hemem+colloid"),
+            intensities=(0, 2))
+        # One solo cell per intensity plus one colocated cell per
+        # (system, intensity).
+        assert len(cells) == 2 + 4
+        colocated = cells[("hemem", 2)]
+        assert len(colocated.tenants) == 2
+        assert colocated.tenants[0].system == "hemem"
+        assert colocated.tenants[1].system == colocation.CORUNNER_SYSTEM
+        assert cells[(colocation.SOLO, 0)].tenants == ()
+
+    def test_migration_limit_floor_admits_a_page(self, config):
+        from repro.experiments import colocation
+
+        spec = colocation.colocated_spec(config, "hemem+colloid", 2,
+                                         max_duration_s=5.0)
+        primary = spec.tenants[0].workload.build()
+        assert spec.migration_limit_bytes >= primary.page_bytes
+
+    def test_result_accessors(self):
+        from repro.experiments.colocation import ColocationResult
+
+        result = ColocationResult(
+            systems=("hemem",), intensities=(2,),
+            solo_throughput={2: 50.0},
+            primary_throughput={("hemem", 2): 30.0},
+            corunner_throughput={("hemem", 2): 20.0},
+            latencies={("hemem", 2): (240.0, 120.0)},
+        )
+        assert result.primary_retention("hemem", 2) == pytest.approx(0.6)
+        assert result.latency_ratio("hemem", 2) == pytest.approx(2.0)
+        from repro.experiments.colocation import format_rows
+
+        text = format_rows(result)
+        assert "hemem" in text and "solo" in text

@@ -250,3 +250,38 @@ class TestRunEndAndProgress:
         assert event["simulated_s"] == pytest.approx(loop.time_s)
         assert event["counters"]["quanta"] == len(loop.metrics)
         assert event["counters"]["migrated_bytes"] >= 0
+
+
+class TestTenantViews:
+    def events(self):
+        return [
+            dict(META),
+            {**shift_event(0.1, 0.02), "tenant": "a"},
+            {**shift_event(0.1, 0.01), "tenant": "b"},
+            {**migration_event(0.2, 100, 100), "tenant": "a"},
+            {**shift_event(0.3, 0.0), "tenant": "a"},
+        ]
+
+    def test_tenant_names_in_first_appearance_order(self):
+        from repro.obs.report import tenant_names_of
+
+        assert tenant_names_of(self.events()) == ["a", "b"]
+        assert tenant_names_of([dict(META)]) == []
+
+    def test_tenant_view_keeps_own_and_unlabeled_events(self):
+        from repro.obs.report import tenant_view
+
+        view = tenant_view(self.events(), "a")
+        assert len(view) == 4  # run_start + 3 'a' events
+        assert all(e.get("tenant", "a") == "a" for e in view)
+        view_b = tenant_view(self.events(), "b")
+        assert len(view_b) == 2
+
+    def test_per_tenant_summaries_differ(self):
+        from repro.obs.report import tenant_view
+
+        events = self.events()
+        summary_a = summarize_events(tenant_view(events, "a"))
+        summary_b = summarize_events(tenant_view(events, "b"))
+        assert sum(summary_a.event_counts.values()) == 4
+        assert sum(summary_b.event_counts.values()) == 2

@@ -263,3 +263,34 @@ class TestGzipTraces:
         plain = self.events_round_trip(tmp_path / "a.jsonl")
         compressed = self.events_round_trip(tmp_path / "b.jsonl.gz")
         assert plain == compressed
+
+
+class TestTenantTracer:
+    def test_labels_every_event(self):
+        from repro.obs.tracer import TenantTracer
+
+        tracer = Tracer(ring_size=16)
+        view = TenantTracer(tracer, "gups")
+        tracer.time_s = 0.5
+        view.emit("compute_shift", p=0.5, p_lo=0.0, p_hi=1.0, dp=0.01,
+                  latency_default_ns=300.0, latency_alternate_ns=150.0)
+        (event,) = tracer.events()
+        assert event["tenant"] == "gups"
+        assert event["type"] == "compute_shift"
+        assert event["time_s"] == 0.5
+
+    def test_underlying_events_stay_unlabeled(self):
+        from repro.obs.tracer import TenantTracer
+
+        tracer = Tracer(ring_size=16)
+        TenantTracer(tracer, "gups")  # label only through the view
+        tracer.emit("contention_change", intensity=2)
+        (event,) = tracer.events()
+        assert "tenant" not in event
+
+    def test_delegates_enabled_and_time(self):
+        from repro.obs.tracer import TenantTracer
+
+        view = TenantTracer(NULL_TRACER, "gups")
+        assert not view.enabled
+        view.emit("contention_change", intensity=1)  # inert, no error

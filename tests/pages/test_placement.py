@@ -29,10 +29,15 @@ class TestConstruction:
         with pytest.raises(CapacityError):
             PlacementState(pages, [500, 1000])
 
-    def test_rejects_nonpositive_capacity(self):
+    def test_rejects_bad_capacities(self):
         pages = PageArray.uniform(2, 100)
+        # Zero on one tier is a valid colocation grant; negative or
+        # all-zero capacities are not.
+        PlacementState(pages, [0, 1000])
         with pytest.raises(ConfigurationError):
-            PlacementState(pages, [0, 1000])
+            PlacementState(pages, [-1, 1000])
+        with pytest.raises(ConfigurationError):
+            PlacementState(pages, [0, 0])
 
 
 class TestMove:
@@ -146,3 +151,74 @@ class TestFillDefaultFirst:
         fill_default_first(placement)  # exactly fits
         assert placement.free_bytes(0) == 0
         assert placement.free_bytes(1) == 0
+
+
+class TestCapacityArbiter:
+    def make(self, capacities=(1000, 2000)):
+        from repro.pages.placement import CapacityArbiter
+
+        return CapacityArbiter(list(capacities))
+
+    def test_grants_sum_to_tier_capacity(self):
+        grants = self.make().grant([600, 900])
+        for t, capacity in enumerate((1000, 2000)):
+            assert sum(g[t] for g in grants) == capacity
+
+    def test_every_tenant_covers_its_working_set(self):
+        working_sets = [600, 900, 1200]
+        grants = self.make().grant(working_sets)
+        for grant, ws in zip(grants, working_sets):
+            assert sum(grant) >= ws
+
+    def test_proportional_to_working_sets_by_default(self):
+        grants = self.make().grant([500, 1500])
+        # 1:3 footprint ratio carries to each tier's split.
+        assert grants[0][0] == 250 and grants[1][0] == 750
+        assert grants[0][1] == 500 and grants[1][1] == 1500
+
+    def test_explicit_weights_override_footprint(self):
+        grants = self.make().grant([100, 100], weights=[3.0, 1.0])
+        assert grants[0][0] == 750 and grants[1][0] == 250
+
+    def test_all_zero_weights_split_equally(self):
+        grants = self.make().grant([100, 100], weights=[0.0, 0.0])
+        assert grants[0] == grants[1]
+
+    def test_shortfall_covered_from_alternate_tier_first(self):
+        # Tenant 0's proportional total (10% of 3000 = 300) is below its
+        # 500 B working set; the donor's alternate-tier grant shrinks
+        # while the default tier keeps the proportional split.
+        grants = self.make().grant([500, 2500], weights=[1.0, 9.0])
+        assert sum(grants[0]) >= 500
+        assert grants[0][0] == 100  # default split untouched
+        assert sum(g[0] for g in grants) == 1000
+        assert sum(g[1] for g in grants) == 2000
+
+    def test_largest_remainder_is_deterministic(self):
+        arbiter = self.make(capacities=(1000, 1000))
+        a = arbiter.grant([333, 333, 333])
+        b = arbiter.grant([333, 333, 333])
+        assert a == b
+        for t in range(2):
+            assert sum(g[t] for g in a) == 1000
+
+    def test_infeasible_demand_raises(self):
+        with pytest.raises(CapacityError, match="exceed total"):
+            self.make().grant([2000, 1500])
+
+    def test_bad_inputs_rejected(self):
+        from repro.pages.placement import CapacityArbiter
+
+        with pytest.raises(ConfigurationError):
+            CapacityArbiter([])
+        with pytest.raises(ConfigurationError):
+            CapacityArbiter([-1, 10])
+        arbiter = self.make()
+        with pytest.raises(ConfigurationError):
+            arbiter.grant([])
+        with pytest.raises(ConfigurationError):
+            arbiter.grant([-5, 10])
+        with pytest.raises(ConfigurationError):
+            arbiter.grant([10, 10], weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            arbiter.grant([10, 10], weights=[1.0, float("nan")])

@@ -155,3 +155,52 @@ class TestOtherCommands:
         assert main(["figure", "fig4"]) == 0
         out = capsys.readouterr().out
         assert "pstar-jump" in out
+
+
+class TestColocatedRun:
+    def test_two_tenants_print_per_tenant_lines(self, capsys):
+        code = main([
+            "run", "--tenant", "gups:hemem", "--tenant", "gups",
+            "--duration", "0.5", "--scale", "0.03",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenants" in out
+        assert "gups=gups/hemem" in out
+        assert "gups2=gups/hemem+colloid" in out  # default system
+        assert "gups2" in out
+        assert "grant" in out
+
+    def test_tenant_trace_report_and_diagnose(self, tmp_path, capsys):
+        trace = tmp_path / "coloc.jsonl"
+        assert main([
+            "run", "--tenant", "gups", "--tenant", "gups",
+            "--duration", "0.5", "--scale", "0.03", "--check",
+            "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "== tenant: gups ==" in out
+        assert "== tenant: gups2 ==" in out
+        diag_path = tmp_path / "diag.json"
+        assert main(["diagnose", str(trace), "--json",
+                     "--out", str(diag_path)]) == 0
+        payload = json.loads(diag_path.read_text())
+        assert set(payload["tenants"]) == {"gups", "gups2"}
+
+    def test_unknown_tenant_workload_is_structured_error(self, capsys):
+        code = main([
+            "run", "--tenant", "nosuch", "--duration", "0.5",
+            "--scale", "0.03",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_tenant_system_is_structured_error(self, capsys):
+        code = main([
+            "run", "--tenant", "gups:nosuch", "--duration", "0.5",
+            "--scale", "0.03",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

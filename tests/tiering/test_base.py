@@ -96,3 +96,44 @@ class TestTieringSystemBase:
 
     def test_throughput_scale_default(self):
         assert StaticPlacementSystem().throughput_scale() == 1.0
+
+
+class TestPackHottestDeterminism:
+    """Tie-breaking is pinned: equal-hotness pages are taken in page-
+    index order (stable sort), so plans are reproducible bit-for-bit."""
+
+    def test_equal_hotness_promotions_break_ties_by_index(self):
+        placement = make_placement([0, 1, 1, 1, 1])
+        hotness = np.array([0.0, 5.0, 5.0, 5.0, 5.0])
+        hot = hotness >= 5.0
+        plan = pack_hottest_plan(placement, hotness, hot, max_bytes=250)
+        promoted = plan.page_indices[plan.dst_tiers == 0]
+        assert list(promoted) == [1, 2]
+
+    def test_equal_coldness_demotions_break_ties_by_index(self):
+        placement = make_placement([0, 0, 0, 1, 1],
+                                   capacities=[300, 500])
+        hotness = np.array([1.0, 1.0, 1.0, 9.0, 9.0])
+        hot = hotness >= 9.0
+        plan = pack_hottest_plan(placement, hotness, hot, max_bytes=10**6)
+        demoted = plan.page_indices[plan.dst_tiers == 1]
+        assert list(demoted) == sorted(demoted)
+        assert demoted[0] == 0
+
+    def test_repeated_calls_produce_identical_plans(self):
+        rng = np.random.default_rng(3)
+        # Many duplicated hotness values to stress tie handling.
+        hotness = rng.integers(0, 4, size=64).astype(float)
+        hot = hotness >= 2.0
+        tiers = rng.integers(0, 2, size=64)
+        plans = []
+        for _ in range(3):
+            placement = make_placement(list(tiers),
+                                       capacities=[4000, 4000])
+            plans.append(pack_hottest_plan(placement, hotness, hot,
+                                           max_bytes=1500))
+        for plan in plans[1:]:
+            np.testing.assert_array_equal(plan.page_indices,
+                                          plans[0].page_indices)
+            np.testing.assert_array_equal(plan.dst_tiers,
+                                          plans[0].dst_tiers)
