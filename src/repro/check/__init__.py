@@ -37,6 +37,7 @@ from repro.check.invariants import (
 )
 from repro.check.roundtrip import (
     check_cache_fidelity,
+    check_journal_fidelity,
     check_result_roundtrip,
     check_spec_roundtrip,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "NULL_CHECKER",
     "NullChecker",
     "check_cache_fidelity",
+    "check_journal_fidelity",
     "check_result_roundtrip",
     "check_spec_roundtrip",
     "checks_enabled",

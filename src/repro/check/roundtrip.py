@@ -84,8 +84,38 @@ def check_cache_fidelity(cache, spec, result) -> None:
         )
 
 
+def check_journal_fidelity(journal, spec, result) -> None:
+    """A just-recorded journal entry must read back equal from disk.
+
+    The journal is the resume source of truth: a record that cannot be
+    re-read (or reads back different) would make ``--resume`` silently
+    re-execute — or worse, mis-resume — the cell. Re-loading from the
+    file (not the in-memory map) is the point: it exercises the exact
+    path a post-kill resume takes.
+
+    Raises:
+        InvariantViolation: If the on-disk entry is missing or differs.
+    """
+    stored = journal.load().get(spec.content_hash())
+    if stored is None:
+        raise InvariantViolation(
+            "exec.journal_readback",
+            "journal entry unreadable immediately after record",
+            details={"spec": spec.describe(),
+                     "path": str(journal.path)},
+        )
+    if stored != result:
+        raise InvariantViolation(
+            "exec.journal_fidelity",
+            "journal entry differs from the computed result",
+            details={"spec": spec.describe(),
+                     "path": str(journal.path)},
+        )
+
+
 __all__ = [
     "check_cache_fidelity",
+    "check_journal_fidelity",
     "check_result_roundtrip",
     "check_spec_roundtrip",
 ]

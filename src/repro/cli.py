@@ -72,6 +72,32 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-progress", action="store_true",
                         help="disable the live per-cell progress line "
                              "on stderr")
+    parser.add_argument("--retries", type=int, default=0,
+                        metavar="N",
+                        help="retry a failing cell up to N times before "
+                             "quarantining it as a FailedCell (default "
+                             "0: first error fails the cell; results "
+                             "stay bit-identical regardless)")
+    parser.add_argument("--retry-backoff", type=float, default=0.1,
+                        metavar="SECONDS",
+                        help="base of the exponential backoff before "
+                             "retry n (SECONDS * 2^n; default 0.1)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell wall-clock budget under --jobs; "
+                             "a cell past it is killed (pool respawn) "
+                             "and counts as a failed attempt")
+    parser.add_argument("--journal", type=str, default=None,
+                        metavar="PATH",
+                        help="append every completed cell to a JSONL "
+                             "fleet journal at PATH (crash-recovery "
+                             "log a later --resume can read)")
+    parser.add_argument("--resume", type=str, default=None,
+                        metavar="JOURNAL",
+                        help="resume from a fleet journal: recorded "
+                             "cells are served from it and only the "
+                             "missing ones execute; new completions "
+                             "are appended to the same file")
     parser.add_argument("--no-solver-cache", action="store_true",
                         help="disable equilibrium-solve memoization "
                              "(propagates to --jobs workers via "
@@ -311,13 +337,32 @@ def _export_metrics(args) -> None:
     print(f"wrote {path}")
 
 
+def _build_journal(args):
+    """Build the fleet journal from ``--journal``/``--resume``.
+
+    ``--resume PATH`` loads PATH's recorded cells (and keeps appending
+    to it); ``--journal PATH`` records without resuming.
+    """
+    from repro.exec.journal import FleetJournal
+
+    resume = getattr(args, "resume", None)
+    path = resume or getattr(args, "journal", None)
+    if not path:
+        return None
+    return FleetJournal(path, resume=bool(resume))
+
+
 def _build_runner(args):
     """Build the batch Runner from ``figure``/``report`` flags."""
     from repro.exec.runner import Runner
 
     _enable_instrumentation(args)
     return Runner(jobs=args.jobs, cache=_build_cache(args),
-                  reporter=_build_reporter(args))
+                  reporter=_build_reporter(args),
+                  retries=args.retries,
+                  retry_backoff_s=args.retry_backoff,
+                  cell_timeout_s=args.cell_timeout,
+                  journal=_build_journal(args))
 
 
 def _make_workload(kind: str, scale: float, seed: int,
@@ -708,6 +753,10 @@ def cmd_bench(args) -> int:
             reporter=_build_reporter(args),
             progress=lambda case: print(f"bench case: {case}",
                                         file=sys.stderr),
+            retries=args.retries,
+            retry_backoff_s=args.retry_backoff,
+            cell_timeout_s=args.cell_timeout,
+            journal=_build_journal(args),
         )
         out = args.out or f"BENCH_{record.name}.json"
         record.write(out)

@@ -19,6 +19,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -35,6 +36,12 @@ CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Age (seconds) past which an orphaned ``*.tmp`` file is swept. Old
+#: enough that no live writer can still own it — a cache write is
+#: milliseconds, not an hour — yet every kill-orphaned file from a
+#: previous run qualifies.
+STALE_TMP_AGE_S = 3600.0
+
 
 def default_cache_dir() -> Path:
     """The cache root: ``$REPRO_CACHE_DIR`` or ``.repro-cache``."""
@@ -46,6 +53,33 @@ class ResultCache:
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.sweep_stale_tmp()
+
+    def sweep_stale_tmp(self, max_age_s: float = STALE_TMP_AGE_S) -> int:
+        """Delete orphaned ``*.tmp`` files older than ``max_age_s``.
+
+        :meth:`put` writes through a temp file and cleans it up on any
+        Python-level failure, but a SIGKILL'd worker (OOM killer, hard
+        ctrl-C, injected ``kill`` fault) dies between ``mkstemp`` and
+        ``os.replace`` with no cleanup running — so orphans accumulate
+        forever. Swept on init (and :meth:`clear` removes everything
+        anyway). The age threshold keeps a concurrent fleet's in-flight
+        writes safe. Returns the number of files removed.
+        """
+        if not self.root.exists():
+            return 0
+        now = time.time()
+        swept = 0
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime >= max_age_s:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                # Raced with another process's sweep or a live writer's
+                # os.replace — either way the orphan is gone.
+                continue
+        return swept
 
     def path_for(self, spec: RunSpec) -> Path:
         """The entry path for a spec (two-level fan-out by hash prefix)."""

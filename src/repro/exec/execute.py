@@ -292,6 +292,28 @@ def execute_spec(spec: RunSpec) -> CellResult:
     return result
 
 
+def execute_cell(spec: RunSpec, attempt: int = 0, metered: bool = False):
+    """Pool-worker entry point for one ``(spec, attempt)`` cell.
+
+    Fires any planned fault injection first (``REPRO_FAULT_INJECT`` is
+    inherited from the parent's environment, and the decision is a pure
+    function of the spec hash and attempt number), then executes the
+    spec. With ``metered`` the worker-local metrics registry is reset
+    before and snapshotted after, so the returned ``(result, delta)``
+    can be absorbed by the parent without double-counting; otherwise the
+    snapshot slot is None.
+    """
+    from repro.exec.faults import maybe_inject_fault
+    from repro.obs.metrics import METRICS
+
+    maybe_inject_fault(spec, attempt)
+    if metered:
+        METRICS.reset()
+        result = execute_spec(spec)
+        return result, METRICS.snapshot()
+    return execute_spec(spec), None
+
+
 def execute_spec_metered(spec: RunSpec):
     """Pool-worker entry point that also returns a metrics delta.
 

@@ -1,0 +1,191 @@
+"""Deterministic fault injection for the exec fan-out.
+
+Production tiered-memory fleets treat per-unit failure as routine; so
+must the Runner — and the only way to *test* that is to make workers
+fail on demand, reproducibly. ``REPRO_FAULT_INJECT`` holds a
+comma-separated plan of ``kind:probability`` entries::
+
+    REPRO_FAULT_INJECT=crash:0.2,hang:0.05 repro figure fig6 --jobs 4 \
+        --retries 3
+
+Kinds:
+
+* ``crash`` — raise :class:`InjectedCrash` inside the worker (an
+  ordinary unhandled cell exception).
+* ``kill``  — hard-exit the worker process (``os._exit``), which breaks
+  the whole ``ProcessPoolExecutor`` (the OOM/segfault scenario).
+* ``hang``  — sleep for ``REPRO_FAULT_HANG_S`` (default 3600) seconds
+  before executing, so the cell trips ``--cell-timeout``.
+* ``flaky`` — raise :class:`InjectedCrash` on the first attempt only;
+  any retry succeeds (the transient-failure scenario).
+* ``slow``  — sleep ``REPRO_FAULT_SLOW_S`` (default 0.25) seconds, then
+  execute normally (exercises completion-order independence).
+
+Every decision is a pure function of ``(spec content hash, kind,
+attempt)``: the same cell faults identically no matter which worker
+runs it, how many neighbors it has, or whether the fleet is a resumed
+one — which is what lets the tests assert that a faulted-and-retried
+parallel run stays bit-identical to a clean serial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Environment variable holding the fault plan (empty/absent = no faults).
+FAULT_ENV_VAR = "REPRO_FAULT_INJECT"
+
+#: Seconds an injected hang sleeps (long enough to trip any timeout).
+HANG_SECONDS_ENV_VAR = "REPRO_FAULT_HANG_S"
+
+#: Seconds an injected slow cell sleeps before executing normally.
+SLOW_SECONDS_ENV_VAR = "REPRO_FAULT_SLOW_S"
+
+FAULT_KINDS = ("crash", "kill", "hang", "flaky", "slow")
+
+#: Exit status an injected ``kill`` dies with (mirrors SIGKILL's 128+9).
+KILL_EXIT_STATUS = 137
+
+
+class InjectedCrash(RuntimeError):
+    """The failure raised by ``crash`` and ``flaky`` injections."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed ``REPRO_FAULT_INJECT`` plan: per-kind probabilities."""
+
+    entries: Tuple[Tuple[str, float], ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def probability(self, kind: str) -> float:
+        for name, p in self.entries:
+            if name == kind:
+                return p
+        return 0.0
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse ``kind:p,kind:p`` into a :class:`FaultPlan`.
+
+    Raises:
+        ConfigurationError: On unknown kinds or probabilities outside
+            [0, 1] — a silently ignored typo in a fault-injection run
+            would report vacuous green results.
+    """
+    entries = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, sep, prob_text = part.partition(":")
+        kind = kind.strip()
+        if kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        try:
+            probability = float(prob_text) if sep else 1.0
+        except ValueError:
+            raise ConfigurationError(
+                f"fault probability must be a number, got {prob_text!r}"
+            )
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"fault probability must be in [0, 1], got {probability}"
+            )
+        entries.append((kind, probability))
+    return FaultPlan(entries=tuple(entries))
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The process-wide plan from ``REPRO_FAULT_INJECT`` (None if off).
+
+    Read per call rather than cached at import: pool workers inherit the
+    parent's environment, and tests flip it with monkeypatch.
+    """
+    text = os.environ.get(FAULT_ENV_VAR, "")
+    if not text:
+        return None
+    plan = parse_fault_plan(text)
+    return plan or None
+
+
+def fault_roll(spec_hash: str, kind: str, attempt: int) -> float:
+    """Deterministic uniform [0, 1) draw for (cell, kind, attempt)."""
+    digest = hashlib.sha256(
+        f"{spec_hash}:fault:{kind}:{attempt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+def should_fault(plan: FaultPlan, spec_hash: str, kind: str,
+                 attempt: int) -> bool:
+    """Whether ``kind`` fires for this cell on this attempt."""
+    probability = plan.probability(kind)
+    if probability <= 0.0:
+        return False
+    if kind == "flaky" and attempt > 0:
+        return False
+    return fault_roll(spec_hash, kind, attempt) < probability
+
+
+def _sleep_seconds(env_var: str, default: float) -> float:
+    try:
+        return float(os.environ.get(env_var, ""))
+    except ValueError:
+        return default
+
+
+def maybe_inject_fault(spec, attempt: int) -> None:
+    """Fire any planned fault for this cell attempt (worker-side hook).
+
+    Called at the top of every cell execution, serial or pooled. Order:
+    ``kill`` (hardest) first, then ``crash``/``flaky``, then ``hang``,
+    then ``slow`` — a cell planned for several kinds dies the hardest
+    death, which is the interesting one to recover from.
+    """
+    plan = active_fault_plan()
+    if plan is None:
+        return
+    spec_hash = spec.content_hash()
+    if should_fault(plan, spec_hash, "kill", attempt):
+        os._exit(KILL_EXIT_STATUS)
+    if should_fault(plan, spec_hash, "crash", attempt):
+        raise InjectedCrash(
+            f"injected crash (attempt {attempt}): {spec.describe()}"
+        )
+    if should_fault(plan, spec_hash, "flaky", attempt):
+        raise InjectedCrash(
+            f"injected flaky failure (attempt {attempt}): "
+            f"{spec.describe()}"
+        )
+    if should_fault(plan, spec_hash, "hang", attempt):
+        time.sleep(_sleep_seconds(HANG_SECONDS_ENV_VAR, 3600.0))
+    if should_fault(plan, spec_hash, "slow", attempt):
+        time.sleep(_sleep_seconds(SLOW_SECONDS_ENV_VAR, 0.25))
+
+
+__all__ = [
+    "FAULT_ENV_VAR",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "HANG_SECONDS_ENV_VAR",
+    "InjectedCrash",
+    "KILL_EXIT_STATUS",
+    "SLOW_SECONDS_ENV_VAR",
+    "active_fault_plan",
+    "fault_roll",
+    "maybe_inject_fault",
+    "parse_fault_plan",
+    "should_fault",
+]

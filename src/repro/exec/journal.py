@@ -1,0 +1,122 @@
+"""Fleet journal — append-only completion log for resumable fleets.
+
+A hard-killed fleet (OOM, ctrl-C, preemption) used to throw away every
+completed cell that wasn't in the opt-in result cache. The journal fixes
+that with the cheapest durable structure there is: one JSONL line per
+completed cell, ``{"spec_hash", "spec", "result"}``, appended and
+flushed as each cell finishes. ``repro figure --resume <journal>``
+loads the file, seeds the Runner with the recorded results, and only
+the missing cells execute.
+
+The journal tolerates its own failure mode by construction: a kill
+mid-append leaves at most one truncated final line, which
+:meth:`FleetJournal.load` skips (and counts) instead of refusing the
+whole file. Entries are keyed and verified by spec content hash, so a
+journal replayed against a different grid simply misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.exec.result import CellResult
+from repro.exec.spec import RunSpec
+
+#: Bump when the journal line layout changes (checked on load).
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class FleetJournal:
+    """Append-only JSONL log of completed cells, keyed by spec hash.
+
+    Args:
+        path: Journal file (created on first record; parent directories
+            are created as needed).
+        resume: When True, existing entries are loaded into memory so
+            :meth:`lookup` serves them (the ``--resume`` path). When
+            False the file is still appended to — a crash-only safety
+            net that a later resume can read.
+    """
+
+    def __init__(self, path: os.PathLike, resume: bool = False) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, CellResult] = {}
+        self._handle = None
+        self.skipped_lines = 0
+        if resume:
+            self._entries = self.load()
+
+    def load(self) -> Dict[str, CellResult]:
+        """Read the journal into a spec-hash → result map.
+
+        Truncated or malformed lines (a SIGKILL mid-append) and entries
+        from a different schema version are skipped and counted in
+        :attr:`skipped_lines`, never fatal — a journal exists precisely
+        because the previous run ended badly.
+        """
+        entries: Dict[str, CellResult] = {}
+        self.skipped_lines = 0
+        if not self.path.exists():
+            return entries
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    if (payload.get("journal_schema")
+                            != JOURNAL_SCHEMA_VERSION):
+                        raise ValueError("schema mismatch")
+                    spec_hash = payload["spec_hash"]
+                    result = CellResult.from_dict(payload["result"])
+                except (KeyError, TypeError, ValueError):
+                    self.skipped_lines += 1
+                    continue
+                entries[spec_hash] = result
+        return entries
+
+    def lookup(self, spec: RunSpec) -> Optional[CellResult]:
+        """The journaled result for ``spec``, or None if not recorded."""
+        return self._entries.get(spec.content_hash())
+
+    def record(self, spec: RunSpec, result: CellResult) -> None:
+        """Append a completed cell and flush it to disk immediately.
+
+        The flush-per-line discipline is the durability contract: after
+        a hard kill, every cell whose record returned is recoverable.
+        """
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        payload = {
+            "journal_schema": JOURNAL_SCHEMA_VERSION,
+            "spec_hash": spec.content_hash(),
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        self._handle.write(json.dumps(payload) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._entries[spec.content_hash()] = result
+
+    def close(self) -> None:
+        """Close the append handle (records may follow; it reopens)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __enter__(self) -> "FleetJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["FleetJournal", "JOURNAL_SCHEMA_VERSION"]

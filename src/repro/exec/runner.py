@@ -2,11 +2,23 @@
 
 The :class:`Runner` is the single entry point the figure harnesses
 submit their spec lists to. It deduplicates identical specs within a
-batch, consults the optional :class:`~repro.exec.cache.ResultCache`,
-executes the remainder either inline or over a
-``ProcessPoolExecutor`` (``jobs > 1``), and returns a spec → result
-map. Because each spec seeds all of its own randomness, parallel
-results are bit-identical to serial ones.
+batch, consults the optional :class:`~repro.exec.cache.ResultCache` and
+:class:`~repro.exec.journal.FleetJournal`, and executes the remainder
+either inline or over a ``ProcessPoolExecutor`` (``jobs > 1``). Because
+each spec seeds all of its own randomness, parallel results are
+bit-identical to serial ones — regardless of completion order, retries,
+or resumes.
+
+Fan-out is fault-tolerant: cells are submitted individually and consumed
+in completion order, a failing cell is retried with exponential backoff
+(``retries`` / ``retry_backoff_s``), times out individually
+(``cell_timeout_s``), and after exhausting its retry budget is
+quarantined as a structured :class:`FailedCell` instead of poisoning the
+batch. A broken worker pool (OOM kill, segfault) is respawned and only
+the in-flight cells are re-enqueued. When every cell has been resolved,
+a batch with quarantined cells raises :class:`FleetError` — completed
+results are already in the cache/journal, so a re-run only executes the
+failures.
 
 Repetition (the paper's mean-of-3 with min/max bars, Figure 1) is
 first-class: :meth:`Runner.run_grid` expands every repeatable spec into
@@ -16,15 +28,36 @@ seed-varied copies and aggregates them into :class:`AggregatedCell`.
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback as traceback_module
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.check.roundtrip import check_cache_fidelity
 from repro.check.invariants import checks_enabled
-from repro.errors import ConfigurationError
+from repro.check.roundtrip import (
+    check_cache_fidelity,
+    check_journal_fidelity,
+)
+from repro.errors import ConfigurationError, ReproError
 from repro.exec.cache import ResultCache
-from repro.exec.execute import execute_spec, execute_spec_metered
+from repro.exec.execute import execute_cell, execute_spec
+from repro.exec.faults import maybe_inject_fault
+from repro.exec.journal import FleetJournal
 from repro.exec.progress import FleetProgress
 from repro.exec.result import CellResult
 from repro.exec.spec import RunSpec
@@ -146,6 +179,97 @@ def aggregate(results: Sequence[CellResult]) -> AggregatedCell:
     )
 
 
+class CellTimeoutError(Exception):
+    """A cell exceeded the per-cell wall-clock budget (``--cell-timeout``).
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: timeouts are
+    fleet faults to retry/quarantine, not configuration bugs to abort on.
+    """
+
+
+class WorkerCrashError(Exception):
+    """The worker pool broke while this cell was in flight.
+
+    A hard worker death (OOM kill, segfault, injected ``kill`` fault)
+    takes the whole ``ProcessPoolExecutor`` down; the executor cannot
+    say *which* in-flight cell caused it, so every in-flight cell is
+    charged one attempt of this error and re-enqueued.
+    """
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """A cell quarantined after exhausting its retry budget.
+
+    Attributes:
+        spec: The cell that failed.
+        attempts: Attempts consumed (first try plus retries).
+        error_type: Exception class name of the final failure.
+        message: Stringified final exception.
+        traceback: Formatted traceback of the final failure (includes
+            the worker-side remote traceback for pooled cells; empty
+            when the failure left no Python traceback, e.g. a pool
+            breakage).
+    """
+
+    spec: RunSpec
+    attempts: int
+    error_type: str
+    message: str
+    traceback: str
+
+    def describe(self) -> str:
+        """One-line summary for error messages and reports."""
+        return (f"{self.spec.describe()}: {self.error_type} after "
+                f"{self.attempts} attempt(s): {self.message}")
+
+
+class FleetError(ReproError):
+    """A batch finished with quarantined cells.
+
+    Raised only after every cell has been resolved — completed results
+    were already cached/journaled, so nothing is thrown away and a
+    re-run (or ``--resume``) only executes the failures.
+
+    Attributes:
+        failures: The quarantined :class:`FailedCell` records.
+        completed: Cells that did complete in this batch.
+    """
+
+    def __init__(self, failures: Sequence[FailedCell],
+                 completed: int) -> None:
+        self.failures = list(failures)
+        self.completed = completed
+        lines = [
+            f"{len(self.failures)} cell(s) failed after exhausting "
+            f"retries ({completed} completed; completed results are "
+            f"preserved in the cache/journal)"
+        ]
+        for failure in self.failures[:8]:
+            lines.append(f"  {failure.describe()}")
+        if len(self.failures) > 8:
+            lines.append(f"  ... and {len(self.failures) - 8} more")
+        super().__init__("\n".join(lines))
+
+
+@dataclass(frozen=True)
+class _Pending:
+    """A cell waiting for a submission slot (and its backoff, if any)."""
+
+    spec: RunSpec
+    attempt: int
+    not_before: float = 0.0
+
+
+@dataclass(frozen=True)
+class _Flight:
+    """A submitted cell: which attempt, and when it started."""
+
+    spec: RunSpec
+    attempt: int
+    started_at: float
+
+
 @dataclass
 class RunnerStats:
     """Cumulative accounting across a Runner's lifetime."""
@@ -154,13 +278,36 @@ class RunnerStats:
     cache_hits: int = 0
     cache_misses: int = 0
     deduped: int = 0
+    journal_hits: int = 0
+    retried: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    pool_respawns: int = 0
     per_mode: Dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> str:
-        """One-line summary (the CLI prints this after figure runs)."""
-        return (f"cells: {self.cache_hits} cache hits, "
-                f"{self.deduped} deduplicated, "
+        """One-line summary (the CLI prints this after figure runs).
+
+        Fault/resume counters only appear when nonzero, so an unfaulted
+        fleet prints exactly the historical line.
+        """
+        journal = (f"{self.journal_hits} journal hits, "
+                   if self.journal_hits else "")
+        text = (f"cells: {self.cache_hits} cache hits, "
+                f"{self.deduped} deduplicated, {journal}"
                 f"new cells executed: {self.executed}")
+        extras = []
+        if self.retried:
+            extras.append(f"retries: {self.retried}")
+        if self.timeouts:
+            extras.append(f"timeouts: {self.timeouts}")
+        if self.pool_respawns:
+            extras.append(f"pool respawns: {self.pool_respawns}")
+        if self.failed:
+            extras.append(f"failed: {self.failed}")
+        if extras:
+            text += " (" + ", ".join(extras) + ")"
+        return text
 
 
 class Runner:
@@ -169,31 +316,77 @@ class Runner:
     Args:
         jobs: Worker processes; 1 executes inline. Parallel execution
             is deterministic — results are keyed by spec and every spec
-            seeds its own randomness.
+            seeds its own randomness, so completion order, retries and
+            pool respawns cannot change any value.
         cache: Optional on-disk result cache (opt-in).
         progress: Optional callback receiving a short message as cells
             complete.
         reporter: Optional :class:`~repro.exec.progress.FleetProgress`
-            receiving per-cell start/finish events (live ETA line and
-            ``run_progress`` trace events).
+            receiving per-cell start/finish/retry/failure events (live
+            ETA line and ``run_progress``/``cell_*`` trace events).
+        retries: Failed-cell retry budget (per cell; 0 = fail on the
+            first error). Failures covered: any non-``ReproError``
+            exception, a per-cell timeout, or a pool breakage while the
+            cell was in flight. ``ReproError`` (configuration bugs,
+            invariant violations) always fails fast — it is
+            deterministic and retrying it would only repeat the bug.
+        retry_backoff_s: Base of the exponential backoff before retry
+            ``n`` (``backoff * 2**n`` seconds; 0 retries immediately).
+        cell_timeout_s: Per-cell wall-clock budget. Enforced on the
+            parallel path by killing and respawning the worker pool (a
+            running task cannot be cancelled); innocent in-flight cells
+            are re-enqueued without being charged an attempt. The
+            serial path cannot preempt a hung cell and ignores this.
+        journal: Optional :class:`~repro.exec.journal.FleetJournal`.
+            Every executed result is appended and flushed immediately;
+            entries loaded at construction (``resume=True``) satisfy
+            cells without re-executing them.
+        allow_failures: When True, a batch with quarantined cells
+            returns the partial result map (failures in
+            :attr:`failures`) instead of raising :class:`FleetError`.
     """
 
     def __init__(self, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  progress: Optional[Callable[[str], None]] = None,
-                 reporter: Optional[FleetProgress] = None) -> None:
+                 reporter: Optional[FleetProgress] = None,
+                 *,
+                 retries: int = 0,
+                 retry_backoff_s: float = 0.0,
+                 cell_timeout_s: Optional[float] = None,
+                 journal: Optional[FleetJournal] = None,
+                 allow_failures: bool = False) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ConfigurationError("retry backoff must be >= 0")
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            raise ConfigurationError("cell timeout must be positive")
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
         self.reporter = reporter
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.cell_timeout_s = cell_timeout_s
+        self.journal = journal
+        self.allow_failures = allow_failures
         self.stats = RunnerStats()
+        #: Quarantined cells across this Runner's lifetime.
+        self.failures: List[FailedCell] = []
 
     # -- core batch API --------------------------------------------------
 
     def run(self, specs: Sequence[RunSpec]) -> Dict[RunSpec, CellResult]:
-        """Execute a batch; returns a result per *distinct* spec."""
+        """Execute a batch; returns a result per *distinct* spec.
+
+        Raises:
+            FleetError: After the whole batch resolved, if any cell was
+                quarantined (unless ``allow_failures``). Completed
+                results are in the cache/journal by then.
+        """
         unique = list(dict.fromkeys(specs))
         self.stats.deduped += len(specs) - len(unique)
         results: Dict[RunSpec, CellResult] = {}
@@ -208,27 +401,52 @@ class Runner:
                 continue
             if self.cache is not None:
                 self.stats.cache_misses += 1
+            if self.journal is not None:
+                recorded = self.journal.lookup(spec)
+                if recorded is not None:
+                    self.stats.journal_hits += 1
+                    self._count("repro_journal_hits_total",
+                                "cells satisfied by a resumed journal")
+                    self._note(f"journal hit {spec.describe()}")
+                    results[spec] = recorded
+                    continue
             todo.append(spec)
         total = len(todo)
         reporter = self.reporter
         if reporter is not None:
             reporter.begin(total)
+        batch_failures: List[FailedCell] = []
         try:
-            for index, (spec, result) in enumerate(self._execute(todo), 1):
+            index = 0
+            for spec, outcome in self._execute(todo):
+                index += 1
+                if isinstance(outcome, FailedCell):
+                    batch_failures.append(outcome)
+                    self.failures.append(outcome)
+                    self._note(f"[{index}/{total}] FAILED "
+                               f"{spec.describe()}")
+                    continue
                 self.stats.executed += 1
                 mode_counts = self.stats.per_mode
                 mode_counts[spec.mode] = mode_counts.get(spec.mode, 0) + 1
                 if self.cache is not None:
-                    self.cache.put(spec, result)
+                    self.cache.put(spec, outcome)
                     if checks_enabled():
-                        check_cache_fidelity(self.cache, spec, result)
+                        check_cache_fidelity(self.cache, spec, outcome)
+                if self.journal is not None:
+                    self.journal.record(spec, outcome)
+                    if checks_enabled():
+                        check_journal_fidelity(self.journal, spec,
+                                               outcome)
                 self._note(f"[{index}/{total}] {spec.describe()}")
                 if reporter is not None:
                     reporter.cell_done(spec.describe())
-                results[spec] = result
+                results[spec] = outcome
         finally:
             if reporter is not None:
                 reporter.finish()
+        if batch_failures and not self.allow_failures:
+            raise FleetError(batch_failures, completed=len(results))
         return results
 
     def run_one(self, spec: RunSpec) -> CellResult:
@@ -260,28 +478,295 @@ class Runner:
                 ) from error
         return grid
 
-    # -- internals -------------------------------------------------------
+    # -- execution engines -----------------------------------------------
 
     def _execute(self, todo):
+        """Yield ``(spec, CellResult | FailedCell)`` in completion order."""
         if self.jobs > 1 and len(todo) > 1:
-            workers = min(self.jobs, len(todo))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                if METRICS.enabled:
-                    # Workers inherit REPRO_METRICS and return per-cell
-                    # snapshot deltas; folding them here makes the
-                    # parent registry the fleet-wide view, identical to
-                    # what a serial run accumulates in-process.
-                    paired = pool.map(execute_spec_metered, todo)
-                    for spec, (result, snapshot) in zip(todo, paired):
-                        METRICS.absorb(snapshot)
-                        yield spec, result
-                else:
-                    yield from zip(todo, pool.map(execute_spec, todo))
+            yield from self._execute_parallel(todo)
         else:
-            for spec in todo:
-                if self.reporter is not None:
-                    self.reporter.cell_start(spec.describe())
-                yield spec, execute_spec(spec)
+            yield from self._execute_serial(todo)
+
+    def _execute_serial(self, todo):
+        """Inline execution with the same retry/quarantine contract.
+
+        A hung cell cannot be preempted without a second process, so
+        ``cell_timeout_s`` only applies to the parallel path.
+        """
+        for spec in todo:
+            attempt = 0
+            while True:
+                self._report_start(spec, attempt)
+                try:
+                    maybe_inject_fault(spec, attempt)
+                    result = execute_spec(spec)
+                except ReproError:
+                    # Deterministic configuration/invariant bug: fail
+                    # fast, a retry would only repeat it.
+                    raise
+                except Exception as error:  # noqa: BLE001 — isolation
+                    backoff = self._after_failure(spec, attempt, error)
+                    if backoff is None:
+                        yield spec, self._quarantine(spec, attempt,
+                                                     error)
+                        break
+                    if backoff > 0:
+                        time.sleep(backoff)
+                    attempt += 1
+                    continue
+                yield spec, result
+                break
+
+    def _execute_parallel(self, todo):
+        """``submit`` + completion-order consumption with fault isolation.
+
+        The submission window equals the worker count, so every
+        in-flight cell is actually running — which is what makes
+        submit-time a faithful start-time for the per-cell timeout, and
+        keeps the re-enqueue set small when the pool breaks.
+        """
+        workers = min(self.jobs, len(todo))
+        metered = METRICS.enabled
+        pending: List[_Pending] = [_Pending(spec, 0) for spec in todo]
+        inflight: Dict = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while pending or inflight:
+                now = time.monotonic()
+                submit_broke = False
+                while pending and len(inflight) < workers:
+                    item = self._next_ready(pending, now)
+                    if item is None:
+                        break
+                    try:
+                        future = pool.submit(execute_cell, item.spec,
+                                             item.attempt, metered)
+                    except BrokenExecutor:
+                        # Pool died between batches of completions; the
+                        # cell never started, so no attempt is charged.
+                        pending.append(item)
+                        submit_broke = True
+                        break
+                    inflight[future] = _Flight(item.spec, item.attempt,
+                                               time.monotonic())
+                    self._report_start(item.spec, item.attempt)
+                if submit_broke:
+                    pool = self._respawn(pool, workers)
+                    victims = list(inflight.values())
+                    inflight.clear()
+                    yield from self._requeue_victims(pending, victims)
+                    continue
+                if not inflight:
+                    # Everything left is waiting out a retry backoff.
+                    delay = min(p.not_before for p in pending) - now
+                    if delay > 0:
+                        time.sleep(min(delay, 0.1))
+                    continue
+                done, __ = wait(list(inflight),
+                                timeout=self._wait_timeout(
+                                    pending, inflight, workers),
+                                return_when=FIRST_COMPLETED)
+                if not done:
+                    expired = self._expired_flights(inflight)
+                    if expired:
+                        # A running pool task cannot be cancelled: kill
+                        # the workers, respawn, and re-enqueue. Only the
+                        # timed-out cells are charged an attempt —
+                        # bystanders were killed through no fault of
+                        # their own (and re-running them is free of
+                        # side effects: cells are pure).
+                        pool = self._respawn(pool, workers)
+                        flights = list(inflight.values())
+                        inflight.clear()
+                        for flight in flights:
+                            if flight in expired:
+                                yield from self._resolve_failure(
+                                    pending, flight,
+                                    self._timeout_error(flight))
+                            else:
+                                pending.append(_Pending(flight.spec,
+                                                        flight.attempt))
+                    continue
+                broken: List[_Flight] = []
+                for future in done:
+                    flight = inflight.pop(future)
+                    try:
+                        result, snapshot = future.result()
+                    except BrokenExecutor:
+                        broken.append(flight)
+                    except ReproError:
+                        raise
+                    except Exception as error:  # noqa: BLE001
+                        yield from self._resolve_failure(pending, flight,
+                                                         error)
+                    else:
+                        if snapshot is not None:
+                            # Fold the worker's per-cell metrics delta as
+                            # soon as the cell lands, so the fleet view
+                            # (and ETA/throughput) never head-of-line
+                            # blocks behind a slow earlier cell.
+                            METRICS.absorb(snapshot)
+                        yield flight.spec, result
+                if broken:
+                    pool = self._respawn(pool, workers)
+                    victims = broken + list(inflight.values())
+                    inflight.clear()
+                    yield from self._requeue_victims(pending, victims)
+        finally:
+            self._shutdown_pool(pool)
+
+    # -- fault handling --------------------------------------------------
+
+    def _resolve_failure(self, pending, flight, error):
+        """Retry (append to ``pending``) or quarantine one failure.
+
+        A generator so quarantines can be yielded from the engine loop.
+        """
+        if isinstance(error, CellTimeoutError):
+            self.stats.timeouts += 1
+            self._count("repro_cell_timeouts_total",
+                        "cells killed by the per-cell timeout")
+        backoff = self._after_failure(flight.spec, flight.attempt, error)
+        if backoff is None:
+            yield flight.spec, self._quarantine(flight.spec,
+                                                flight.attempt, error)
+        else:
+            pending.append(_Pending(flight.spec, flight.attempt + 1,
+                                    time.monotonic() + backoff))
+
+    def _requeue_victims(self, pending, victims):
+        """Handle every cell that was in flight when the pool broke.
+
+        The executor cannot attribute the breakage, so each victim is
+        charged one :class:`WorkerCrashError` attempt — the actual
+        killer (if deterministic) keeps failing until quarantined, and
+        bystanders succeed on their re-run.
+        """
+        for flight in victims:
+            error = WorkerCrashError(
+                "worker pool broke while the cell was in flight "
+                f"(attempt {flight.attempt})"
+            )
+            yield from self._resolve_failure(pending, flight, error)
+
+    def _after_failure(self, spec, attempt, error) -> Optional[float]:
+        """Account one failed attempt.
+
+        Returns the backoff (seconds) before the next attempt, or None
+        when the retry budget is spent and the cell must be quarantined.
+        """
+        if attempt >= self.retries:
+            return None
+        backoff = self._backoff_s(attempt)
+        self.stats.retried += 1
+        self._count("repro_cell_retries_total", "cell attempts retried")
+        if self.reporter is not None:
+            self.reporter.cell_retried(spec.describe(), attempt=attempt,
+                                       error=error, backoff_s=backoff)
+        return backoff
+
+    def _quarantine(self, spec, attempt, error) -> FailedCell:
+        """Record a cell's final failure as a structured quarantine."""
+        self.stats.failed += 1
+        self._count("repro_cell_failures_total",
+                    "cells quarantined after exhausting retries")
+        if self.reporter is not None:
+            self.reporter.cell_failed(spec.describe(),
+                                      attempts=attempt + 1, error=error)
+        trace = ""
+        if error.__traceback__ is not None or error.__cause__ is not None:
+            trace = "".join(traceback_module.format_exception(
+                type(error), error, error.__traceback__))
+        return FailedCell(
+            spec=spec,
+            attempts=attempt + 1,
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback=trace,
+        )
+
+    def _backoff_s(self, attempt: int) -> float:
+        """Exponential backoff before retry ``attempt + 1``."""
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        return self.retry_backoff_s * (2.0 ** attempt)
+
+    def _timeout_error(self, flight: _Flight) -> CellTimeoutError:
+        return CellTimeoutError(
+            f"exceeded --cell-timeout ({self.cell_timeout_s:g}s) on "
+            f"attempt {flight.attempt}"
+        )
+
+    # -- pool plumbing ---------------------------------------------------
+
+    def _next_ready(self, pending: List[_Pending],
+                    now: float) -> Optional[_Pending]:
+        """Pop the first cell whose backoff has elapsed (FIFO for fresh
+        cells; requeued cells become eligible as their delay passes)."""
+        for i, item in enumerate(pending):
+            if item.not_before <= now:
+                return pending.pop(i)
+        return None
+
+    def _wait_timeout(self, pending, inflight, workers):
+        """How long ``wait`` may block: until the nearest cell deadline
+        or pending backoff expiry, or indefinitely when neither exists
+        (a completion is then the only possible wake-up)."""
+        now = time.monotonic()
+        candidates = []
+        if self.cell_timeout_s is not None:
+            candidates.extend(
+                flight.started_at + self.cell_timeout_s - now
+                for flight in inflight.values()
+            )
+        if pending and len(inflight) < workers:
+            candidates.append(
+                min(p.not_before for p in pending) - now
+            )
+        if not candidates:
+            return None
+        # Small slack so an expiry check just after the wake-up sees
+        # the deadline as passed.
+        return max(0.0, min(candidates)) + 0.01
+
+    def _expired_flights(self, inflight) -> set:
+        """In-flight cells past their wall-clock budget."""
+        if self.cell_timeout_s is None:
+            return set()
+        now = time.monotonic()
+        return {
+            flight for flight in inflight.values()
+            if now - flight.started_at >= self.cell_timeout_s
+        }
+
+    def _respawn(self, pool, workers: int) -> ProcessPoolExecutor:
+        """Kill a broken/stalled pool and hand back a fresh one."""
+        self._shutdown_pool(pool)
+        self.stats.pool_respawns += 1
+        self._count("repro_pool_respawns_total",
+                    "worker pools killed and respawned")
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def _shutdown_pool(self, pool) -> None:
+        """Best-effort teardown that also reaps hung workers."""
+        processes = getattr(pool, "_processes", None)
+        procs = list(processes.values()) if processes else []
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=1.0)
+
+    # -- reporting -------------------------------------------------------
+
+    def _report_start(self, spec: RunSpec, attempt: int) -> None:
+        if self.reporter is not None:
+            self.reporter.cell_start(spec.describe(), attempt=attempt)
+
+    def _count(self, name: str, help_text: str) -> None:
+        if METRICS.enabled:
+            METRICS.counter(name, help=help_text).inc()
 
     def _note(self, message: str) -> None:
         if self.progress is not None:

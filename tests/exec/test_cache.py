@@ -123,3 +123,42 @@ class TestHousekeeping:
         key = spec.content_hash()
         assert path.parent.name == key[:2]
         assert path.name == f"{key}.json"
+
+
+class TestStaleTmpSweep:
+    """A SIGKILL'd worker dies between mkstemp and os.replace: the
+    BaseException cleanup in ``put`` never runs and the ``*.tmp``
+    orphan used to live forever."""
+
+    @staticmethod
+    def orphan(tmp_path, age_s: float):
+        import os
+        import time
+
+        bucket = tmp_path / "ab"
+        bucket.mkdir(parents=True, exist_ok=True)
+        orphan = bucket / "tmp_killed.tmp"
+        orphan.write_text("{partial")
+        stamp = time.time() - age_s
+        os.utime(orphan, (stamp, stamp))
+        return orphan
+
+    def test_stale_orphan_swept_on_init(self, tmp_path):
+        orphan = self.orphan(tmp_path, age_s=7200.0)
+        cache = ResultCache(tmp_path)
+        assert not orphan.exists()
+        # Real entries are untouched.
+        spec = make_spec()
+        cache.put(spec, make_result())
+        assert ResultCache(tmp_path).get(spec) == make_result()
+
+    def test_fresh_tmp_left_for_live_writers(self, tmp_path):
+        orphan = self.orphan(tmp_path, age_s=1.0)
+        ResultCache(tmp_path)
+        assert orphan.exists()
+
+    def test_sweep_reports_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.orphan(tmp_path, age_s=7200.0)
+        assert cache.sweep_stale_tmp() == 1
+        assert cache.sweep_stale_tmp() == 0

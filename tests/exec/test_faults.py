@@ -1,0 +1,236 @@
+"""Fault injection and the Runner's fault-tolerant fan-out.
+
+Every injected fault is a pure function of (spec content hash, kind,
+attempt), so these tests can *select* their cast — a cell that crashes
+once, a cell that never faults — by scanning candidate specs' rolls,
+then assert the recovered fleet is bit-identical to a clean serial run.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.faults import (
+    FAULT_ENV_VAR,
+    HANG_SECONDS_ENV_VAR,
+    SLOW_SECONDS_ENV_VAR,
+    FaultPlan,
+    fault_roll,
+    parse_fault_plan,
+    should_fault,
+)
+from repro.exec.runner import FleetError, Runner
+from repro.experiments.common import ExperimentConfig, best_case_spec
+
+SCALE = 0.03
+
+
+def spec_with_seed(seed: int):
+    """A distinct fast cell per seed (best-case cells run in ~70 ms)."""
+    return best_case_spec(0, ExperimentConfig(scale=SCALE, seed=seed))
+
+
+def find_specs(match, count, start=0):
+    """The first ``count`` candidate specs whose hash satisfies ``match``."""
+    found, seed = [], start
+    while len(found) < count:
+        spec = spec_with_seed(seed)
+        if match(spec.content_hash()):
+            found.append(spec)
+        seed += 1
+        assert seed < 10_000, "no matching specs in candidate pool"
+    return found
+
+
+def faults_at(kind, p, attempts):
+    """Predicate: the given kind fires exactly on these attempt indices
+    (and not on any other attempt in 0..max+1)."""
+    attempts = set(attempts)
+    span = range(max(attempts, default=0) + 2)
+
+    def match(spec_hash):
+        return all(
+            (fault_roll(spec_hash, kind, a) < p) == (a in attempts)
+            for a in span
+        )
+
+    return match
+
+
+def clean_run(specs):
+    """Serial, fault-free baseline results."""
+    return Runner(jobs=1).run(specs)
+
+
+class TestPlanParsing:
+    def test_parses_kinds_and_probabilities(self):
+        plan = parse_fault_plan("crash:0.2, hang:0.05,flaky:1")
+        assert plan.probability("crash") == 0.2
+        assert plan.probability("hang") == 0.05
+        assert plan.probability("flaky") == 1.0
+        assert plan.probability("kill") == 0.0
+        assert bool(plan)
+
+    def test_bare_kind_means_certainty(self):
+        assert parse_fault_plan("crash").probability("crash") == 1.0
+
+    def test_empty_plan_is_falsy(self):
+        assert not parse_fault_plan("")
+        assert not FaultPlan()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_fault_plan("oops:0.5")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_fault_plan("crash:maybe")
+        with pytest.raises(ConfigurationError):
+            parse_fault_plan("crash:1.5")
+
+
+class TestDeterministicRolls:
+    def test_roll_is_stable_and_uniform_range(self):
+        roll = fault_roll("abc", "crash", 0)
+        assert roll == fault_roll("abc", "crash", 0)
+        assert 0.0 <= roll < 1.0
+
+    def test_roll_varies_by_attempt_kind_and_cell(self):
+        rolls = {
+            fault_roll("abc", "crash", 0),
+            fault_roll("abc", "crash", 1),
+            fault_roll("abc", "hang", 0),
+            fault_roll("abd", "crash", 0),
+        }
+        assert len(rolls) == 4
+
+    def test_flaky_never_fires_after_first_attempt(self):
+        plan = parse_fault_plan("flaky:1.0")
+        assert should_fault(plan, "abc", "flaky", 0)
+        assert not should_fault(plan, "abc", "flaky", 1)
+
+
+class TestSerialFaults:
+    def test_flaky_cells_retry_to_clean_results(self, monkeypatch):
+        specs = [spec_with_seed(s) for s in range(3)]
+        baseline = clean_run(specs)
+        monkeypatch.setenv(FAULT_ENV_VAR, "flaky:1.0")
+        runner = Runner(jobs=1, retries=1)
+        assert runner.run(specs) == baseline
+        assert runner.stats.retried == 3
+        assert runner.stats.failed == 0
+        assert "retries: 3" in runner.stats.summary()
+
+    def test_exhausted_retries_quarantine_with_structure(self,
+                                                         monkeypatch):
+        spec = spec_with_seed(0)
+        monkeypatch.setenv(FAULT_ENV_VAR, "crash:1.0")
+        runner = Runner(jobs=1, retries=1, allow_failures=True)
+        assert runner.run([spec]) == {}
+        (failure,) = runner.failures
+        assert failure.spec == spec
+        assert failure.attempts == 2
+        assert failure.error_type == "InjectedCrash"
+        assert "injected crash" in failure.message
+        assert "InjectedCrash" in failure.traceback
+        assert runner.stats.failed == 1
+
+    def test_fleet_error_after_whole_batch_resolves(self, monkeypatch):
+        # One cell crashes on every attempt; one never crashes. The
+        # innocent must complete (and survive in the cache/journal
+        # story) before FleetError reports the quarantine.
+        p = 0.5
+        crasher = find_specs(faults_at("crash", p, {0, 1}), 1)[0]
+        innocent = find_specs(faults_at("crash", p, {}), 1)[0]
+        monkeypatch.setenv(FAULT_ENV_VAR, f"crash:{p}")
+        runner = Runner(jobs=1, retries=1)
+        with pytest.raises(FleetError) as err:
+            runner.run([crasher, innocent])
+        assert err.value.completed == 1
+        assert [f.spec for f in err.value.failures] == [crasher]
+        assert "failed after exhausting retries" in str(err.value)
+
+    def test_repro_errors_fail_fast_without_retries(self, monkeypatch):
+        # Deterministic bugs must not burn the retry budget.
+        monkeypatch.setattr(
+            "repro.exec.runner.execute_spec",
+            lambda spec: (_ for _ in ()).throw(
+                ConfigurationError("deterministic bug")),
+        )
+        runner = Runner(jobs=1, retries=3)
+        with pytest.raises(ConfigurationError):
+            runner.run([spec_with_seed(0)])
+        assert runner.stats.retried == 0
+
+
+class TestParallelFaults:
+    def test_faulted_parallel_bit_identical_to_clean_serial(
+            self, monkeypatch):
+        specs = [spec_with_seed(s) for s in range(4)]
+        baseline = clean_run(specs)
+        monkeypatch.setenv(FAULT_ENV_VAR, "flaky:1.0")
+        runner = Runner(jobs=2, retries=2)
+        faulted = runner.run(specs)
+        assert faulted == baseline
+        assert runner.stats.retried == 4
+
+    def test_broken_pool_respawns_and_recovers(self, monkeypatch):
+        # The killer hard-exits its worker on attempt 0 only; innocents
+        # never kill (including on the re-attempts they are charged for
+        # being in flight during the breakage).
+        p = 0.5
+        killer = find_specs(faults_at("kill", p, {0}), 1)[0]
+        innocents = find_specs(faults_at("kill", p, {}), 2)
+        specs = [killer] + innocents
+        baseline = clean_run(specs)
+        monkeypatch.setenv(FAULT_ENV_VAR, f"kill:{p}")
+        runner = Runner(jobs=2, retries=2)
+        assert runner.run(specs) == baseline
+        assert runner.stats.pool_respawns >= 1
+        assert runner.stats.failed == 0
+
+    def test_hung_cell_times_out_and_retries(self, monkeypatch):
+        p = 0.5
+        hanger = find_specs(faults_at("hang", p, {0}), 1)[0]
+        innocents = find_specs(faults_at("hang", p, {}), 2)
+        specs = [hanger] + innocents
+        baseline = clean_run(specs)
+        monkeypatch.setenv(FAULT_ENV_VAR, f"hang:{p}")
+        monkeypatch.setenv(HANG_SECONDS_ENV_VAR, "60")
+        runner = Runner(jobs=2, retries=1, cell_timeout_s=1.0)
+        assert runner.run(specs) == baseline
+        assert runner.stats.timeouts >= 1
+        assert runner.stats.pool_respawns >= 1
+        assert runner.stats.failed == 0
+
+    def test_slow_first_cell_does_not_head_of_line_block(
+            self, monkeypatch):
+        # Regression: pool.map consumed results in submission order, so
+        # a slow first cell froze progress/metrics until it finished
+        # even as later cells completed. With completion-order
+        # consumption the fast cells report first.
+        p = 0.5
+        slow = find_specs(faults_at("slow", p, {0}), 1)[0]
+        fast = find_specs(faults_at("slow", p, {}), 3)
+        monkeypatch.setenv(FAULT_ENV_VAR, f"slow:{p}")
+        monkeypatch.setenv(SLOW_SECONDS_ENV_VAR, "1.5")
+        notes = []
+        runner = Runner(jobs=2, progress=notes.append)
+        runner.run([slow] + fast)
+        completions = [n for n in notes if n.startswith("[")]
+        assert len(completions) == 4
+        assert slow.describe() not in completions[0]
+        assert slow.describe() in completions[-1]
+
+
+class TestRunnerValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Runner(retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Runner(retry_backoff_s=-0.1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Runner(cell_timeout_s=0.0)

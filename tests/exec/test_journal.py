@@ -1,0 +1,119 @@
+"""Fleet journal durability, resume, and fidelity checks."""
+
+import json
+
+import pytest
+
+from repro.check.roundtrip import check_journal_fidelity
+from repro.errors import InvariantViolation
+from repro.exec.journal import JOURNAL_SCHEMA_VERSION, FleetJournal
+from repro.exec.runner import Runner
+from repro.experiments.common import ExperimentConfig, best_case_spec
+
+TINY = ExperimentConfig(scale=0.03, seed=7)
+
+
+def specs(n):
+    return [best_case_spec(i, TINY) for i in range(n)]
+
+
+class TestRoundTrip:
+    def test_record_then_resume_reads_back_equal(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        batch = specs(2)
+        results = Runner(journal=FleetJournal(path)).run(batch)
+
+        resumed = FleetJournal(path, resume=True)
+        assert len(resumed) == 2
+        for spec in batch:
+            assert resumed.lookup(spec) == results[spec]
+
+    def test_lookup_misses_without_resume(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        batch = specs(1)
+        Runner(journal=FleetJournal(path)).run(batch)
+        # resume=False: the file is a write-only crash log.
+        assert FleetJournal(path).lookup(batch[0]) is None
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        journal = FleetJournal(tmp_path / "absent.jsonl", resume=True)
+        assert len(journal) == 0
+        assert journal.skipped_lines == 0
+
+
+class TestCorruptionTolerance:
+    def test_truncated_final_line_skipped(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        batch = specs(2)
+        Runner(journal=FleetJournal(path)).run(batch)
+        with path.open("a") as handle:
+            # A SIGKILL mid-append: valid prefix, no closing brace.
+            handle.write('{"journal_schema": 1, "spec_hash": "dead')
+        journal = FleetJournal(path, resume=True)
+        assert len(journal) == 2
+        assert journal.skipped_lines == 1
+
+    def test_schema_mismatch_skipped(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        path.write_text(json.dumps({
+            "journal_schema": JOURNAL_SCHEMA_VERSION + 1,
+            "spec_hash": "abc",
+            "result": {},
+        }) + "\n")
+        journal = FleetJournal(path, resume=True)
+        assert len(journal) == 0
+        assert journal.skipped_lines == 1
+
+
+class TestRunnerResume:
+    def test_resume_executes_only_missing_cells(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        batch = specs(3)
+        baseline = Runner(jobs=1).run(batch)
+
+        # Simulate a fleet killed after one completion: only the first
+        # cell made it into the journal.
+        partial = FleetJournal(path)
+        partial.record(batch[0], baseline[batch[0]])
+        partial.close()
+
+        runner = Runner(journal=FleetJournal(path, resume=True))
+        resumed = runner.run(batch)
+        assert resumed == baseline
+        assert runner.stats.journal_hits == 1
+        assert runner.stats.executed == 2
+        assert "1 journal hits" in runner.stats.summary()
+        assert runner.stats.summary().endswith("new cells executed: 2")
+
+        # The resumed run journaled the cells it executed, so a second
+        # resume executes nothing.
+        again = Runner(journal=FleetJournal(path, resume=True))
+        assert again.run(batch) == baseline
+        assert again.stats.journal_hits == 3
+        assert again.stats.executed == 0
+
+    def test_full_journal_resume_executes_nothing(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        batch = specs(2)
+        first = Runner(journal=FleetJournal(path))
+        baseline = first.run(batch)
+        runner = Runner(journal=FleetJournal(path, resume=True))
+        assert runner.run(batch) == baseline
+        assert runner.stats.executed == 0
+        assert runner.stats.journal_hits == 2
+
+
+class TestFidelityCheck:
+    def test_recorded_entry_passes(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        batch = specs(1)
+        journal = FleetJournal(path)
+        result = Runner(journal=journal).run(batch)[batch[0]]
+        check_journal_fidelity(journal, batch[0], result)
+
+    def test_missing_entry_raises(self, tmp_path):
+        journal = FleetJournal(tmp_path / "fleet.jsonl")
+        batch = specs(1)
+        result = Runner(jobs=1).run(batch)[batch[0]]
+        with pytest.raises(InvariantViolation):
+            check_journal_fidelity(journal, batch[0], result)

@@ -227,6 +227,34 @@ class TestRunEndAndProgress:
         assert "runtime counters" not in text
         assert "fleet progress" not in text
 
+    def test_fleet_faults_parsed_and_rendered(self):
+        events = [
+            META,
+            {"type": "cell_retried", "time_s": 0.0, "label": "hemem i0",
+             "attempt": 0, "error_type": "InjectedCrash",
+             "error": "injected crash", "backoff_s": 0.1},
+            {"type": "cell_retried", "time_s": 0.1, "label": "hemem i1",
+             "attempt": 0, "error_type": "InjectedCrash",
+             "error": "injected crash", "backoff_s": 0.1},
+            {"type": "cell_failed", "time_s": 0.2, "label": "hemem i0",
+             "attempts": 2, "error_type": "InjectedCrash",
+             "error": "injected crash"},
+        ]
+        summary = summarize_events(events)
+        assert summary.cell_retries == 2
+        assert len(summary.cell_failures) == 1
+        assert summary.cell_failures[0]["attempts"] == 2
+        text = format_summary(summary)
+        assert "fleet faults" in text
+        assert "cell retries  : 2" in text
+        assert "hemem i0: InjectedCrash after 2 attempt(s)" in text
+
+    def test_no_faults_section_absent(self):
+        summary = summarize_events([META])
+        assert summary.cell_retries == 0
+        assert summary.cell_failures == []
+        assert "fleet faults" not in format_summary(summary)
+
     def test_loop_emit_run_end(self, small_machine):
         from repro.obs.tracer import Tracer
         from repro.runtime.loop import SimulationLoop
