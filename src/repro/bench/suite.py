@@ -167,6 +167,50 @@ def _colocation_micro_case(duration_s: float = 2.0) -> BenchCase:
     return BenchCase(name="colocation-micro", run=run)
 
 
+def _placement_audit_case(duration_s: float = 2.0) -> BenchCase:
+    """Direct benchmark of a placement-audited contention-step run.
+
+    The same representative ``hemem+colloid`` loop the diagnostics
+    record uses, traced with ``REPRO_PLACEMENT_AUDIT`` on — so its wall
+    time tracks what the occupancy ledger, flow tracker, and periodic
+    misplacement-gap audit add on top of plain tracing, and ``bench
+    compare`` catches the audit getting more expensive over time.
+    """
+
+    def run(config: ExperimentConfig, runner: Runner):
+        import os
+
+        from repro.experiments.common import make_system, scaled_machine
+        from repro.obs.placement import PLACEMENT_AUDIT_ENV_VAR
+        from repro.obs.tracer import Tracer
+        from repro.runtime.loop import SimulationLoop
+        from repro.workloads.gups import GupsWorkload
+
+        quanta = int(duration_s * 1000.0 / 10.0)
+        step_time = duration_s / 2.0
+        saved = os.environ.get(PLACEMENT_AUDIT_ENV_VAR)
+        os.environ[PLACEMENT_AUDIT_ENV_VAR] = "10"
+        try:
+            loop = SimulationLoop(
+                machine=scaled_machine(config.scale),
+                workload=GupsWorkload(scale=config.scale,
+                                      seed=config.seed),
+                system=make_system("hemem+colloid"),
+                contention=lambda t: 0 if t < step_time else 2,
+                seed=config.seed,
+                tracer=Tracer(ring_size=max(4096, quanta * 16)),
+            )
+            loop.run(duration_s=duration_s)
+        finally:
+            if saved is None:
+                os.environ.pop(PLACEMENT_AUDIT_ENV_VAR, None)
+            else:
+                os.environ[PLACEMENT_AUDIT_ENV_VAR] = saved
+        return None
+
+    return BenchCase(name="placement-audit", run=run)
+
+
 def _fig9_case(scenarios, base_systems) -> BenchCase:
     def run(config: ExperimentConfig, runner: Runner):
         from repro.experiments import fig9
@@ -186,6 +230,7 @@ SUITES: Dict[str, BenchSuite] = {
             _fig5_case(intensities=(0, 3), systems=("hemem",)),
             _solver_micro_case(),
             _colocation_micro_case(duration_s=1.0),
+            _placement_audit_case(duration_s=1.0),
         ),
         profile_duration_s=1.0,
     ),
@@ -201,6 +246,7 @@ SUITES: Dict[str, BenchSuite] = {
                        base_systems=("hemem",)),
             _solver_micro_case(),
             _colocation_micro_case(duration_s=2.0),
+            _placement_audit_case(duration_s=2.0),
         ),
         profile_duration_s=2.0,
     ),
@@ -216,6 +262,7 @@ SUITES: Dict[str, BenchSuite] = {
                        base_systems=("hemem",)),
             _solver_micro_case(),
             _colocation_micro_case(duration_s=4.0),
+            _placement_audit_case(duration_s=4.0),
         ),
         profile_duration_s=4.0,
     ),

@@ -20,6 +20,12 @@ The checks, and where the loop invokes them:
                           placement ground truth, capacity respected, and
                           migration bytes never exceeding the dynamic limit
                           (post-execute, against a pre-execute snapshot)
+``check_placement_flows`` the executor's applied-move record forms a
+                          conserving tier×tier flow matrix: row/column sums
+                          match the per-tier copy-read/copy-write bytes, and
+                          the matrix's net per-tier byte delta reproduces the
+                          placement's tier-byte deltas (post-execute, against
+                          the same pre-execute snapshot)
 ``check_colocation``      cross-tenant conservation: per tier, the tenants'
                           placed bytes (and their arbitrated grants) sum to at
                           most the machine tier's capacity, and each tenant
@@ -83,6 +89,9 @@ class NullChecker:
 
     def placement_snapshot(self, *args, **kwargs) -> None:
         """No-op (returns None; check_migration ignores it)."""
+
+    def check_placement_flows(self, *args, **kwargs) -> None:
+        """No-op."""
 
     def check_migration(self, *args, **kwargs) -> None:
         """No-op."""
@@ -236,10 +245,16 @@ class Checker:
         sizes = placement.pages.sizes_bytes
         n_tiers = placement.n_tiers
         counts = np.bincount(tier[tier >= 0], minlength=n_tiers)
+        byte_sums = np.bincount(
+            tier[tier >= 0],
+            weights=sizes[tier >= 0].astype(float),
+            minlength=n_tiers,
+        ).astype(np.int64)
         return {
             "n_pages": int(tier.shape[0]),
             "placed_pages": int((tier >= 0).sum()),
             "tier_counts": counts[:n_tiers].copy(),
+            "tier_bytes": byte_sums[:n_tiers].copy(),
             "total_bytes": int(sizes[tier >= 0].sum()),
         }
 
@@ -307,6 +322,64 @@ class Checker:
                 time_s, bytes_moved=int(result.bytes_moved),
                 moves_applied=int(result.moves_applied),
             )
+
+    def check_placement_flows(self, time_s: float, placement, result,
+                              before: dict) -> None:
+        """Flow-matrix conservation around one executed plan.
+
+        The executor's applied-move record (``moved_pages`` /
+        ``moved_src_tiers`` / ``moved_dst_tiers``) is the ground truth
+        the placement observability layer builds its tier×tier flow
+        matrix from; this check proves the record conserving:
+
+        * the matrix's row sums equal the executor's per-tier copy-read
+          bytes and its column sums the copy-write bytes;
+        * per tier, the pre-execute snapshot's bytes plus inflow minus
+          outflow reproduce the placement's current bytes.
+        """
+        self.checks_run += 1
+        moved_pages = result.moved_pages
+        if moved_pages is None:
+            return
+        n_tiers = placement.n_tiers
+        sizes = placement.pages.sizes_bytes
+        flows = np.zeros((n_tiers, n_tiers), dtype=np.int64)
+        if len(moved_pages):
+            np.add.at(
+                flows,
+                (result.moved_src_tiers, result.moved_dst_tiers),
+                sizes[moved_pages],
+            )
+        out_bytes = flows.sum(axis=1)
+        in_bytes = flows.sum(axis=0)
+        for t in range(n_tiers):
+            if int(out_bytes[t]) != int(result.read_bytes_per_tier[t]):
+                self._violate(
+                    "pages.flow_conservation",
+                    f"tier-{t} flow-matrix outflow disagrees with the "
+                    "executor's copy-read bytes",
+                    time_s, tier=t, outflow=int(out_bytes[t]),
+                    copy_read=int(result.read_bytes_per_tier[t]),
+                )
+            if int(in_bytes[t]) != int(result.write_bytes_per_tier[t]):
+                self._violate(
+                    "pages.flow_conservation",
+                    f"tier-{t} flow-matrix inflow disagrees with the "
+                    "executor's copy-write bytes",
+                    time_s, tier=t, inflow=int(in_bytes[t]),
+                    copy_write=int(result.write_bytes_per_tier[t]),
+                )
+            expected = (int(before["tier_bytes"][t])
+                        + int(in_bytes[t]) - int(out_bytes[t]))
+            actual = int(sizes[placement.pages.tier == t].sum())
+            if expected != actual:
+                self._violate(
+                    "pages.flow_conservation",
+                    f"tier-{t} bytes after migration disagree with the "
+                    "flow matrix's net delta",
+                    time_s, tier=t, expected=expected, actual=actual,
+                    before=int(before["tier_bytes"][t]),
+                )
 
     # -- colocation -------------------------------------------------------
 

@@ -108,6 +108,15 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
                              "simulated cell (propagates to --jobs "
                              "workers via REPRO_DIAGNOSE) and attach a "
                              "diagnostics summary to its result")
+    parser.add_argument("--placement-audit", type=int, nargs="?",
+                        const=-1, default=None, metavar="QUANTA",
+                        help="record per-quantum placement observability "
+                             "(occupancy ledger, migration flows) and "
+                             "audit the misplacement gap every QUANTA "
+                             "quanta (default 10; propagates to --jobs "
+                             "workers via REPRO_PLACEMENT_AUDIT); "
+                             "attaches a placement summary to every "
+                             "cell result")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,6 +174,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reshuffle the workload's hot set at this "
                           "simulated time (repeatable; gups only) — "
                           "the §5.2 dynamic-workload methodology")
+    run.add_argument("--placement-audit", type=int, nargs="?",
+                     const=-1, default=None, metavar="QUANTA",
+                     help="record per-quantum placement observability "
+                          "(occupancy ledger, migration flows, ping-pong "
+                          "churn) into the trace and audit the "
+                          "misplacement gap every QUANTA quanta "
+                          "(default 10); needs --trace to be readable "
+                          "back via 'repro report'/'repro diagnose'")
     run.add_argument("--tenant", type=str, action="append",
                      default=None, metavar="WORKLOAD[:SYSTEM]",
                      help="colocate this tenant on the machine "
@@ -317,6 +334,14 @@ def _enable_instrumentation(args) -> None:
         # Sets REPRO_DIAGNOSE, so process-pool workers diagnose their
         # own cells and return the summary with the result.
         enable_diagnostics()
+    audit = getattr(args, "placement_audit", None)
+    if audit is not None:
+        from repro.obs.placement import enable_placement_audit
+
+        # Sets REPRO_PLACEMENT_AUDIT, so process-pool workers observe
+        # placement and attach the summary to their cell results. The
+        # bare-flag sentinel (-1) means "default audit period".
+        enable_placement_audit(None if audit < 1 else audit)
 
 
 def _export_metrics(args) -> None:

@@ -219,15 +219,6 @@ class TppColloidSystem(_ColloidMixin, TppSystem):
                 moves.append((page, dst))
                 acc_p += estimate
                 acc_b += size
-        if ctx.tracer.enabled and events:
-            ctx.tracer.emit(
-                "tpp_promotion",
-                n_faults=len(events),
-                n_hot=sum(1 for e in events
-                          if e.time_to_fault_ns <= self.hot_ttf_ns),
-                n_promoted=sum(1 for __, d in moves if d == 0),
-                hot_ttf_ns=self.hot_ttf_ns,
-            )
         # kswapd capacity demotion continues as in vanilla TPP; it also
         # provides make-room space for synchronous promotions.
         demotions = self.kswapd_demotions(placement)
@@ -251,6 +242,16 @@ class TppColloidSystem(_ColloidMixin, TppSystem):
             cum = np.cumsum(sizes[order])
             n = int(np.searchsorted(cum, extra_need, side="left")) + 1
             demotions = np.concatenate([demotions, order[:n]])
+        if ctx.tracer.enabled and events:
+            ctx.tracer.emit(
+                "tpp_promotion",
+                n_faults=len(events),
+                n_hot=sum(1 for e in events
+                          if e.time_to_fault_ns <= self.hot_ttf_ns),
+                n_promoted=sum(1 for __, d in moves if d == 0),
+                n_demoted=len(demotions),
+                hot_ttf_ns=self.hot_ttf_ns,
+            )
 
         plan_pages = np.concatenate([
             demotions,

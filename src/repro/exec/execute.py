@@ -75,13 +75,16 @@ def _build_colocated_loop(spec: RunSpec, tracer=None):
     )
 
 
-def _diagnostics_tracer(spec: RunSpec):
-    """An in-memory tracer sized to hold the whole cell, when per-cell
-    diagnostics are enabled (``REPRO_DIAGNOSE`` / ``--diagnose``)."""
+def _cell_tracer(spec: RunSpec):
+    """An in-memory tracer sized to hold the whole cell, when any
+    per-cell trace consumer is enabled — diagnostics (``REPRO_DIAGNOSE``
+    / ``--diagnose``) or the placement audit (``REPRO_PLACEMENT_AUDIT``
+    / ``--placement-audit``)."""
     from repro.obs.diagnose import diagnostics_enabled
+    from repro.obs.placement import placement_audit_enabled
     from repro.obs.tracer import DEFAULT_RING_SIZE, Tracer
 
-    if not diagnostics_enabled():
+    if not (diagnostics_enabled() or placement_audit_enabled()):
         return None
     duration_s = spec.duration_s or spec.max_duration_s or 10.0
     quanta = duration_s * 1000.0 / spec.quantum_ms
@@ -89,17 +92,29 @@ def _diagnostics_tracer(spec: RunSpec):
     return Tracer(ring_size=max(DEFAULT_RING_SIZE, int(quanta * 16)))
 
 
-def _diagnose_cell(loop, tracer) -> "dict | None":
-    """Distill the cell's trace into a diagnostics-summary dict."""
+def _finalize_cell(loop, tracer) -> "Tuple[dict | None, dict | None]":
+    """Distill the cell's trace into its opt-in payloads.
+
+    Returns ``(diagnostics, placement)`` — each None when the
+    corresponding switch is off or the trace is empty.
+    """
     if tracer is None:
-        return None
-    from repro.obs.diagnose import diagnose_events
+        return None, None
+    from repro.obs.diagnose import diagnose_events, diagnostics_enabled
+    from repro.obs.placement import (
+        placement_audit_enabled,
+        placement_payload,
+    )
 
     loop.emit_run_end()
     events = tracer.events()
     if not events:
-        return None
-    return diagnose_events(events).summary.to_dict()
+        return None, None
+    diagnostics = (diagnose_events(events).summary.to_dict()
+                   if diagnostics_enabled() else None)
+    placement = (placement_payload(events)
+                 if placement_audit_enabled() else None)
+    return diagnostics, placement
 
 
 def run_spec_steady(spec: RunSpec) -> SteadyStateResult:
@@ -206,7 +221,7 @@ def _execute_best_case(spec: RunSpec) -> CellResult:
 
 
 def _execute_steady(spec: RunSpec) -> CellResult:
-    tracer = _diagnostics_tracer(spec)
+    tracer = _cell_tracer(spec)
     loop = build_loop(spec, tracer=tracer)
     result = run_steady_state(
         loop,
@@ -214,6 +229,7 @@ def _execute_steady(spec: RunSpec) -> CellResult:
         max_duration_s=spec.max_duration_s,
     )
     latencies, share = _tail_stats(result.metrics)
+    diagnostics, placement = _finalize_cell(loop, tracer)
     return CellResult(
         mode=spec.mode,
         throughput=float(result.throughput),
@@ -222,17 +238,19 @@ def _execute_steady(spec: RunSpec) -> CellResult:
         tail_latencies_ns=latencies,
         tail_default_share=share,
         cpu_work=_loop_cpu_work(loop),
-        diagnostics=_diagnose_cell(loop, tracer),
+        diagnostics=diagnostics,
         tenants=_tenant_payload(loop),
+        placement=placement,
     )
 
 
 def _execute_trace(spec: RunSpec) -> CellResult:
-    tracer = _diagnostics_tracer(spec)
+    tracer = _cell_tracer(spec)
     loop = build_loop(spec, tracer=tracer)
     metrics = loop.run(duration_s=spec.duration_s)
     latencies, share = _tail_stats(metrics)
     tail = max(1, len(metrics) // 4)
+    diagnostics, placement = _finalize_cell(loop, tracer)
     return CellResult(
         mode=spec.mode,
         throughput=float(metrics.throughput[-tail:].mean()),
@@ -242,8 +260,9 @@ def _execute_trace(spec: RunSpec) -> CellResult:
         tail_default_share=share,
         cpu_work=_loop_cpu_work(loop),
         series=TraceSeries.from_metrics(metrics),
-        diagnostics=_diagnose_cell(loop, tracer),
+        diagnostics=diagnostics,
         tenants=_tenant_payload(loop),
+        placement=placement,
     )
 
 

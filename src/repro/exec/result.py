@@ -97,6 +97,12 @@ class CellResult:
             ``tail_latencies_ns``, ``tail_default_share``, ``cpu_work``
             and ``migration_bytes_total``. None for single-tenant cells
             (and for results written before the field existed).
+        placement: Placement-observability summary
+            (:func:`repro.obs.placement.placement_payload`) when the
+            audit was enabled via ``REPRO_PLACEMENT_AUDIT`` /
+            ``--placement-audit``; None otherwise — and, like
+            ``diagnostics``, omitted from the serialized form so cache
+            shapes and golden fixtures are untouched.
     """
 
     mode: str
@@ -109,6 +115,7 @@ class CellResult:
     series: Optional[TraceSeries] = None
     diagnostics: Optional[dict] = None
     tenants: Optional[Dict[str, dict]] = None
+    placement: Optional[dict] = None
 
     def to_dict(self) -> dict:
         data = {
@@ -128,6 +135,8 @@ class CellResult:
             data["diagnostics"] = self.diagnostics
         if self.tenants is not None:
             data["tenants"] = self.tenants
+        if self.placement is not None:
+            data["placement"] = self.placement
         return data
 
     @classmethod
@@ -145,4 +154,5 @@ class CellResult:
             series=TraceSeries.from_dict(series) if series else None,
             diagnostics=data.get("diagnostics"),
             tenants=data.get("tenants"),
+            placement=data.get("placement"),
         )

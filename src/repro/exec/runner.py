@@ -141,6 +141,28 @@ class AggregatedCell:
             merged[name] = entry
         return merged
 
+    @property
+    def placement(self):
+        """Placement-audit summaries for audited cells: mean shrinking
+        gap across runs, worst churn (other fields from the first run);
+        None for unaudited cells."""
+        payloads = [r.placement for r in self.runs if r.placement]
+        if not payloads:
+            return None
+        merged = dict(payloads[0])
+        for key in ("gap_balance_last", "gap_packed_last"):
+            values = [p[key] for p in payloads
+                      if p.get(key) is not None]
+            if values:
+                merged[key] = sum(values) / len(values)
+        merged["ping_pong_pages_peak"] = max(
+            int(p.get("ping_pong_pages_peak", 0)) for p in payloads
+        )
+        merged["wasted_migration_bytes"] = max(
+            int(p.get("wasted_migration_bytes", 0)) for p in payloads
+        )
+        return merged
+
 
 def aggregate(results: Sequence[CellResult]) -> AggregatedCell:
     """Fold repeated runs of one cell into an :class:`AggregatedCell`.

@@ -99,6 +99,44 @@ def chrome_trace_events(events: List[dict],
                 {"planned": sample.planned_bytes,
                  "executed": sample.executed_bytes},
             ))
+        if sample.occupancy_bytes is not None:
+            out.append(_counter(
+                "tier occupancy (bytes)", ts_us,
+                {f"tier{i}": int(sum(row))
+                 for i, row in enumerate(sample.occupancy_bytes)},
+            ))
+            # A second track for the hottest decile shows packing vs
+            # balance directly: packed runs pin it to the default tier.
+            out.append(_counter(
+                "hottest-decile bytes", ts_us,
+                {f"tier{i}": int(row[0])
+                 for i, row in enumerate(sample.occupancy_bytes)},
+            ))
+        if sample.flow_bytes is not None:
+            flows = {
+                f"t{i}->t{j}": int(value)
+                for i, row in enumerate(sample.flow_bytes)
+                for j, value in enumerate(row)
+                if i != j and value
+            }
+            if flows:
+                out.append(_instant(
+                    "migration flow", ts_us,
+                    dict(flows, quantum=sample.index),
+                ))
+        if sample.gap_balance is not None:
+            out.append(_counter(
+                "misplacement gap", ts_us,
+                {"vs balance": sample.gap_balance,
+                 "vs packed": sample.gap_packed},
+            ))
+        if sample.ping_pong_pages:
+            out.append(_instant(
+                "ping-pong churn", ts_us,
+                {"pages": sample.ping_pong_pages,
+                 "wasted_bytes": sample.wasted_migration_bytes,
+                 "quantum": sample.index},
+            ))
         for side in sample.reset_sides:
             out.append(_instant(
                 f"watermark reset ({side})", ts_us,

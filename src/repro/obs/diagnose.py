@@ -139,6 +139,17 @@ class DiagnosticsConfig:
         iter_floor: ...but never below this absolute count.
         cache_hit_warn: Steady-state solver-cache hit rate below this is
             flagged (perf smell, severity info).
+        ping_pong_min_pages: Pages ping-ponging (>= 2 migration
+            direction reversals inside the flow tracker's window)
+            before a quantum counts toward a churn streak.
+        ping_pong_sustain_quanta: Consecutive churning quanta that
+            trigger the ping-pong finding (warning; 3x for critical).
+        misplacement_grace_quanta: Audits within this many quanta of an
+            epoch boundary are the controller still converging, not
+            misplacement.
+        misplacement_gap_warn/misplacement_gap_critical: Post-grace
+            mean misplacement gap vs the latency-balance placement that
+            triggers each severity.
     """
 
     epsilon: float = 0.10
@@ -161,6 +172,11 @@ class DiagnosticsConfig:
     iter_spike_factor: float = 4.0
     iter_floor: int = 25
     cache_hit_warn: float = 0.2
+    ping_pong_min_pages: int = 4
+    ping_pong_sustain_quanta: int = 10
+    misplacement_grace_quanta: int = 30
+    misplacement_gap_warn: float = 0.05
+    misplacement_gap_critical: float = 0.15
 
 
 #: Shared default configuration.
@@ -184,6 +200,12 @@ class DiagnosticsSummary:
         watermark_resets: Dynamic (non-init) resets over the run.
         findings: Count of findings per severity.
         max_severity: Highest severity present (None without findings).
+        misplacement_gap_first: First audited misplacement gap vs the
+            latency-balance placement (None without placement audits).
+        misplacement_gap_last: Last audited misplacement gap — the
+            number "did the system converge to balance?" reads off.
+        ping_pong_peak: Peak ping-pong page count across the run (0
+            without placement samples).
     """
 
     n_quanta: int
@@ -194,6 +216,9 @@ class DiagnosticsSummary:
     watermark_resets: int
     findings: Dict[str, int] = field(default_factory=dict)
     max_severity: Optional[str] = None
+    misplacement_gap_first: Optional[float] = None
+    misplacement_gap_last: Optional[float] = None
+    ping_pong_peak: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -205,10 +230,15 @@ class DiagnosticsSummary:
             "watermark_resets": self.watermark_resets,
             "findings": dict(self.findings),
             "max_severity": self.max_severity,
+            "misplacement_gap_first": self.misplacement_gap_first,
+            "misplacement_gap_last": self.misplacement_gap_last,
+            "ping_pong_peak": self.ping_pong_peak,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "DiagnosticsSummary":
+        gap_first = data.get("misplacement_gap_first")
+        gap_last = data.get("misplacement_gap_last")
         return cls(
             n_quanta=int(data.get("n_quanta", 0)),
             n_epochs=int(data.get("n_epochs", 0)),
@@ -222,6 +252,13 @@ class DiagnosticsSummary:
             findings={k: int(v)
                       for k, v in data.get("findings", {}).items()},
             max_severity=data.get("max_severity"),
+            misplacement_gap_first=(
+                None if gap_first is None else float(gap_first)
+            ),
+            misplacement_gap_last=(
+                None if gap_last is None else float(gap_last)
+            ),
+            ping_pong_peak=int(data.get("ping_pong_peak", 0)),
         )
 
 
@@ -679,6 +716,113 @@ def detect_solver_anomaly(timeline: Timeline,
 
 #: The pluggable detector registry (name, callable). Order is render
 #: order in reports.
+def detect_ping_pong(timeline: Timeline,
+                     config: DiagnosticsConfig) -> List[Finding]:
+    """Sustained ping-pong churn reported by the placement observer.
+
+    A quantum whose ``placement_sample`` carries
+    ``ping_pong_pages >= ping_pong_min_pages`` is churning; a streak of
+    ``ping_pong_sustain_quanta`` churning quanta means pages are cycling
+    between tiers faster than the flow tracker's window forgets them —
+    migration bandwidth spent un-doing itself.
+    """
+    findings = []
+    for epoch in timeline.epochs:
+        samples = timeline.epoch_samples(epoch)
+        best_start = best_len = 0
+        streak_start = streak_len = 0
+        wasted = 0
+        for i, sample in enumerate(samples):
+            if sample.ping_pong_pages >= config.ping_pong_min_pages:
+                if streak_len == 0:
+                    streak_start = i
+                streak_len += 1
+                if streak_len > best_len:
+                    best_start, best_len = streak_start, streak_len
+            else:
+                streak_len = 0
+            wasted += sample.wasted_migration_bytes
+        if best_len < config.ping_pong_sustain_quanta:
+            continue
+        severity = ("critical"
+                    if best_len >= 3 * config.ping_pong_sustain_quanta
+                    else "warning")
+        peak = max(s.ping_pong_pages for s in samples)
+        findings.append(Finding(
+            detector="ping-pong-churn",
+            severity=severity,
+            quantum_span=(epoch.start + best_start,
+                          epoch.start + best_start + best_len - 1),
+            message=(f"epoch {epoch.index}: {best_len} consecutive "
+                     f"quanta with >= {config.ping_pong_min_pages} "
+                     f"ping-pong pages (peak {peak}); "
+                     f"{wasted} bytes moved by direction reversals "
+                     "this epoch"),
+            evidence={
+                "epoch": epoch.index,
+                "streak_quanta": best_len,
+                "peak_ping_pong_pages": peak,
+                "wasted_bytes": wasted,
+            },
+            remediation=("the same pages keep migrating back and "
+                         "forth; widen the controller's hysteresis or "
+                         "lower the migration budget"),
+        ))
+    return findings
+
+
+def detect_misplacement(timeline: Timeline,
+                        config: DiagnosticsConfig) -> List[Finding]:
+    """Sticky misplacement gap after the convergence grace period.
+
+    The placement audit reports, every K quanta, how far the actual
+    placement's throughput sits below the latency-balance placement's.
+    A balance-seeking controller (Colloid) drives this gap toward zero;
+    a packing controller under contention cannot — the gap stays up
+    after any amount of settling time. Audits inside the grace window
+    after an epoch boundary are ignored (the controller is still
+    moving).
+    """
+    findings = []
+    for epoch in timeline.epochs:
+        samples = timeline.epoch_samples(epoch)
+        audits = [(i, s.gap_balance) for i, s in enumerate(samples)
+                  if s.gap_balance is not None]
+        post = [(i, gap) for i, gap in audits
+                if i >= config.misplacement_grace_quanta]
+        if len(post) < 2:
+            continue
+        mean_gap = sum(gap for __, gap in post) / len(post)
+        last_gap = post[-1][1]
+        if mean_gap < config.misplacement_gap_warn:
+            continue
+        severity = ("critical"
+                    if mean_gap >= config.misplacement_gap_critical
+                    else "warning")
+        findings.append(Finding(
+            detector="misplacement-gap",
+            severity=severity,
+            quantum_span=(epoch.start + post[0][0],
+                          epoch.start + post[-1][0]),
+            message=(f"epoch {epoch.index}: placement stuck "
+                     f"{mean_gap:.1%} below the latency-balance "
+                     f"optimum ({len(post)} audits after the "
+                     f"{config.misplacement_grace_quanta}-quantum "
+                     f"grace; last audit {last_gap:.1%})"),
+            evidence={
+                "epoch": epoch.index,
+                "mean_gap": mean_gap,
+                "last_gap": last_gap,
+                "n_audits": len(post),
+            },
+            remediation=("the system is packing hot pages instead of "
+                         "balancing loaded latencies; under contention "
+                         "a latency-aware policy (colloid) closes "
+                         "this gap"),
+        ))
+    return findings
+
+
 DETECTORS: Tuple[Tuple[str, Callable[[Timeline, DiagnosticsConfig],
                                      List[Finding]]], ...] = (
     ("convergence", detect_convergence),
@@ -687,6 +831,8 @@ DETECTORS: Tuple[Tuple[str, Callable[[Timeline, DiagnosticsConfig],
     ("migration-thrash", detect_thrash),
     ("residual-drift", detect_residual_drift),
     ("solver-anomaly", detect_solver_anomaly),
+    ("ping-pong-churn", detect_ping_pong),
+    ("misplacement-gap", detect_misplacement),
 )
 
 
@@ -715,6 +861,8 @@ def _summarize(timeline: Timeline, findings: Sequence[Finding],
     if findings:
         max_severity = max((f.severity for f in findings),
                            key=_severity_rank)
+    gaps = [s.gap_balance for s in timeline.samples
+            if s.gap_balance is not None]
     return DiagnosticsSummary(
         n_quanta=timeline.n_quanta,
         n_epochs=len(timeline.epochs),
@@ -725,6 +873,11 @@ def _summarize(timeline: Timeline, findings: Sequence[Finding],
                              for s in timeline.samples),
         findings=counts,
         max_severity=max_severity,
+        misplacement_gap_first=gaps[0] if gaps else None,
+        misplacement_gap_last=gaps[-1] if gaps else None,
+        ping_pong_peak=max(
+            (s.ping_pong_pages for s in timeline.samples), default=0
+        ),
     )
 
 
@@ -768,6 +921,16 @@ def format_diagnostics(diagnostics: RunDiagnostics,
                  f"(post/pre-convergence migration rate)")
     lines.append(f"resets        : {summary.watermark_resets} dynamic "
                  f"watermark reset(s)")
+    if summary.misplacement_gap_last is not None:
+        first = summary.misplacement_gap_first
+        lines.append(
+            f"misplacement  : gap vs latency-balance "
+            f"{first:.1%} -> {summary.misplacement_gap_last:.1%} "
+            f"(first -> last audit)"
+        )
+    if summary.ping_pong_peak:
+        lines.append(f"ping-pong     : peak {summary.ping_pong_peak} "
+                     f"page(s) reversing inside the churn window")
     if timeline is not None and timeline.unknown_event_counts:
         skipped = ", ".join(
             f"{name}={count}" for name, count in

@@ -149,7 +149,41 @@ EVENT_SCHEMAS: Dict[str, Dict[str, str]] = {
         "n_faults": "hint faults observed this quantum",
         "n_hot": "faults classified hot (ttf <= hot_ttf_ns)",
         "n_promoted": "pages promoted this quantum",
+        "n_demoted": "pages queued for kswapd demotion this quantum",
         "hot_ttf_ns": "hot time-to-fault threshold after adaptation",
+    },
+    "placement_sample": {
+        "tier_pages": "per-tier list of page counts bucketed by "
+                      "access-probability decile (index 0 = hottest 10% "
+                      "of pages)",
+        "tier_bytes": "per-tier list of byte counts in the same "
+                      "hotness-decile buckets",
+        "flow_bytes": "tier x tier matrix of bytes migrated this "
+                      "quantum (row = source tier, column = destination)",
+        "ping_pong_pages": "pages with >= 2 migration direction "
+                           "reversals inside the churn window",
+        "wasted_bytes": "bytes moved this quantum by migrations that "
+                        "reversed the page's previous move (ping-pong "
+                        "waste)",
+        "gap_packed": "audit quanta only: relative throughput shortfall "
+                      "of the actual placement vs the hotness-packing "
+                      "placement",
+        "gap_balance": "audit quanta only: relative throughput "
+                       "shortfall of the actual placement vs the "
+                       "latency-balance placement",
+        "p_actual": "audit quanta only: default-tier access share of "
+                    "the actual placement",
+        "p_packed": "audit quanta only: default-tier access share of "
+                    "the hotness-packing placement",
+        "p_balance": "audit quanta only: default-tier access share of "
+                     "the latency-balance placement (capacity-clamped)",
+        "throughput_actual": "audit quanta only: solved demand-read "
+                             "bandwidth of the actual placement "
+                             "(bytes/ns)",
+        "throughput_packed": "audit quanta only: solved throughput of "
+                             "the hotness-packing placement (bytes/ns)",
+        "throughput_balance": "audit quanta only: solved throughput of "
+                              "the latency-balance placement (bytes/ns)",
     },
 }
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.obs.events import EVENT_SCHEMAS
+from repro.obs.placement import summarize_placement_events
 from repro.obs.profile import merge_phase_events
 from repro.obs.tracer import PathLike, iter_events, load_events
 
@@ -63,6 +64,13 @@ class TraceSummary:
         malformed_events: Events of a known kind whose payload could not
             be folded (e.g. ``phase_timing`` without a ``phases``
             mapping) — also skip-and-count.
+        n_promoted: Total pages promoted by fault-driven systems
+            (``tpp_promotion`` events).
+        n_demoted: Total pages queued for kswapd demotion alongside
+            those promotions.
+        placement: Distilled placement observability
+            (:func:`repro.obs.placement.summarize_placement_events`);
+            None when the trace carries no ``placement_sample`` events.
     """
 
     meta: Dict = field(default_factory=dict)
@@ -85,6 +93,9 @@ class TraceSummary:
     cell_failures: List[Dict] = field(default_factory=list)
     unknown_event_counts: Dict[str, int] = field(default_factory=dict)
     malformed_events: int = 0
+    n_promoted: int = 0
+    n_demoted: int = 0
+    placement: Optional[Dict] = None
 
     @property
     def migration_efficiency(self) -> Optional[float]:
@@ -163,6 +174,12 @@ def summarize_events(events: List[dict]) -> TraceSummary:
         summary.moves_skipped += int(event.get("moves_skipped", 0))
         if int(event.get("moves_deferred", 0)) > 0:
             summary.clipped_quanta += 1
+
+    for event in iter_events(events, "tpp_promotion"):
+        summary.n_promoted += int(event.get("n_promoted", 0))
+        summary.n_demoted += int(event.get("n_demoted", 0))
+
+    summary.placement = summarize_placement_events(events)
 
     summary.invariant_violations = list(
         iter_events(events, "invariant_violation")
@@ -294,6 +311,49 @@ def format_summary(summary: TraceSummary) -> str:
             f"budget ({summary.moves_deferred} moves deferred, "
             f"{summary.moves_skipped} skipped)"
         )
+    if summary.event_counts.get("tpp_promotion"):
+        lines.append(
+            f"fault-driven  : {summary.n_promoted} page(s) promoted, "
+            f"{summary.n_demoted} queued for kswapd demotion"
+        )
+
+    placement = summary.placement
+    if placement is not None:
+        lines.append("-- placement --")
+        lines.append(
+            f"samples       : {placement.get('n_samples', 0)} "
+            f"({placement.get('n_audits', 0)} audited)"
+        )
+        tier_bytes = placement.get("tier_bytes_last")
+        if tier_bytes:
+            occupancy = ", ".join(
+                f"tier{i}={_format_bytes(int(total))}"
+                for i, total in enumerate(tier_bytes)
+            )
+            lines.append(f"occupancy     : {occupancy}")
+        lines.append(
+            "flows         : "
+            f"{_format_bytes(int(placement.get('flow_bytes_total', 0)))}"
+            f" cross-tier ("
+            f"{_format_bytes(int(placement.get('wasted_migration_bytes', 0)))}"
+            f" ping-ponged, peak "
+            f"{placement.get('ping_pong_pages_peak', 0)} page(s)/quantum)"
+        )
+        gap_first = placement.get("gap_balance_first")
+        gap_last = placement.get("gap_balance_last")
+        if gap_last is not None:
+            first = (f"{gap_first:.1%}" if gap_first is not None
+                     else "?")
+            lines.append(
+                f"misplacement  : gap vs latency-balance {first} -> "
+                f"{gap_last:.1%} (first -> last audit)"
+            )
+        gap_packed = placement.get("gap_packed_last")
+        if gap_packed is not None:
+            lines.append(
+                f"              : gap vs hotness-packing "
+                f"{gap_packed:.1%} (last audit)"
+            )
 
     if summary.fleet_progress:
         progress = summary.fleet_progress

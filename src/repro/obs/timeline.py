@@ -32,10 +32,19 @@ _QUANTUM_EVENT_KINDS = (
     "watermark_reset",
     "colloid_decision",
     "migration_executed",
+    "placement_sample",
     "phase_timing",
     "workload_shift",
     "contention_change",
 )
+
+
+def _sum_matrices(a, b):
+    """Element-wise sum of two nested-list matrices of equal shape."""
+    return tuple(
+        tuple(int(x) + int(y) for x, y in zip(row_a, row_b))
+        for row_a, row_b in zip(a, b)
+    )
 
 
 @dataclass
@@ -69,6 +78,15 @@ class QuantumSample:
     contention_change: bool = False
     contention: Optional[int] = None
     phases_ns: Dict[str, int] = field(default_factory=dict)
+    occupancy_pages: Optional[Tuple[Tuple[int, ...], ...]] = None
+    occupancy_bytes: Optional[Tuple[Tuple[int, ...], ...]] = None
+    flow_bytes: Optional[Tuple[Tuple[int, ...], ...]] = None
+    ping_pong_pages: int = 0
+    wasted_migration_bytes: int = 0
+    gap_packed: Optional[float] = None
+    gap_balance: Optional[float] = None
+    p_packed: Optional[float] = None
+    p_balance: Optional[float] = None
 
     @property
     def imbalance(self) -> Optional[float]:
@@ -177,6 +195,48 @@ def _fold_into(sample: QuantumSample, event: dict) -> None:
         sample.executed_bytes += int(event.get("executed_bytes", 0))
         sample.moves_deferred += int(event.get("moves_deferred", 0))
         sample.moves_skipped += int(event.get("moves_skipped", 0))
+    elif etype == "placement_sample":
+        # Tenant-labeled samples from colocated runs land on the same
+        # quantum: occupancy and flows sum into the machine view, churn
+        # counts add, and the gap keeps the worst tenant (per-tenant
+        # views are available through report.tenant_view).
+        pages_m = event.get("tier_pages")
+        if pages_m is not None:
+            pages_m = tuple(tuple(int(x) for x in row)
+                            for row in pages_m)
+            sample.occupancy_pages = (
+                pages_m if sample.occupancy_pages is None
+                else _sum_matrices(sample.occupancy_pages, pages_m)
+            )
+        bytes_m = event.get("tier_bytes")
+        if bytes_m is not None:
+            bytes_m = tuple(tuple(int(x) for x in row)
+                            for row in bytes_m)
+            sample.occupancy_bytes = (
+                bytes_m if sample.occupancy_bytes is None
+                else _sum_matrices(sample.occupancy_bytes, bytes_m)
+            )
+        flow_m = event.get("flow_bytes")
+        if flow_m is not None:
+            flow_m = tuple(tuple(int(x) for x in row)
+                           for row in flow_m)
+            sample.flow_bytes = (
+                flow_m if sample.flow_bytes is None
+                else _sum_matrices(sample.flow_bytes, flow_m)
+            )
+        sample.ping_pong_pages += int(event.get("ping_pong_pages", 0))
+        sample.wasted_migration_bytes += int(
+            event.get("wasted_bytes", 0)
+        )
+        for src, dst in (("gap_packed", "gap_packed"),
+                         ("gap_balance", "gap_balance"),
+                         ("p_packed", "p_packed"),
+                         ("p_balance", "p_balance")):
+            if src in event:
+                value = float(event[src])
+                current = getattr(sample, dst)
+                if current is None or value > current:
+                    setattr(sample, dst, value)
     elif etype == "workload_shift":
         sample.workload_shift = True
     elif etype == "contention_change":

@@ -65,6 +65,10 @@ def _open_trace_read(path: Path):
 def _jsonable(value):
     """Coerce numpy scalars/arrays so events always json.dump cleanly."""
     if isinstance(value, np.ndarray):
+        if value.dtype != object:
+            # tolist() on a numeric array already yields pure-Python
+            # scalars all the way down; skip the per-element recursion.
+            return value.tolist()
         return [_jsonable(v) for v in value.tolist()]
     if isinstance(value, np.generic):
         return value.item()

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.memhw.latency import TrafficClass
+from repro.obs.metrics import METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.pages.placement import PlacementState
 
@@ -78,6 +79,11 @@ class MigrationResult:
             use the byte arrays instead).
         read_bytes_per_tier: Copy-read bytes originating at each tier.
         write_bytes_per_tier: Copy-write bytes landing at each tier.
+        moved_pages: Page indices of the applied moves, in execution
+            order (placement observability and flow-conservation checks
+            consume these; same length as the src/dst arrays).
+        moved_src_tiers: Source tier of each applied move.
+        moved_dst_tiers: Destination tier of each applied move.
     """
 
     bytes_moved: int
@@ -87,6 +93,9 @@ class MigrationResult:
     tier_traffic: List[List[TrafficClass]]
     read_bytes_per_tier: np.ndarray = None
     write_bytes_per_tier: np.ndarray = None
+    moved_pages: np.ndarray = None
+    moved_src_tiers: np.ndarray = None
+    moved_dst_tiers: np.ndarray = None
 
 
 class MigrationExecutor:
@@ -116,6 +125,13 @@ class MigrationExecutor:
         # from zero gives the first quantum exactly one quantum's budget.
         self._tokens = 0
         self.tracer = NULL_TRACER if tracer is None else tracer
+        if METRICS.enabled:
+            self._m_plan_bytes = METRICS.histogram(
+                "repro_migration_plan_bytes",
+                start=4096.0, factor=4.0, n_buckets=16,
+                help="bytes a non-empty migration plan asked to move "
+                     "(sampled per executed plan)",
+            )
 
     @property
     def limit_bytes_per_quantum(self) -> int:
@@ -156,6 +172,9 @@ class MigrationExecutor:
         moved_write = np.zeros(n_tiers, dtype=np.int64)  # bytes written
         bytes_moved = 0
         applied = skipped = deferred = 0
+        applied_pages: List[int] = []
+        applied_src: List[int] = []
+        applied_dst: List[int] = []
 
         for idx, dst in zip(plan.page_indices, plan.dst_tiers):
             src = int(pages.tier[idx])
@@ -176,6 +195,9 @@ class MigrationExecutor:
             moved_read[src] += size
             moved_write[dst] += size
             applied += 1
+            applied_pages.append(int(idx))
+            applied_src.append(src)
+            applied_dst.append(dst)
         self._tokens -= bytes_moved
 
         tier_traffic: List[List[TrafficClass]] = [[] for _ in range(n_tiers)]
@@ -196,20 +218,23 @@ class MigrationExecutor:
                         read_fraction=0.0,
                     )
                 )
-        if self.tracer.enabled and len(plan) > 0:
+        if len(plan) > 0 and (self.tracer.enabled or METRICS.enabled):
             planned_bytes = int(
                 pages.sizes_bytes[plan.page_indices].sum()
             )
-            self.tracer.emit(
-                "migration_executed",
-                planned_moves=len(plan),
-                planned_bytes=planned_bytes,
-                executed_bytes=bytes_moved,
-                budget_bytes=int(budget),
-                moves_applied=applied,
-                moves_skipped=skipped,
-                moves_deferred=deferred,
-            )
+            if METRICS.enabled:
+                self._m_plan_bytes.observe(planned_bytes)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "migration_executed",
+                    planned_moves=len(plan),
+                    planned_bytes=planned_bytes,
+                    executed_bytes=bytes_moved,
+                    budget_bytes=int(budget),
+                    moves_applied=applied,
+                    moves_skipped=skipped,
+                    moves_deferred=deferred,
+                )
         return MigrationResult(
             bytes_moved=bytes_moved,
             moves_applied=applied,
@@ -218,4 +243,7 @@ class MigrationExecutor:
             tier_traffic=tier_traffic,
             read_bytes_per_tier=moved_read.copy(),
             write_bytes_per_tier=moved_write.copy(),
+            moved_pages=np.array(applied_pages, dtype=np.int64),
+            moved_src_tiers=np.array(applied_src, dtype=np.int64),
+            moved_dst_tiers=np.array(applied_dst, dtype=np.int64),
         )

@@ -35,6 +35,7 @@ class PageArray:
             raise ConfigurationError("page sizes must be positive")
         self._sizes = sizes.copy()
         self._tier = np.full(len(sizes), UNPLACED, dtype=np.int16)
+        self._version = 0
 
     @classmethod
     def uniform(cls, n_pages: int, page_bytes: int) -> "PageArray":
@@ -65,6 +66,16 @@ class PageArray:
         return self._tier
 
     @property
+    def version(self) -> int:
+        """Mutation counter, bumped by :meth:`set_tier` and
+        :meth:`resize_pages`.
+
+        Lets observers (e.g. the placement occupancy ledger) reuse
+        derived state across quanta where no page moved or resized.
+        """
+        return self._version
+
+    @property
     def total_bytes(self) -> int:
         """Sum of all page sizes."""
         return int(self._sizes.sum())
@@ -86,6 +97,7 @@ class PageArray:
         exists for initialization and for that class's internals.
         """
         self._tier[pages] = tier
+        self._version += 1
 
     def resize_pages(self, pages: np.ndarray,
                      new_sizes: Sequence[int]) -> None:
@@ -98,3 +110,4 @@ class PageArray:
         if (sizes <= 0).any():
             raise ConfigurationError("page sizes must be positive")
         self._sizes[pages] = sizes
+        self._version += 1

@@ -53,6 +53,7 @@ from repro.memhw.mbm import MbmMonitor
 from repro.memhw.topology import Machine
 from repro.obs.events import TRACE_SCHEMA_VERSION
 from repro.obs.metrics import METRICS
+from repro.obs.placement import PlacementObserver, placement_audit_enabled
 from repro.obs.profile import Counters, PhaseProfiler
 from repro.obs.tracer import NULL_TRACER, TenantTracer
 from repro.pages.migration import MigrationExecutor
@@ -111,6 +112,8 @@ class _Tenant:
     metrics: MetricsRecorder = field(default_factory=MetricsRecorder)
     copy_read_debt: np.ndarray = None
     copy_write_debt: np.ndarray = None
+    placement_obs: Optional[PlacementObserver] = None
+    audit_warm: Optional[np.ndarray] = None
 
     @property
     def name(self) -> str:
@@ -273,6 +276,18 @@ class ColocatedLoop:
             spec.system.on_configure(machine, migration_limit_bytes,
                                      self.quantum_ns)
 
+        # Placement observability: one observer per tenant (samples are
+        # tenant-labeled through the tenant tracer) sharing one private
+        # audit solver — the probe solves never touch the loop's solver
+        # or warm-start state, so audited runs are bit-identical.
+        self._audit_solver: Optional[EquilibriumSolver] = None
+        if placement_audit_enabled() and self.tracer.enabled:
+            for tenant in self._tenants:
+                tenant.placement_obs = PlacementObserver(
+                    n_tiers=n_tiers, tracer=tenant.tracer,
+                )
+            if n_tiers == 2:
+                self._audit_solver = EquilibriumSolver(machine.tiers)
         self._copy_rate_limit = float(migration_limit_bytes)
         self.metrics = MetricsRecorder()
         self.time_s = 0.0
@@ -378,6 +393,32 @@ class ColocatedLoop:
             traffic.append(classes)
         return traffic, int(charged_read.sum())
 
+    def _tenant_audit_evaluate(self, index: int, apps, antagonist,
+                               tenant: _Tenant):
+        """Misplacement-audit callback for one tenant.
+
+        Varies only tenant ``index``'s split while holding every other
+        tenant's current split (and the antagonist) fixed — the audit
+        asks "given everybody else's behavior this quantum, where should
+        *this* tenant's pages sit?". Solved on the private audit solver
+        with per-tenant warm-start chaining.
+        """
+        solver = self._audit_solver
+
+        def evaluate(p: float):
+            probe = [
+                (group, [p, 1.0 - p] if j == index else split)
+                for j, (group, split) in enumerate(apps)
+            ]
+            eq = solver.solve_multi(
+                probe, pinned=[(antagonist, 0)],
+                initial_latencies=tenant.audit_warm,
+            )
+            tenant.audit_warm = eq.latencies_ns
+            return eq.latencies_ns, eq.apps[index].read_rate
+
+        return evaluate
+
     def step(self) -> QuantumRecord:
         """Advance every tenant by one quantum; returns the aggregate."""
         t = self.time_s
@@ -391,8 +432,10 @@ class ColocatedLoop:
         # 1. Advance workloads and the antagonist schedule.
         tenant_probs = []
         tenant_splits = []
+        tenant_shifted = []
         for tenant in self._tenants:
             shifted = tenant.spec.workload.advance(t)
+            tenant_shifted.append(bool(shifted))
             if shifted and tracer.enabled:
                 self._epoch += 1
                 tenant.tracer.emit("workload_shift", epoch=self._epoch)
@@ -511,9 +554,40 @@ class ColocatedLoop:
                     t, tenant.placement, result, decision.budget_bytes,
                     snapshot,
                 )
+                checker.check_placement_flows(
+                    t, tenant.placement, result, snapshot
+                )
             if result.bytes_moved > 0:
                 tenant.copy_read_debt += result.read_bytes_per_tier
                 tenant.copy_write_debt += result.write_bytes_per_tier
+            if tenant.placement_obs is not None:
+                evaluate = None
+                audit_key = None
+                if (self._audit_solver is not None
+                        and tenant.placement_obs.audit_due()):
+                    evaluate = self._tenant_audit_evaluate(
+                        i, apps, antagonist, tenant
+                    )
+                    # The probe equilibrium holds every *other* tenant's
+                    # split fixed; the audited tenant's own split is the
+                    # probe variable and must stay out of the key.
+                    audit_key = (
+                        tuple(
+                            (group,
+                             None if j == i else tuple(map(float, split)))
+                            for j, (group, split) in enumerate(apps)
+                        ),
+                        antagonist,
+                    )
+                tenant.placement_obs.observe_quantum(
+                    access_probs=tenant_probs[i],
+                    placement=tenant.placement,
+                    result=result,
+                    p_actual=float(tenant_splits[i][0]),
+                    evaluate=evaluate,
+                    probs_changed=tenant_shifted[i],
+                    audit_key=audit_key,
+                )
             dt_migrate_total += profiler.lap("migration_execute")
 
             record = QuantumRecord(

@@ -40,6 +40,7 @@ from repro.memhw.mbm import MbmMonitor
 from repro.memhw.topology import Machine
 from repro.obs.events import TRACE_SCHEMA_VERSION
 from repro.obs.metrics import METRICS
+from repro.obs.placement import PlacementObserver, placement_audit_enabled
 from repro.obs.profile import Counters, PhaseProfiler
 from repro.obs.tracer import NULL_TRACER
 from repro.pages.migration import MigrationExecutor
@@ -197,6 +198,20 @@ class SimulationLoop:
             burst_quanta=burst_quanta,
             tracer=self.tracer,
         )
+        # Placement observability (REPRO_PLACEMENT_AUDIT /
+        # --placement-audit): ledger + flow samples each quantum plus a
+        # periodic misplacement-gap audit. The audit runs through a
+        # private solver with private warm-start state so an audited run
+        # is bit-identical to an unaudited one.
+        self._placement_obs: Optional[PlacementObserver] = None
+        self._audit_solver: Optional[EquilibriumSolver] = None
+        self._audit_warm: Optional[np.ndarray] = None
+        if placement_audit_enabled() and self.tracer.enabled:
+            self._placement_obs = PlacementObserver(
+                n_tiers=len(machine.tiers), tracer=self.tracer,
+            )
+            if len(machine.tiers) == 2:
+                self._audit_solver = EquilibriumSolver(machine.tiers)
         self.metrics = MetricsRecorder()
         self.time_s = 0.0
         self._epoch = 0
@@ -272,6 +287,25 @@ class SimulationLoop:
                 ))
             traffic.append(classes)
         return traffic, int(charged_read.sum())
+
+    def _audit_evaluate(self, app, antagonist):
+        """Steady-state evaluation callback for the misplacement audit.
+
+        Solves on the private audit solver with private warm-start
+        chaining; the loop's solver, cache, and warm latencies are never
+        touched, which is what keeps audited runs bit-identical.
+        """
+        solver = self._audit_solver
+
+        def evaluate(p: float):
+            eq = solver.solve(
+                app, [p, 1.0 - p], pinned=[(antagonist, 0)],
+                initial_latencies=self._audit_warm,
+            )
+            self._audit_warm = eq.latencies_ns
+            return eq.latencies_ns, eq.app_read_rate
+
+        return evaluate
 
     def step(self) -> QuantumRecord:
         """Advance the simulation by one quantum."""
@@ -381,10 +415,29 @@ class SimulationLoop:
             checker.check_migration(
                 t, self.placement, result, decision.budget_bytes, snapshot
             )
+            checker.check_placement_flows(
+                t, self.placement, result, snapshot
+            )
         if result.bytes_moved > 0:
             self._copy_read_debt += result.read_bytes_per_tier
             self._copy_write_debt += result.write_bytes_per_tier
         dt_migrate = profiler.lap("migration_execute")
+        if self._placement_obs is not None:
+            evaluate = None
+            audit_key = None
+            if (self._audit_solver is not None
+                    and self._placement_obs.audit_due()):
+                evaluate = self._audit_evaluate(app, antagonist)
+                audit_key = (app, antagonist)
+            self._placement_obs.observe_quantum(
+                access_probs=probs,
+                placement=self.placement,
+                result=result,
+                p_actual=float(split[0]),
+                evaluate=evaluate,
+                probs_changed=bool(shifted),
+                audit_key=audit_key,
+            )
         if profiler.enabled and tracer.enabled:
             tracer.emit(
                 "phase_timing",

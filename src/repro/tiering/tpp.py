@@ -148,16 +148,16 @@ class TppSystem(TieringSystem):
         ]
         n_hot = sum(1 for e in events if e.time_to_fault_ns <= self.hot_ttf_ns)
         self._adapt_threshold(n_hot, len(events))
+        demotions = self.kswapd_demotions(placement)
         if ctx.tracer.enabled and events:
             ctx.tracer.emit(
                 "tpp_promotion",
                 n_faults=len(events),
                 n_hot=n_hot,
                 n_promoted=len(promotions),
+                n_demoted=len(demotions),
                 hot_ttf_ns=self.hot_ttf_ns,
             )
-
-        demotions = self.kswapd_demotions(placement)
         plan_pages = np.concatenate([
             demotions, np.asarray(promotions, dtype=np.int64)
         ])

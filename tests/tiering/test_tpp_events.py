@@ -1,0 +1,41 @@
+"""Fault-driven systems report demotions alongside promotions in their
+``tpp_promotion`` trace events."""
+
+import pytest
+
+from repro.core.integrate import TppColloidSystem
+from repro.experiments.common import scaled_machine
+from repro.obs.tracer import Tracer
+from repro.runtime.loop import SimulationLoop
+from repro.tiering.tpp import TppSystem
+from repro.workloads.gups import GupsWorkload
+from tests.conftest import FAST_SCALE
+
+
+def promotion_events(system):
+    tracer = Tracer(ring_size=2048)
+    loop = SimulationLoop(
+        machine=scaled_machine(FAST_SCALE),
+        workload=GupsWorkload(scale=FAST_SCALE, seed=7),
+        system=system,
+        contention=1,
+        seed=7,
+        tracer=tracer,
+    )
+    loop.run(duration_s=1.0)
+    return [e for e in tracer.events()
+            if e.get("type") == "tpp_promotion"]
+
+
+@pytest.mark.parametrize("system_cls", [TppSystem, TppColloidSystem])
+def test_events_carry_both_directions(system_cls):
+    events = promotion_events(system_cls())
+    assert events
+    for event in events:
+        assert event["n_promoted"] >= 0
+        assert event["n_demoted"] >= 0
+    # TPP under contention both promotes on faults and demotes via
+    # kswapd; a run that never reports either would make the new
+    # field vacuous.
+    assert any(e["n_promoted"] > 0 for e in events)
+    assert any(e["n_demoted"] > 0 for e in events)
